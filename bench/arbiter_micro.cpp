@@ -1,0 +1,74 @@
+// Microbenchmarks (google-benchmark): cost of one arbitration per algorithm
+// vs port count — the "at router switching speed" constraint of Section 3.2.
+// Run with --benchmark_filter=... as usual.
+
+#include <benchmark/benchmark.h>
+
+#include "mmr/arbiter/candidate.hpp"
+#include "mmr/arbiter/factory.hpp"
+#include "mmr/sim/rng.hpp"
+
+namespace {
+
+mmr::CandidateSet make_candidates(std::uint32_t ports, std::uint32_t levels,
+                                  double density, mmr::Rng& rng) {
+  mmr::CandidateSet set(ports, levels);
+  for (std::uint32_t input = 0; input < ports; ++input) {
+    mmr::Priority prev = ~mmr::Priority{0};
+    for (std::uint32_t level = 0; level < levels; ++level) {
+      if (!rng.chance(density)) break;
+      mmr::Candidate c;
+      c.input = static_cast<std::uint16_t>(input);
+      c.output = static_cast<std::uint16_t>(rng.uniform(ports));
+      c.level = static_cast<std::uint8_t>(level);
+      c.vc = level;
+      c.priority = std::min<mmr::Priority>(prev, 1 + rng.uniform(1u << 20));
+      prev = c.priority;
+      set.add(c);
+    }
+  }
+  return set;
+}
+
+void BM_Arbitrate(benchmark::State& state, const std::string& name) {
+  const auto ports = static_cast<std::uint32_t>(state.range(0));
+  mmr::Rng rng(0x5EED, ports);
+  auto arbiter = mmr::make_arbiter(name, ports, mmr::Rng(0x5EED, 0xB2));
+
+  // A rotating pool of pre-built candidate sets keeps generation cost out
+  // of the measured loop while avoiding a single memoised input.
+  std::vector<mmr::CandidateSet> pool;
+  for (int i = 0; i < 32; ++i)
+    pool.push_back(make_candidates(ports, 4, 0.9, rng));
+
+  std::size_t i = 0;
+  std::uint64_t matched = 0;
+  for (auto _ : state) {
+    const mmr::Matching matching = arbiter->arbitrate(pool[i]);
+    matched += matching.size();
+    benchmark::DoNotOptimize(matched);
+    i = (i + 1) % pool.size();
+  }
+  state.counters["matched/cycle"] = benchmark::Counter(
+      static_cast<double>(matched),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void register_benchmarks() {
+  for (const std::string& name : mmr::arbiter_names()) {
+    auto* bench = benchmark::RegisterBenchmark(
+        ("arbitrate/" + name).c_str(),
+        [name](benchmark::State& state) { BM_Arbitrate(state, name); });
+    bench->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

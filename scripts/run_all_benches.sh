@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Runs every bench binary and tees the output into results/.
+# Usage: scripts/run_all_benches.sh [build-dir] [quick|full]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+MODE="${2:-quick}"
+OUT_DIR="results/${MODE}"
+mkdir -p "${OUT_DIR}"
+
+if [[ "${MODE}" == "full" ]]; then
+  export MMR_FULL=1
+fi
+
+for bench in "${BUILD_DIR}"/bench/*; do
+  [[ -f "${bench}" && -x "${bench}" ]] || continue
+  name="$(basename "${bench}")"
+  echo "=== ${name} (${MODE}) ==="
+  "${bench}" | tee "${OUT_DIR}/${name}.txt"
+  echo
+done
+echo "outputs in ${OUT_DIR}/"

@@ -1,0 +1,66 @@
+#include "mmr/arbiter/candidate.hpp"
+
+namespace mmr {
+
+CandidateSet::CandidateSet(std::uint32_t ports, std::uint32_t levels)
+    : ports_(ports), levels_(levels) {
+  MMR_ASSERT(ports_ > 0);
+  MMR_ASSERT(levels_ > 0);
+  slot_index_.assign(static_cast<std::size_t>(ports_) * levels_, -1);
+}
+
+void CandidateSet::clear() {
+  flat_.clear();
+  slot_index_.assign(slot_index_.size(), -1);
+}
+
+void CandidateSet::add(const Candidate& candidate) {
+  MMR_ASSERT(candidate.input < ports_);
+  MMR_ASSERT(candidate.output < ports_);
+  MMR_ASSERT(candidate.level < levels_);
+  const std::size_t s = slot(candidate.input, candidate.level);
+  MMR_ASSERT_MSG(slot_index_[s] == -1, "duplicate (input, level) candidate");
+  if (candidate.level > 0) {
+    MMR_ASSERT_MSG(slot_index_[slot(candidate.input, candidate.level - 1)] != -1,
+                   "candidate levels must be contiguous from 0");
+  }
+  slot_index_[s] = static_cast<std::int32_t>(flat_.size());
+  flat_.push_back(candidate);
+}
+
+std::int32_t CandidateSet::index_of(std::uint32_t input,
+                                    std::uint32_t level) const {
+  MMR_ASSERT(input < ports_);
+  MMR_ASSERT(level < levels_);
+  return slot_index_[slot(input, level)];
+}
+
+std::uint32_t CandidateSet::levels_used(std::uint32_t input) const {
+  std::uint32_t used = 0;
+  while (used < levels_ && index_of(input, used) != -1) ++used;
+  return used;
+}
+
+void CandidateSet::check_invariants() const {
+  for (std::uint32_t input = 0; input < ports_; ++input) {
+    bool gap = false;
+    Priority prev = ~Priority{0};
+    for (std::uint32_t level = 0; level < levels_; ++level) {
+      const std::int32_t idx = index_of(input, level);
+      if (idx == -1) {
+        gap = true;
+        continue;
+      }
+      MMR_ASSERT_MSG(!gap, "candidate level gap");
+      const Candidate& c = at(static_cast<std::size_t>(idx));
+      MMR_ASSERT(c.input == input);
+      MMR_ASSERT(c.level == level);
+      MMR_ASSERT(c.output < ports_);
+      MMR_ASSERT_MSG(c.priority <= prev,
+                     "candidate priorities must not increase with level");
+      prev = c.priority;
+    }
+  }
+}
+
+}  // namespace mmr

@@ -1,0 +1,50 @@
+// The Candidate-Order Arbiter (COA) — the paper's proposal (Section 4).
+//
+// 1. Arrange all candidates into a selection matrix of L*P rows x P columns
+//    (rows grouped by level, one row per input within a level); compute the
+//    conflict vector: per (level, output), the number of pending requests.
+// 2. Port ordering: select output ports first by level, then by increasing
+//    conflict within that level (ports with many conflicts are matched last
+//    since they have the most opportunities); ties broken randomly.
+// 3. Arbitration: among the pending requests for the selected output, grant
+//    the one with the highest connection priority.
+// Each grant removes all requests of the matched input and output; the
+// conflict vector is recomputed and the process repeats until no requests
+// remain, yielding a conflict-free matching.
+#pragma once
+
+#include "mmr/arbiter/candidate.hpp"
+#include "mmr/arbiter/matching.hpp"
+#include "mmr/sim/rng.hpp"
+
+namespace mmr {
+
+class CandidateOrderArbiter final : public SwitchArbiter {
+ public:
+  /// `use_priority == false` gives the "coa-np" ablation: the same
+  /// level/conflict port ordering, but contention within an output is
+  /// resolved randomly instead of by connection priority — isolating how
+  /// much of COA's QoS advantage comes from each of its two decisions.
+  CandidateOrderArbiter(std::uint32_t ports, Rng rng,
+                        bool use_priority = true);
+
+  [[nodiscard]] const char* name() const override {
+    return use_priority_ ? "coa" : "coa-np";
+  }
+
+  Matching arbitrate(const CandidateSet& candidates) override;
+
+ private:
+  std::uint32_t ports_;
+  Rng rng_;
+  bool use_priority_;
+
+  // Scratch buffers reused across cycles to stay allocation-free in the
+  // steady state.
+  std::vector<std::uint32_t> conflict_;     ///< (level, output) -> pending
+  std::vector<std::uint8_t> input_free_;
+  std::vector<std::uint8_t> output_free_;
+  std::vector<std::uint8_t> request_live_;  ///< per candidate
+};
+
+}  // namespace mmr

@@ -1,0 +1,47 @@
+#include "mmr/arbiter/factory.hpp"
+
+#include <stdexcept>
+
+#include "mmr/arbiter/candidate_order.hpp"
+#include "mmr/arbiter/greedy_priority.hpp"
+#include "mmr/arbiter/islip.hpp"
+#include "mmr/arbiter/maxmatch.hpp"
+#include "mmr/arbiter/pim.hpp"
+#include "mmr/arbiter/wavefront.hpp"
+
+namespace mmr {
+
+std::unique_ptr<SwitchArbiter> make_arbiter(const std::string& name,
+                                            std::uint32_t ports, Rng rng) {
+  if (name == "coa")
+    return std::make_unique<CandidateOrderArbiter>(ports, rng);
+  if (name == "coa-np")
+    return std::make_unique<CandidateOrderArbiter>(ports, rng,
+                                                   /*use_priority=*/false);
+  if (name == "wfa") return std::make_unique<WaveFrontArbiter>(ports);
+  if (name == "wwfa") return std::make_unique<WrappedWaveFrontArbiter>(ports);
+  if (name == "islip") return std::make_unique<IslipArbiter>(ports);
+  if (name == "islip1") return std::make_unique<IslipArbiter>(ports, 1);
+  if (name == "pim") return std::make_unique<PimArbiter>(ports, rng);
+  if (name == "pim1") return std::make_unique<PimArbiter>(ports, rng, 1);
+  if (name == "greedy")
+    return std::make_unique<GreedyPriorityArbiter>(ports, rng);
+  if (name == "maxmatch") return std::make_unique<MaxMatchArbiter>(ports);
+
+  std::string valid;
+  for (const std::string& n : arbiter_names()) {
+    if (!valid.empty()) valid += ", ";
+    valid += n;
+  }
+  throw std::invalid_argument("unknown arbiter '" + name +
+                              "'; valid arbiters: " + valid);
+}
+
+const std::vector<std::string>& arbiter_names() {
+  static const std::vector<std::string> names = {
+      "coa", "coa-np", "wfa", "wwfa", "islip",
+      "islip1", "pim", "pim1", "greedy", "maxmatch"};
+  return names;
+}
+
+}  // namespace mmr

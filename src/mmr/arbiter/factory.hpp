@@ -1,0 +1,23 @@
+// Name-based arbiter construction so configs, benches and examples can select
+// algorithms with a string.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mmr/arbiter/matching.hpp"
+#include "mmr/sim/rng.hpp"
+
+namespace mmr {
+
+/// Known names: "coa", "wfa", "islip", "islip1" (single iteration), "pim",
+/// "pim1", "greedy", "maxmatch".  Throws std::invalid_argument on unknown
+/// names (listing the valid ones).
+std::unique_ptr<SwitchArbiter> make_arbiter(const std::string& name,
+                                            std::uint32_t ports, Rng rng);
+
+/// All registered arbiter names (for sweeps and help text).
+const std::vector<std::string>& arbiter_names();
+
+}  // namespace mmr

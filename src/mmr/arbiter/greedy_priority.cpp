@@ -1,0 +1,38 @@
+#include "mmr/arbiter/greedy_priority.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mmr {
+
+GreedyPriorityArbiter::GreedyPriorityArbiter(std::uint32_t ports, Rng rng)
+    : ports_(ports), rng_(rng) {
+  MMR_ASSERT(ports_ > 0);
+}
+
+Matching GreedyPriorityArbiter::arbitrate(const CandidateSet& candidates) {
+  MMR_ASSERT(candidates.ports() == ports_);
+  Matching matching(ports_);
+  const auto& all = candidates.all();
+  if (all.empty()) return matching;
+
+  order_.resize(all.size());
+  std::iota(order_.begin(), order_.end(), 0u);
+  // Random shuffle first so that equal priorities are granted in random
+  // order after the stable sort.
+  rng_.shuffle(order_);
+  std::stable_sort(order_.begin(), order_.end(),
+                   [&all](std::uint32_t a, std::uint32_t b) {
+                     return all[a].priority > all[b].priority;
+                   });
+
+  for (std::uint32_t idx : order_) {
+    const Candidate& c = all[idx];
+    if (matching.input_matched(c.input) || matching.output_matched(c.output))
+      continue;
+    matching.match(c.input, c.output, static_cast<std::int32_t>(idx));
+  }
+  return matching;
+}
+
+}  // namespace mmr

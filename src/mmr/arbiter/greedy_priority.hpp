@@ -1,0 +1,27 @@
+// Greedy highest-priority-first matching: sort all candidates by priority
+// (ties random) and grant greedily.  This is the "take priorities seriously,
+// ignore conflict structure" ablation of COA — COA additionally orders
+// output ports by candidate level and conflict count.
+#pragma once
+
+#include "mmr/arbiter/candidate.hpp"
+#include "mmr/arbiter/matching.hpp"
+#include "mmr/sim/rng.hpp"
+
+namespace mmr {
+
+class GreedyPriorityArbiter final : public SwitchArbiter {
+ public:
+  GreedyPriorityArbiter(std::uint32_t ports, Rng rng);
+
+  [[nodiscard]] const char* name() const override { return "greedy"; }
+
+  Matching arbitrate(const CandidateSet& candidates) override;
+
+ private:
+  std::uint32_t ports_;
+  Rng rng_;
+  std::vector<std::uint32_t> order_;
+};
+
+}  // namespace mmr

@@ -1,0 +1,34 @@
+// iSLIP (McKeown) — iterative round-robin matching with rotating grant and
+// accept pointers; a classic input-queued switch scheduler included as a
+// baseline.  Priorities are ignored (like WFA); the candidate set is treated
+// as a VOQ request matrix.
+#pragma once
+
+#include "mmr/arbiter/candidate.hpp"
+#include "mmr/arbiter/matching.hpp"
+
+namespace mmr {
+
+class IslipArbiter final : public SwitchArbiter {
+ public:
+  /// `iterations == 0` selects the conventional log2(P)+1 iterations.
+  IslipArbiter(std::uint32_t ports, std::uint32_t iterations = 0);
+
+  /// "islip" at the default iteration count, "islip1" single-iteration.
+  [[nodiscard]] const char* name() const override {
+    return iterations_ == 1 ? "islip1" : "islip";
+  }
+
+  Matching arbitrate(const CandidateSet& candidates) override;
+
+  [[nodiscard]] std::uint32_t iterations() const { return iterations_; }
+
+ private:
+  std::uint32_t ports_;
+  std::uint32_t iterations_;
+  std::vector<std::uint32_t> grant_ptr_;   ///< per output
+  std::vector<std::uint32_t> accept_ptr_;  ///< per input
+  std::vector<std::int32_t> request_;      ///< (input, output) -> candidate
+};
+
+}  // namespace mmr

@@ -1,0 +1,51 @@
+#include "mmr/arbiter/matching.hpp"
+
+#include "mmr/sim/assert.hpp"
+
+namespace mmr {
+
+Matching::Matching(std::uint32_t ports)
+    : output_of_input_(ports, -1),
+      input_of_output_(ports, -1),
+      candidate_of_input_(ports, -1) {
+  MMR_ASSERT(ports > 0);
+}
+
+void Matching::match(std::uint32_t input, std::uint32_t output,
+                     std::int32_t candidate_index) {
+  MMR_ASSERT(input < ports());
+  MMR_ASSERT(output < ports());
+  MMR_ASSERT_MSG(output_of_input_[input] == -1, "input matched twice");
+  MMR_ASSERT_MSG(input_of_output_[output] == -1, "output matched twice");
+  output_of_input_[input] = static_cast<std::int32_t>(output);
+  input_of_output_[output] = static_cast<std::int32_t>(input);
+  candidate_of_input_[input] = candidate_index;
+  ++size_;
+}
+
+bool Matching::input_matched(std::uint32_t input) const {
+  MMR_ASSERT(input < ports());
+  return output_of_input_[input] != -1;
+}
+
+bool Matching::output_matched(std::uint32_t output) const {
+  MMR_ASSERT(output < ports());
+  return input_of_output_[output] != -1;
+}
+
+std::int32_t Matching::output_of(std::uint32_t input) const {
+  MMR_ASSERT(input < ports());
+  return output_of_input_[input];
+}
+
+std::int32_t Matching::input_of(std::uint32_t output) const {
+  MMR_ASSERT(output < ports());
+  return input_of_output_[output];
+}
+
+std::int32_t Matching::candidate_of(std::uint32_t input) const {
+  MMR_ASSERT(input < ports());
+  return candidate_of_input_[input];
+}
+
+}  // namespace mmr

@@ -1,0 +1,51 @@
+// Conflict-free input/output matching: the result of one switch arbitration.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mmr {
+
+class CandidateSet;
+
+class Matching {
+ public:
+  explicit Matching(std::uint32_t ports);
+
+  /// Records that `input` was matched to `output`, transmitting the
+  /// candidate at `candidate_index` within the arbitrated CandidateSet.
+  void match(std::uint32_t input, std::uint32_t output,
+             std::int32_t candidate_index);
+
+  [[nodiscard]] std::uint32_t ports() const {
+    return static_cast<std::uint32_t>(output_of_input_.size());
+  }
+  [[nodiscard]] std::uint32_t size() const { return size_; }
+  [[nodiscard]] bool input_matched(std::uint32_t input) const;
+  [[nodiscard]] bool output_matched(std::uint32_t output) const;
+  /// -1 when unmatched.
+  [[nodiscard]] std::int32_t output_of(std::uint32_t input) const;
+  [[nodiscard]] std::int32_t input_of(std::uint32_t output) const;
+  [[nodiscard]] std::int32_t candidate_of(std::uint32_t input) const;
+
+ private:
+  std::vector<std::int32_t> output_of_input_;
+  std::vector<std::int32_t> input_of_output_;
+  std::vector<std::int32_t> candidate_of_input_;
+  std::uint32_t size_ = 0;
+};
+
+/// Interface every switch scheduling algorithm implements.  Arbiters may be
+/// stateful (rotating pointers); state must only depend on prior calls so
+/// runs stay deterministic.
+class SwitchArbiter {
+ public:
+  virtual ~SwitchArbiter() = default;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Computes a conflict-free matching for one scheduling cycle.
+  virtual Matching arbitrate(const CandidateSet& candidates) = 0;
+};
+
+}  // namespace mmr

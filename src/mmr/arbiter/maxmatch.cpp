@@ -1,0 +1,123 @@
+#include "mmr/arbiter/maxmatch.hpp"
+
+#include <limits>
+#include <queue>
+
+namespace mmr {
+
+namespace {
+
+constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+
+/// Hopcroft-Karp over a bipartite graph with `n` nodes per side.
+/// Returns pair vectors (match_l, match_r) with kInf for unmatched.
+struct HopcroftKarp {
+  std::uint32_t n;
+  const std::vector<std::vector<std::uint32_t>>& adj;
+  std::vector<std::uint32_t> match_l, match_r, dist;
+
+  explicit HopcroftKarp(std::uint32_t n_,
+                        const std::vector<std::vector<std::uint32_t>>& adj_)
+      : n(n_), adj(adj_), match_l(n, kInf), match_r(n, kInf), dist(n, kInf) {}
+
+  bool bfs() {
+    std::queue<std::uint32_t> queue;
+    for (std::uint32_t u = 0; u < n; ++u) {
+      if (match_l[u] == kInf) {
+        dist[u] = 0;
+        queue.push(u);
+      } else {
+        dist[u] = kInf;
+      }
+    }
+    bool reachable_free = false;
+    while (!queue.empty()) {
+      const std::uint32_t u = queue.front();
+      queue.pop();
+      for (std::uint32_t v : adj[u]) {
+        const std::uint32_t w = match_r[v];
+        if (w == kInf) {
+          reachable_free = true;
+        } else if (dist[w] == kInf) {
+          dist[w] = dist[u] + 1;
+          queue.push(w);
+        }
+      }
+    }
+    return reachable_free;
+  }
+
+  bool dfs(std::uint32_t u) {
+    for (std::uint32_t v : adj[u]) {
+      const std::uint32_t w = match_r[v];
+      if (w == kInf || (dist[w] == dist[u] + 1 && dfs(w))) {
+        match_l[u] = v;
+        match_r[v] = u;
+        return true;
+      }
+    }
+    dist[u] = kInf;
+    return false;
+  }
+
+  std::uint32_t run() {
+    std::uint32_t size = 0;
+    while (bfs()) {
+      for (std::uint32_t u = 0; u < n; ++u) {
+        if (match_l[u] == kInf && dfs(u)) ++size;
+      }
+    }
+    return size;
+  }
+};
+
+}  // namespace
+
+MaxMatchArbiter::MaxMatchArbiter(std::uint32_t ports) : ports_(ports) {
+  MMR_ASSERT(ports_ > 0);
+}
+
+Matching MaxMatchArbiter::arbitrate(const CandidateSet& candidates) {
+  MMR_ASSERT(candidates.ports() == ports_);
+  Matching matching(ports_);
+  const auto& all = candidates.all();
+  if (all.empty()) return matching;
+
+  // Deduplicate (input, output) pairs, remembering the best candidate
+  // (lowest level, i.e. highest link-scheduler rank) per pair.
+  std::vector<std::int32_t> pair_candidate(
+      static_cast<std::size_t>(ports_) * ports_, -1);
+  std::vector<std::vector<std::uint32_t>> adj(ports_);
+  for (std::size_t idx = 0; idx < all.size(); ++idx) {
+    const Candidate& c = all[idx];
+    std::int32_t& cell =
+        pair_candidate[static_cast<std::size_t>(c.input) * ports_ + c.output];
+    if (cell == -1) {
+      adj[c.input].push_back(c.output);
+      cell = static_cast<std::int32_t>(idx);
+    } else if (c.level < all[static_cast<std::size_t>(cell)].level) {
+      cell = static_cast<std::int32_t>(idx);
+    }
+  }
+
+  HopcroftKarp hk(ports_, adj);
+  hk.run();
+  for (std::uint32_t in = 0; in < ports_; ++in) {
+    if (hk.match_l[in] == kInf) continue;
+    const std::uint32_t out = hk.match_l[in];
+    const std::int32_t cell =
+        pair_candidate[static_cast<std::size_t>(in) * ports_ + out];
+    MMR_ASSERT(cell != -1);
+    matching.match(in, out, cell);
+  }
+  return matching;
+}
+
+std::uint32_t MaxMatchArbiter::max_matching_size(
+    std::uint32_t ports, const std::vector<std::vector<std::uint32_t>>& adj) {
+  MMR_ASSERT(adj.size() == ports);
+  HopcroftKarp hk(ports, adj);
+  return hk.run();
+}
+
+}  // namespace mmr

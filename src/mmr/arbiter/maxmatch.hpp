@@ -1,0 +1,28 @@
+// Maximum-size bipartite matching via Hopcroft-Karp.  Not implementable at
+// router speed — included as the oracle upper bound on matching size, which
+// is what the paper's WFA reference claims to approach.
+#pragma once
+
+#include "mmr/arbiter/candidate.hpp"
+#include "mmr/arbiter/matching.hpp"
+
+namespace mmr {
+
+class MaxMatchArbiter final : public SwitchArbiter {
+ public:
+  explicit MaxMatchArbiter(std::uint32_t ports);
+
+  [[nodiscard]] const char* name() const override { return "maxmatch"; }
+
+  Matching arbitrate(const CandidateSet& candidates) override;
+
+  /// Size of the maximum matching of an arbitrary request graph, usable
+  /// directly by tests (adjacency: per input, list of outputs).
+  static std::uint32_t max_matching_size(
+      std::uint32_t ports, const std::vector<std::vector<std::uint32_t>>& adj);
+
+ private:
+  std::uint32_t ports_;
+};
+
+}  // namespace mmr

@@ -1,0 +1,33 @@
+// Parallel Iterative Matching (Anderson et al., 1993): outputs grant a
+// uniformly random requesting input, inputs accept a uniformly random grant,
+// repeated for a fixed number of iterations.  QoS-blind baseline.
+#pragma once
+
+#include "mmr/arbiter/candidate.hpp"
+#include "mmr/arbiter/matching.hpp"
+#include "mmr/sim/rng.hpp"
+
+namespace mmr {
+
+class PimArbiter final : public SwitchArbiter {
+ public:
+  /// `iterations == 0` selects log2(P)+1 (PIM converges in O(log P) expected).
+  PimArbiter(std::uint32_t ports, Rng rng, std::uint32_t iterations = 0);
+
+  /// "pim" at the default iteration count, "pim1" single-iteration.
+  [[nodiscard]] const char* name() const override {
+    return iterations_ == 1 ? "pim1" : "pim";
+  }
+
+  Matching arbitrate(const CandidateSet& candidates) override;
+
+  [[nodiscard]] std::uint32_t iterations() const { return iterations_; }
+
+ private:
+  std::uint32_t ports_;
+  Rng rng_;
+  std::uint32_t iterations_;
+  std::vector<std::int32_t> request_;
+};
+
+}  // namespace mmr

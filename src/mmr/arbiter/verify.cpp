@@ -1,0 +1,62 @@
+#include "mmr/arbiter/verify.hpp"
+
+#include <sstream>
+
+namespace mmr {
+
+MatchingCheck check_matching(const CandidateSet& candidates,
+                             const Matching& matching) {
+  MatchingCheck result;
+  auto fail = [&result](const std::string& why) {
+    result.valid = false;
+    if (result.problem.empty()) result.problem = why;
+  };
+
+  if (matching.ports() != candidates.ports()) {
+    fail("port count mismatch");
+    return result;
+  }
+
+  std::uint32_t counted = 0;
+  for (std::uint32_t in = 0; in < matching.ports(); ++in) {
+    const std::int32_t out = matching.output_of(in);
+    if (out == -1) {
+      if (matching.candidate_of(in) != -1)
+        fail("unmatched input carries a candidate index");
+      continue;
+    }
+    ++counted;
+    if (matching.input_of(static_cast<std::uint32_t>(out)) !=
+        static_cast<std::int32_t>(in)) {
+      fail("input/output cross references disagree");
+      continue;
+    }
+    const std::int32_t cand = matching.candidate_of(in);
+    if (cand < 0 ||
+        static_cast<std::size_t>(cand) >= candidates.all().size()) {
+      fail("matched input has no valid candidate index");
+      continue;
+    }
+    const Candidate& c = candidates.at(static_cast<std::size_t>(cand));
+    if (c.input != in || static_cast<std::int32_t>(c.output) != out) {
+      std::ostringstream why;
+      why << "candidate " << cand << " is (" << c.input << "->" << c.output
+          << ") but matching says (" << in << "->" << out << ")";
+      fail(why.str());
+    }
+  }
+  if (counted != matching.size()) fail("matching size bookkeeping disagrees");
+  return result;
+}
+
+bool is_maximal(const CandidateSet& candidates, const Matching& matching) {
+  for (const Candidate& c : candidates.all()) {
+    if (!matching.input_matched(c.input) &&
+        !matching.output_matched(c.output)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mmr

@@ -1,0 +1,28 @@
+// Matching validity and maximality checks, shared by tests and (optionally)
+// debug builds of the router.
+#pragma once
+
+#include <string>
+
+#include "mmr/arbiter/candidate.hpp"
+#include "mmr/arbiter/matching.hpp"
+
+namespace mmr {
+
+struct MatchingCheck {
+  bool valid = true;
+  std::string problem;  ///< first violation found, empty when valid
+};
+
+/// A matching is valid iff every matched (input, output, candidate) triple
+/// names an actual candidate with those ports, no input or output appears
+/// twice (Matching enforces this structurally), and size bookkeeping agrees.
+[[nodiscard]] MatchingCheck check_matching(const CandidateSet& candidates,
+                                           const Matching& matching);
+
+/// True when no request (i -> j) exists with both i and j unmatched, i.e.
+/// the matching is maximal in the request graph.
+[[nodiscard]] bool is_maximal(const CandidateSet& candidates,
+                              const Matching& matching);
+
+}  // namespace mmr

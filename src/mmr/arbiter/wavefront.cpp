@@ -1,0 +1,79 @@
+#include "mmr/arbiter/wavefront.hpp"
+
+namespace mmr {
+
+namespace detail {
+
+void collapse_requests(const CandidateSet& candidates, std::uint32_t ports,
+                       std::vector<std::int32_t>& request) {
+  // When several candidate levels of one input request the same output,
+  // keep the lowest level (the VC the link scheduler ranked highest) — the
+  // hardware would transmit that one.
+  request.assign(static_cast<std::size_t>(ports) * ports, -1);
+  const auto& all = candidates.all();
+  for (std::size_t idx = 0; idx < all.size(); ++idx) {
+    const Candidate& c = all[idx];
+    std::int32_t& cell =
+        request[static_cast<std::size_t>(c.input) * ports + c.output];
+    if (cell == -1 || c.level < all[static_cast<std::size_t>(cell)].level) {
+      cell = static_cast<std::int32_t>(idx);
+    }
+  }
+}
+
+}  // namespace detail
+
+WaveFrontArbiter::WaveFrontArbiter(std::uint32_t ports) : ports_(ports) {
+  MMR_ASSERT(ports_ > 0);
+}
+
+Matching WaveFrontArbiter::arbitrate(const CandidateSet& candidates) {
+  MMR_ASSERT(candidates.ports() == ports_);
+  Matching matching(ports_);
+  detail::collapse_requests(candidates, ports_, request_);
+
+  // 2P-1 partial anti-diagonals i + j == wave, from the top-left corner.
+  for (std::uint32_t wave = 0; wave <= 2 * (ports_ - 1); ++wave) {
+    const std::uint32_t i_begin = wave < ports_ ? 0 : wave - (ports_ - 1);
+    const std::uint32_t i_end = wave < ports_ ? wave : ports_ - 1;
+    for (std::uint32_t i = i_begin; i <= i_end; ++i) {
+      const std::uint32_t j = wave - i;
+      if (matching.input_matched(i) || matching.output_matched(j)) continue;
+      const std::int32_t cell =
+          request_[static_cast<std::size_t>(i) * ports_ + j];
+      if (cell == -1) continue;
+      matching.match(i, j, cell);
+    }
+  }
+  return matching;
+}
+
+WrappedWaveFrontArbiter::WrappedWaveFrontArbiter(std::uint32_t ports)
+    : ports_(ports) {
+  MMR_ASSERT(ports_ > 0);
+}
+
+Matching WrappedWaveFrontArbiter::arbitrate(const CandidateSet& candidates) {
+  MMR_ASSERT(candidates.ports() == ports_);
+  Matching matching(ports_);
+  detail::collapse_requests(candidates, ports_, request_);
+
+  // P wrapped anti-diagonals: wave w processes cells with
+  // (i + j) mod P == (start + w) mod P.
+  for (std::uint32_t wave = 0; wave < ports_; ++wave) {
+    const std::uint32_t diag = (start_ + wave) % ports_;
+    for (std::uint32_t i = 0; i < ports_; ++i) {
+      const std::uint32_t j = (diag + ports_ - i) % ports_;
+      if (matching.input_matched(i) || matching.output_matched(j)) continue;
+      const std::int32_t cell =
+          request_[static_cast<std::size_t>(i) * ports_ + j];
+      if (cell == -1) continue;
+      matching.match(i, j, cell);
+    }
+  }
+
+  start_ = (start_ + 1) % ports_;
+  return matching;
+}
+
+}  // namespace mmr

@@ -1,0 +1,66 @@
+// Wave Front Arbiters (Tamir & Chi, 1993) — the conventional, QoS-blind
+// symmetric crossbar arbiters the paper compares against.
+//
+// An arbitration wave sweeps the P x P request array along anti-diagonals; a
+// crosspoint grants iff it holds a request and neither its row (input) nor
+// its column (output) has granted yet.  Cells of one anti-diagonal touch
+// distinct rows and columns, so each wave is conflict-free by construction.
+// Connection priorities are ignored — that is precisely the property the
+// paper investigates.
+//
+// Two variants:
+//  * WaveFrontArbiter ("wfa") — as the paper describes it: the wave always
+//    starts at the top-left corner and moves to the bottom-right, so
+//    crosspoints near the origin are structurally favoured.
+//  * WrappedWaveFrontArbiter ("wwfa") — Tamir & Chi's wrapped variant: P
+//    full diagonals, with the starting diagonal rotating every arbitration,
+//    removing the positional bias.
+#pragma once
+
+#include "mmr/arbiter/candidate.hpp"
+#include "mmr/arbiter/matching.hpp"
+
+namespace mmr {
+
+namespace detail {
+
+/// Collapses candidates to a (input, output) -> candidate-index request
+/// array, keeping the lowest-level candidate per pair.
+void collapse_requests(const CandidateSet& candidates, std::uint32_t ports,
+                       std::vector<std::int32_t>& request);
+
+}  // namespace detail
+
+/// Plain WFA: fixed top-left priority corner (the paper's description).
+class WaveFrontArbiter final : public SwitchArbiter {
+ public:
+  explicit WaveFrontArbiter(std::uint32_t ports);
+
+  [[nodiscard]] const char* name() const override { return "wfa"; }
+
+  Matching arbitrate(const CandidateSet& candidates) override;
+
+ private:
+  std::uint32_t ports_;
+  std::vector<std::int32_t> request_;  ///< (input, output) -> candidate index
+};
+
+/// Wrapped WFA with rotating starting diagonal (positionally fair).
+class WrappedWaveFrontArbiter final : public SwitchArbiter {
+ public:
+  explicit WrappedWaveFrontArbiter(std::uint32_t ports);
+
+  [[nodiscard]] const char* name() const override { return "wwfa"; }
+
+  Matching arbitrate(const CandidateSet& candidates) override;
+
+  /// The diagonal the next arbitration will start from (exposed for tests).
+  [[nodiscard]] std::uint32_t next_start_diagonal() const { return start_; }
+
+ private:
+  std::uint32_t ports_;
+  std::uint32_t start_ = 0;
+  std::vector<std::int32_t> request_;
+};
+
+}  // namespace mmr

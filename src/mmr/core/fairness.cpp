@@ -1,0 +1,34 @@
+#include "mmr/core/fairness.hpp"
+
+#include "mmr/sim/assert.hpp"
+
+namespace mmr {
+
+double jain_fairness_index(const std::vector<double>& shares) {
+  if (shares.empty()) return 0.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double x : shares) {
+    MMR_ASSERT(x >= 0.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) return 0.0;
+  return sum * sum / (static_cast<double>(shares.size()) * sum_sq);
+}
+
+std::vector<double> normalized_shares(
+    const std::vector<std::uint64_t>& delivered,
+    const std::vector<std::uint64_t>& offered) {
+  MMR_ASSERT(delivered.size() == offered.size());
+  std::vector<double> shares;
+  shares.reserve(delivered.size());
+  for (std::size_t i = 0; i < delivered.size(); ++i) {
+    if (offered[i] == 0) continue;  // nothing offered: share undefined
+    shares.push_back(static_cast<double>(delivered[i]) /
+                     static_cast<double>(offered[i]));
+  }
+  return shares;
+}
+
+}  // namespace mmr

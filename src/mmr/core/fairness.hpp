@@ -1,0 +1,24 @@
+// Fairness measurement.  Section 3's requirement: "a successful arbitration
+// scheme for the MMR must provide efficient and fair resource scheduling".
+// We quantify it with Jain's fairness index over per-connection *normalised*
+// throughput (delivered / offered), so connections of very different rates
+// are comparable: 1.0 = perfectly proportional service, 1/n = one
+// connection gets everything.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mmr {
+
+/// Jain's index: (sum x)^2 / (n * sum x^2), in (0, 1]; 0 for empty input
+/// or all-zero shares.
+[[nodiscard]] double jain_fairness_index(const std::vector<double>& shares);
+
+/// Per-connection normalised service shares from delivered counts and
+/// offered counts (connections that offered nothing are skipped).
+[[nodiscard]] std::vector<double> normalized_shares(
+    const std::vector<std::uint64_t>& delivered,
+    const std::vector<std::uint64_t>& offered);
+
+}  // namespace mmr

@@ -1,0 +1,210 @@
+#include "mmr/core/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "mmr/core/fairness.hpp"
+#include "mmr/sim/assert.hpp"
+#include "mmr/traffic/cbr.hpp"
+
+namespace mmr {
+
+SimulationMetrics merge_runs(const std::vector<SimulationMetrics>& runs) {
+  MMR_ASSERT(!runs.empty());
+  SimulationMetrics merged = runs.front();
+  for (std::size_t r = 1; r < runs.size(); ++r) {
+    const SimulationMetrics& run = runs[r];
+    MMR_ASSERT_MSG(run.arbiter == merged.arbiter,
+                   "can only merge runs of the same arbiter");
+    const double w_old = static_cast<double>(merged.merged_runs);
+    const double w_new = w_old + 1.0;
+    auto avg = [w_old, w_new](double a, double b) {
+      return (a * w_old + b) / w_new;
+    };
+    merged.generated_load_nominal =
+        avg(merged.generated_load_nominal, run.generated_load_nominal);
+    merged.generated_load_measured =
+        avg(merged.generated_load_measured, run.generated_load_measured);
+    merged.delivered_load = avg(merged.delivered_load, run.delivered_load);
+    merged.crossbar_utilization =
+        avg(merged.crossbar_utilization, run.crossbar_utilization);
+    merged.mean_matching_size =
+        avg(merged.mean_matching_size, run.mean_matching_size);
+    merged.mean_reconfigurations =
+        avg(merged.mean_reconfigurations, run.mean_reconfigurations);
+
+    merged.flits_generated += run.flits_generated;
+    merged.flits_delivered += run.flits_delivered;
+    merged.flit_delay_us.merge(run.flit_delay_us);
+    for (const ClassMetrics& cls : run.per_class) {
+      ClassMetrics* mine = nullptr;
+      for (ClassMetrics& candidate : merged.per_class) {
+        if (candidate.label == cls.label) {
+          mine = &candidate;
+          break;
+        }
+      }
+      if (mine == nullptr) {
+        merged.per_class.push_back(cls);
+        continue;
+      }
+      mine->flits_generated += cls.flits_generated;
+      mine->flits_delivered += cls.flits_delivered;
+      mine->flit_delay_us.merge(cls.flit_delay_us);
+      mine->flit_delay_hist.merge(cls.flit_delay_hist);
+    }
+
+    merged.frames_completed += run.frames_completed;
+    merged.frame_delay_us.merge(run.frame_delay_us);
+    merged.frame_delay_hist.merge(run.frame_delay_hist);
+    merged.frame_jitter_us.merge(run.frame_jitter_us);
+    merged.max_frame_jitter_us =
+        std::fmax(merged.max_frame_jitter_us, run.max_frame_jitter_us);
+    merged.backlog_flits += run.backlog_flits;
+    merged.fairness_index = avg(merged.fairness_index, run.fairness_index);
+    // Per-connection vectors are not comparable across workload
+    // realisations; only the pooled index survives a merge.
+    merged.generated_per_connection.clear();
+    merged.delivered_per_connection.clear();
+    ++merged.merged_runs;
+  }
+  return merged;
+}
+
+const ClassMetrics* SimulationMetrics::find_class(
+    const std::string& label) const {
+  for (const ClassMetrics& c : per_class) {
+    if (c.label == label) return &c;
+  }
+  return nullptr;
+}
+
+std::string class_label(const ConnectionDescriptor& descriptor) {
+  switch (descriptor.traffic_class) {
+    case TrafficClass::kVbr:
+      return "VBR";
+    case TrafficClass::kBestEffort:
+      return "BE";
+    case TrafficClass::kCbr:
+      break;
+  }
+  // Name the paper's classes; format anything else by rate.
+  for (const CbrClass& cls : {kCbrLow, kCbrMedium, kCbrHigh}) {
+    if (descriptor.mean_bandwidth_bps == cls.bps) {
+      return std::string("CBR ") + cls.name;
+    }
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "CBR %.3g Mbps",
+                descriptor.mean_bandwidth_bps / 1e6);
+  return buf;
+}
+
+MetricsCollector::MetricsCollector(const ConnectionTable& table,
+                                   const SimConfig& config)
+    : table_(table),
+      time_base_(config.time_base()),
+      warmup_(config.warmup_cycles),
+      measure_cycles_(config.measure_cycles),
+      ports_(config.ports),
+      frame_jitter_(table.size()),
+      generated_per_connection_(table.size(), 0),
+      delivered_per_connection_(table.size(), 0) {
+  class_of_connection_.reserve(table.size());
+  for (const ConnectionDescriptor& c : table.all()) {
+    const std::string label = class_label(c);
+    std::size_t index = classes_.size();
+    for (std::size_t i = 0; i < classes_.size(); ++i) {
+      if (classes_[i].label == label) {
+        index = i;
+        break;
+      }
+    }
+    if (index == classes_.size()) {
+      ClassMetrics metrics;
+      metrics.label = label;
+      classes_.push_back(std::move(metrics));
+    }
+    class_of_connection_.push_back(index);
+  }
+}
+
+void MetricsCollector::on_generated(ConnectionId connection,
+                                    Cycle generated_at) {
+  if (!measured(generated_at)) return;
+  MMR_ASSERT(connection < class_of_connection_.size());
+  ++generated_;
+  ++generated_per_connection_[connection];
+  ++classes_[class_of_connection_[connection]].flits_generated;
+}
+
+void MetricsCollector::on_delivered(const MmrRouter::Departure& departure,
+                                    Cycle delivered_at) {
+  if (!measured(delivered_at)) return;
+  const Flit& flit = departure.flit;
+  MMR_ASSERT(flit.connection < class_of_connection_.size());
+  MMR_ASSERT(delivered_at >= flit.generated_at);
+
+  const double delay_us = time_base_.cycles_to_us(
+      static_cast<double>(delivered_at - flit.generated_at));
+  ++delivered_;
+  ++delivered_per_connection_[flit.connection];
+  flit_delay_us_.add(delay_us);
+  ClassMetrics& cls = classes_[class_of_connection_[flit.connection]];
+  ++cls.flits_delivered;
+  cls.flit_delay_us.add(delay_us);
+  cls.flit_delay_hist.add(delay_us);
+
+  // Frame completion: the paper measures frame delay as the delay of the
+  // last flit of the frame since its generation — a flit-delay measure, so
+  // it compares across injection models (Section 5.2).
+  const ConnectionDescriptor& descriptor = table_.get(flit.connection);
+  if (flit.last_of_frame && descriptor.traffic_class == TrafficClass::kVbr) {
+    const double frame_delay_us = delay_us;
+    ++frames_completed_;
+    frame_delay_us_.add(frame_delay_us);
+    frame_delay_hist_.add(frame_delay_us);
+    frame_jitter_[flit.connection].add(frame_delay_us);
+  }
+}
+
+SimulationMetrics MetricsCollector::finalize(const MmrRouter& router,
+                                             double generated_load_nominal,
+                                             std::uint64_t backlog) const {
+  SimulationMetrics m;
+  m.arbiter = router.arbiter().name();
+  m.flit_cycle_us = time_base_.flit_cycle_us();
+  m.generated_load_nominal = generated_load_nominal;
+
+  const double port_cycles =
+      static_cast<double>(ports_) * static_cast<double>(measure_cycles_);
+  m.generated_load_measured = static_cast<double>(generated_) / port_cycles;
+  m.delivered_load = static_cast<double>(delivered_) / port_cycles;
+
+  m.crossbar_utilization = router.crossbar().utilization();
+  m.mean_matching_size = router.crossbar().mean_matching_size();
+  m.mean_reconfigurations = router.crossbar().mean_reconfigurations();
+
+  m.flits_generated = generated_;
+  m.flits_delivered = delivered_;
+  m.flit_delay_us = flit_delay_us_;
+  m.per_class = classes_;
+
+  m.frames_completed = frames_completed_;
+  m.frame_delay_us = frame_delay_us_;
+  m.frame_delay_hist = frame_delay_hist_;
+  for (const JitterTracker& jitter : frame_jitter_) {
+    if (jitter.count() == 0) continue;
+    m.frame_jitter_us.add(jitter.mean_jitter());
+    m.max_frame_jitter_us = std::fmax(m.max_frame_jitter_us,
+                                      jitter.max_jitter());
+  }
+  m.backlog_flits = backlog;
+  m.generated_per_connection = generated_per_connection_;
+  m.delivered_per_connection = delivered_per_connection_;
+  m.fairness_index = jain_fairness_index(
+      normalized_shares(delivered_per_connection_, generated_per_connection_));
+  return m;
+}
+
+}  // namespace mmr

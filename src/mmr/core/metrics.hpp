@@ -1,0 +1,131 @@
+// Measurement: exactly the quantities the paper's evaluation reports.
+//  * Average flit delay since generation, per CBR bandwidth class (Fig. 5).
+//  * Average crossbar utilization (Fig. 8).
+//  * Average frame delay since generation — the delay of the last flit of
+//    each video frame, measured from the frame boundary (Fig. 9).
+//  * Frame jitter — delay variation between adjacent frames of one
+//    connection (Section 5.2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mmr/qos/connection.hpp"
+#include "mmr/router/router.hpp"
+#include "mmr/sim/config.hpp"
+#include "mmr/sim/histogram.hpp"
+#include "mmr/sim/stats.hpp"
+
+namespace mmr {
+
+/// Statistics for one traffic class (e.g. "CBR 64 Kbps", "VBR", "BE").
+struct ClassMetrics {
+  std::string label;
+  std::uint64_t flits_generated = 0;  ///< within the measurement window
+  std::uint64_t flits_delivered = 0;
+  StreamingStats flit_delay_us;
+  LogHistogram flit_delay_hist{0.1, 1.15};
+};
+
+struct SimulationMetrics {
+  std::string arbiter;
+  double flit_cycle_us = 0.0;
+
+  // Load accounting (fractions of aggregate link bandwidth).
+  double generated_load_nominal = 0.0;  ///< workload construction target hit
+  double generated_load_measured = 0.0;
+  double delivered_load = 0.0;
+
+  // Crossbar (Fig. 8).
+  double crossbar_utilization = 0.0;
+  double mean_matching_size = 0.0;
+  double mean_reconfigurations = 0.0;
+
+  // Flit-level (Fig. 5).
+  std::uint64_t flits_generated = 0;
+  std::uint64_t flits_delivered = 0;
+  StreamingStats flit_delay_us;
+  std::vector<ClassMetrics> per_class;
+
+  // Frame-level (Fig. 9 and the jitter discussion).
+  std::uint64_t frames_completed = 0;
+  StreamingStats frame_delay_us;
+  LogHistogram frame_delay_hist{0.1, 1.15};
+  StreamingStats frame_jitter_us;  ///< per-connection mean jitters
+  double max_frame_jitter_us = 0.0;
+
+  // End-of-run backlog (flits still in NICs + router): grows without bound
+  // past saturation.
+  std::uint64_t backlog_flits = 0;
+
+  // Fairness (Section 3's "efficient and fair resource scheduling"):
+  // Jain's index over per-connection delivered/offered shares; 1.0 means
+  // every connection received service proportional to its offered load.
+  // Per-connection vectors are cleared by merge_runs (workloads differ).
+  double fairness_index = 0.0;
+  std::vector<std::uint64_t> generated_per_connection;
+  std::vector<std::uint64_t> delivered_per_connection;
+
+  /// Saturation heuristic: delivery falls measurably behind generation, or
+  /// delays have exploded to hundreds of flit cycles (the paper's "delay
+  /// grows without bound" signature).
+  [[nodiscard]] bool saturated(double deficit_tolerance = 0.995,
+                               double delay_threshold_cycles = 250.0) const {
+    if (delivered_load < generated_load_measured * deficit_tolerance)
+      return true;
+    return !flit_delay_us.empty() &&
+           flit_delay_us.mean() > delay_threshold_cycles * flit_cycle_us;
+  }
+
+  /// Number of independent runs merged into this record (>= 1).
+  std::uint32_t merged_runs = 1;
+
+  [[nodiscard]] const ClassMetrics* find_class(const std::string& label) const;
+};
+
+/// Pools several runs of the same experiment point (different workload
+/// realisations): sample statistics are merged, per-run ratios averaged.
+[[nodiscard]] SimulationMetrics merge_runs(
+    const std::vector<SimulationMetrics>& runs);
+
+/// Stable class label used for grouping (CBR classes keyed by rate).
+[[nodiscard]] std::string class_label(const ConnectionDescriptor& descriptor);
+
+/// Accumulates per-flit / per-frame events during a run.
+class MetricsCollector {
+ public:
+  MetricsCollector(const ConnectionTable& table, const SimConfig& config);
+
+  void on_generated(ConnectionId connection, Cycle generated_at);
+  void on_delivered(const MmrRouter::Departure& departure, Cycle delivered_at);
+
+  /// Assembles the final metrics.  `backlog` = flits still queued anywhere.
+  [[nodiscard]] SimulationMetrics finalize(const MmrRouter& router,
+                                           double generated_load_nominal,
+                                           std::uint64_t backlog) const;
+
+ private:
+  [[nodiscard]] bool measured(Cycle cycle) const {
+    return cycle >= warmup_;
+  }
+
+  const ConnectionTable& table_;
+  TimeBase time_base_;
+  Cycle warmup_;
+  Cycle measure_cycles_;
+  std::uint32_t ports_;
+
+  std::vector<std::size_t> class_of_connection_;
+  std::vector<ClassMetrics> classes_;
+  std::vector<JitterTracker> frame_jitter_;  ///< per QoS connection
+  std::vector<std::uint64_t> generated_per_connection_;
+  std::vector<std::uint64_t> delivered_per_connection_;
+  std::uint64_t generated_ = 0;
+  std::uint64_t delivered_ = 0;
+  StreamingStats flit_delay_us_;
+  std::uint64_t frames_completed_ = 0;
+  StreamingStats frame_delay_us_;
+  LogHistogram frame_delay_hist_{0.1, 1.15};
+};
+
+}  // namespace mmr

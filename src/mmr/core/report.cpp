@@ -1,0 +1,136 @@
+#include "mmr/core/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "mmr/sim/csv.hpp"
+
+namespace mmr {
+
+namespace {
+
+std::vector<double> sorted_loads(const std::vector<SweepPoint>& points) {
+  std::set<double> loads;
+  for (const SweepPoint& p : points) loads.insert(p.target_load);
+  return {loads.begin(), loads.end()};
+}
+
+std::vector<std::string> arbiter_order(const std::vector<SweepPoint>& points) {
+  std::vector<std::string> order;
+  for (const SweepPoint& p : points) {
+    if (std::find(order.begin(), order.end(), p.arbiter) == order.end()) {
+      order.push_back(p.arbiter);
+    }
+  }
+  return order;
+}
+
+const SweepPoint* find_point(const std::vector<SweepPoint>& points,
+                             double load, const std::string& arbiter) {
+  for (const SweepPoint& p : points) {
+    if (p.target_load == load && p.arbiter == arbiter) return &p;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+AsciiTable sweep_table(const std::vector<SweepPoint>& points,
+                       const MetricExtractor& extract, int precision) {
+  const std::vector<double> loads = sorted_loads(points);
+  const std::vector<std::string> arbiters = arbiter_order(points);
+
+  std::vector<std::string> header = {"load %"};
+  header.insert(header.end(), arbiters.begin(), arbiters.end());
+  AsciiTable table(std::move(header));
+
+  for (double load : loads) {
+    std::vector<std::string> row = {AsciiTable::num(load * 100.0, 0)};
+    for (const std::string& arbiter : arbiters) {
+      const SweepPoint* point = find_point(points, load, arbiter);
+      row.push_back(point != nullptr
+                        ? AsciiTable::num(extract(point->metrics), precision)
+                        : "-");
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+void write_sweep_csv(
+    std::ostream& out, const std::vector<SweepPoint>& points,
+    const std::vector<std::pair<std::string, MetricExtractor>>& extractors) {
+  std::vector<std::string> header = {"arbiter", "target_load"};
+  for (const auto& [name, extractor] : extractors) header.push_back(name);
+  CsvWriter csv(out, header);
+  for (const SweepPoint& point : points) {
+    std::vector<std::string> row = {point.arbiter,
+                                    AsciiTable::num(point.target_load, 4)};
+    for (const auto& [name, extractor] : extractors) {
+      const double value = extractor(point.metrics);
+      row.push_back(std::isnan(value) ? "" : AsciiTable::num(value, 6));
+    }
+    csv.row(row);
+  }
+}
+
+MetricExtractor class_delay_us(const std::string& label) {
+  return [label](const SimulationMetrics& m) {
+    const ClassMetrics* cls = m.find_class(label);
+    if (cls == nullptr || cls->flit_delay_us.empty()) {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    return cls->flit_delay_us.mean();
+  };
+}
+
+MetricExtractor crossbar_utilization_pct() {
+  return [](const SimulationMetrics& m) {
+    return m.crossbar_utilization * 100.0;
+  };
+}
+
+MetricExtractor delivered_load_pct() {
+  return [](const SimulationMetrics& m) { return m.delivered_load * 100.0; };
+}
+
+MetricExtractor generated_load_pct() {
+  return
+      [](const SimulationMetrics& m) { return m.generated_load_measured * 100.0; };
+}
+
+MetricExtractor frame_delay_us() {
+  return [](const SimulationMetrics& m) {
+    return m.frame_delay_us.empty()
+               ? std::numeric_limits<double>::quiet_NaN()
+               : m.frame_delay_us.mean();
+  };
+}
+
+MetricExtractor frame_jitter_us() {
+  return [](const SimulationMetrics& m) {
+    return m.frame_jitter_us.empty()
+               ? std::numeric_limits<double>::quiet_NaN()
+               : m.frame_jitter_us.mean();
+  };
+}
+
+void print_saturation_summary(std::ostream& out,
+                              const std::vector<SweepPoint>& points,
+                              const std::vector<std::string>& arbiters) {
+  out << "Saturation (first swept load where delivery falls behind "
+         "generation):\n";
+  for (const std::string& arbiter : arbiters) {
+    const double load = saturation_load(points, arbiter);
+    out << "  " << arbiter << ": ";
+    if (std::isnan(load)) {
+      out << "not reached within the sweep\n";
+    } else {
+      out << AsciiTable::num(load * 100.0, 0) << "%\n";
+    }
+  }
+}
+
+}  // namespace mmr

@@ -1,0 +1,123 @@
+#include "mmr/core/simulation.hpp"
+
+#include "mmr/sim/assert.hpp"
+#include "mmr/sim/log.hpp"
+
+namespace mmr {
+
+namespace {
+
+constexpr Cycle kInvariantCheckPeriod = 1 << 16;
+
+}  // namespace
+
+MmrSimulation::MmrSimulation(SimConfig config, Workload workload)
+    : config_(config),
+      workload_(std::move(workload)),
+      router_(config_, workload_.table, Rng(config_.seed, 0xA0)),
+      collector_(workload_.table, config_),
+      generated_load_nominal_(
+          workload_.generated_load(config_.time_base())) {
+  config_.validate();
+  workload_.check_invariants();
+
+  nics_.reserve(config_.ports);
+  input_links_.reserve(config_.ports);
+  for (std::uint32_t port = 0; port < config_.ports; ++port) {
+    nics_.emplace_back(config_.vcs_per_link, config_.buffer_flits_per_vc,
+                       config_.credit_latency);
+    input_links_.emplace_back(config_.link_latency);
+  }
+
+  for (std::uint32_t i = 0; i < workload_.sources.size(); ++i) {
+    const Cycle next = workload_.sources[i]->next_emission();
+    if (next != kNever) heap_.emplace(next, i);
+  }
+}
+
+const Nic& MmrSimulation::nic(std::uint32_t link) const {
+  MMR_ASSERT(link < nics_.size());
+  return nics_[link];
+}
+
+std::uint64_t MmrSimulation::backlog() const {
+  std::uint64_t total = router_.flits_buffered();
+  for (const Nic& n : nics_) total += n.total_queued() - n.total_sent();
+  for (const LinkPipeline& link : input_links_) total += link.in_flight();
+  return total;
+}
+
+void MmrSimulation::step_one() {
+  const Cycle now = now_;
+  const bool measure = now >= config_.warmup_cycles;
+
+  // 1. Flits whose link transfer completes this cycle enter the VCM.
+  for (std::uint32_t port = 0; port < config_.ports; ++port) {
+    arrival_buffer_.clear();
+    input_links_[port].pop_due(now, arrival_buffer_);
+    for (const LinkTransfer& transfer : arrival_buffer_) {
+      router_.accept(port, transfer.vc, transfer.flit, now);
+    }
+  }
+
+  // 2. Sources generate; flits land in their NIC's per-connection buffer.
+  while (!heap_.empty() && heap_.top().first <= now) {
+    const std::uint32_t index = heap_.top().second;
+    heap_.pop();
+    TrafficSource& source = *workload_.sources[index];
+    flit_buffer_.clear();
+    source.generate(now, flit_buffer_);
+    const ConnectionDescriptor& descriptor =
+        workload_.table.get(source.connection());
+    for (const Flit& flit : flit_buffer_) {
+      nics_[descriptor.input_link].deposit(descriptor.vc, flit);
+      collector_.on_generated(flit.connection, flit.generated_at);
+    }
+    const Cycle next = source.next_emission();
+    if (next != kNever) {
+      MMR_ASSERT_MSG(next > now, "source failed to advance its clock");
+      heap_.emplace(next, index);
+    }
+  }
+
+  // 3. Each NIC's link controller forwards at most one flit.
+  for (std::uint32_t port = 0; port < config_.ports; ++port) {
+    if (auto transfer = nics_[port].select_and_send(now)) {
+      input_links_[port].push(*transfer, now);
+    }
+  }
+
+  // 4. One scheduling cycle: link scheduling, switch arbitration, crossbar
+  // transit.  Departures complete at now + 1 (one flit time through the
+  // switch and output link) and their credits head back to the NIC.
+  departure_buffer_.clear();
+  router_.step(now, measure, departure_buffer_);
+  for (const MmrRouter::Departure& departure : departure_buffer_) {
+    collector_.on_delivered(departure, now + 1);
+    nics_[departure.input].return_credit(departure.vc, now);
+    if (observer_) observer_(departure, now + 1);
+  }
+
+  if ((now + 1) % kInvariantCheckPeriod == 0) check_invariants();
+  ++now_;
+}
+
+SimulationMetrics MmrSimulation::run() {
+  MMR_ASSERT_MSG(!ran_, "run() may only be called once");
+  ran_ = true;
+  const Cycle total = config_.total_cycles();
+  while (now_ < total) step_one();
+  check_invariants();
+  return finalize();
+}
+
+SimulationMetrics MmrSimulation::finalize() const {
+  return collector_.finalize(router_, generated_load_nominal_, backlog());
+}
+
+void MmrSimulation::check_invariants() const {
+  router_.check_invariants();
+  for (const Nic& n : nics_) n.check_invariants();
+}
+
+}  // namespace mmr

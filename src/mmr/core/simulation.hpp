@@ -1,0 +1,73 @@
+// The single-router experimental setup of Section 5: one MMR, one NIC per
+// input link with infinite source buffers, credit-based flow control across
+// short links, traffic sources injecting into the NICs.  run() executes
+// warmup + measurement and returns the paper's metrics.
+#pragma once
+
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "mmr/core/metrics.hpp"
+#include "mmr/router/link.hpp"
+#include "mmr/router/nic.hpp"
+#include "mmr/router/router.hpp"
+#include "mmr/sim/config.hpp"
+#include "mmr/traffic/mix.hpp"
+
+namespace mmr {
+
+class MmrSimulation {
+ public:
+  MmrSimulation(SimConfig config, Workload workload);
+
+  /// Runs warmup_cycles + measure_cycles and returns the metrics.  May only
+  /// be called once per instance.
+  SimulationMetrics run();
+
+  /// Runs a single cycle (exposed for fine-grained integration tests).
+  void step_one();
+
+  [[nodiscard]] Cycle now() const { return now_; }
+  [[nodiscard]] const SimConfig& config() const { return config_; }
+  [[nodiscard]] const ConnectionTable& table() const { return workload_.table; }
+  [[nodiscard]] const MmrRouter& router() const { return router_; }
+  [[nodiscard]] const Nic& nic(std::uint32_t link) const;
+
+  /// Flits queued in NICs plus buffered in the router right now.
+  [[nodiscard]] std::uint64_t backlog() const;
+
+  /// Observer invoked for every departure with its delivery cycle (tests,
+  /// tracing, custom sinks).  Set before running.
+  using DepartureObserver =
+      std::function<void(const MmrRouter::Departure&, Cycle)>;
+  void set_departure_observer(DepartureObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+  [[nodiscard]] SimulationMetrics finalize() const;
+
+  void check_invariants() const;
+
+ private:
+  SimConfig config_;
+  Workload workload_;
+  MmrRouter router_;
+  std::vector<Nic> nics_;
+  std::vector<LinkPipeline> input_links_;  ///< NIC -> router, one per port
+  MetricsCollector collector_;
+  double generated_load_nominal_;
+
+  /// Min-heap of (next emission cycle, source index).
+  using Emission = std::pair<Cycle, std::uint32_t>;
+  std::priority_queue<Emission, std::vector<Emission>, std::greater<>> heap_;
+
+  DepartureObserver observer_;
+  Cycle now_ = 0;
+  bool ran_ = false;
+  std::vector<Flit> flit_buffer_;
+  std::vector<LinkTransfer> arrival_buffer_;
+  std::vector<MmrRouter::Departure> departure_buffer_;
+};
+
+}  // namespace mmr

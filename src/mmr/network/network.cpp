@@ -1,0 +1,550 @@
+#include "mmr/network/network.hpp"
+
+#include <algorithm>
+
+#include "mmr/qos/rounds.hpp"
+#include "mmr/sim/log.hpp"
+
+namespace mmr {
+
+void NetworkWorkload::check_invariants() const {
+  MMR_ASSERT_MSG(sources.size() == connections.size(),
+                 "one source per network connection");
+  for (std::size_t id = 0; id < connections.size(); ++id) {
+    const NetworkConnection& c = connections[id];
+    MMR_ASSERT(c.id == static_cast<ConnectionId>(id));
+    MMR_ASSERT(sources[id] != nullptr);
+    MMR_ASSERT(sources[id]->connection() == c.id);
+    MMR_ASSERT(!c.path.empty());
+    MMR_ASSERT(topology.input_is_local(c.first_hop().router,
+                                       c.first_hop().in_port));
+    MMR_ASSERT(topology.output_is_local(c.last_hop().router,
+                                        c.last_hop().out_port));
+    for (std::size_t h = 0; h + 1 < c.path.size(); ++h) {
+      const auto down =
+          topology.downstream(c.path[h].router, c.path[h].out_port);
+      MMR_ASSERT_MSG(down.has_value(), "interior hop must leave on a channel");
+      MMR_ASSERT(down->router == c.path[h + 1].router);
+      MMR_ASSERT(down->port == c.path[h + 1].in_port);
+    }
+  }
+}
+
+namespace {
+
+/// Shared placement machinery: destination pool and all-or-nothing per-hop
+/// VC reservation (what the setup probe does).
+class NetworkPlacer {
+ public:
+  NetworkPlacer(const SimConfig& config, const NetworkTopology& topology)
+      : config_(config),
+        vc_cursor_(topology.routers(),
+                   std::vector<std::uint32_t>(topology.ports_per_router(), 0)) {
+    for (std::uint32_t r = 0; r < topology.routers(); ++r) {
+      for (std::uint32_t p : topology.local_output_ports(r)) {
+        sinks_.push_back({r, p});
+      }
+    }
+    MMR_ASSERT_MSG(!sinks_.empty(), "topology has no local output ports");
+  }
+
+  [[nodiscard]] const std::vector<PortEndpoint>& sinks() const {
+    return sinks_;
+  }
+
+  [[nodiscard]] bool reserve_path(std::vector<Hop>& path) {
+    for (const Hop& hop : path) {
+      if (vc_cursor_[hop.router][hop.in_port] >= config_.vcs_per_link) {
+        return false;
+      }
+    }
+    for (Hop& hop : path) {
+      hop.vc = vc_cursor_[hop.router][hop.in_port]++;
+    }
+    return true;
+  }
+
+ private:
+  const SimConfig& config_;
+  std::vector<PortEndpoint> sinks_;
+  std::vector<std::vector<std::uint32_t>> vc_cursor_;
+};
+
+}  // namespace
+
+NetworkWorkload build_network_cbr_mix(const SimConfig& config,
+                                      const NetworkTopology& topology,
+                                      const CbrMixSpec& spec, Rng& rng) {
+  MMR_ASSERT(topology.ports_per_router() == config.ports);
+  MMR_ASSERT(!spec.classes.empty());
+  MMR_ASSERT(spec.classes.size() == spec.class_weights.size());
+
+  NetworkWorkload workload(topology);
+  const TimeBase time_base = config.time_base();
+  NetworkPlacer placer(config, topology);
+  const std::vector<PortEndpoint>& sinks = placer.sinks();
+
+  std::vector<std::size_t> by_rate(spec.classes.size());
+  for (std::size_t i = 0; i < by_rate.size(); ++i) by_rate[i] = i;
+  std::sort(by_rate.begin(), by_rate.end(),
+            [&spec](std::size_t a, std::size_t b) {
+              return spec.classes[a].bps > spec.classes[b].bps;
+            });
+
+  for (std::uint32_t r = 0; r < topology.routers(); ++r) {
+    for (std::uint32_t in_port : topology.local_input_ports(r)) {
+      Rng port_rng = rng.fork(0x33CC + r * 64 + in_port);
+      double remaining_bps =
+          spec.target_load * time_base.link_bandwidth_bps();
+      while (true) {
+        std::size_t cls = port_rng.weighted_index(spec.class_weights);
+        if (spec.classes[cls].bps > remaining_bps) {
+          bool found = false;
+          for (std::size_t idx : by_rate) {
+            if (spec.classes[idx].bps <= remaining_bps) {
+              cls = idx;
+              found = true;
+              break;
+            }
+          }
+          if (!found) break;
+        }
+        const double bps = spec.classes[cls].bps;
+        const PortEndpoint sink =
+            sinks[port_rng.uniform(sinks.size())];
+        NetworkConnection connection;
+        connection.traffic_class = TrafficClass::kCbr;
+        connection.mean_bandwidth_bps = bps;
+        connection.peak_bandwidth_bps = bps;
+        connection.path =
+            compute_path(topology, r, in_port, sink.router, sink.port);
+        if (!placer.reserve_path(connection.path)) break;  // VCs exhausted
+        connection.id = static_cast<ConnectionId>(workload.connections.size());
+        const double phase =
+            port_rng.uniform_real() * (time_base.link_bandwidth_bps() / bps);
+        workload.sources.push_back(std::make_unique<CbrSource>(
+            connection.id, bps, time_base, phase));
+        workload.connections.push_back(std::move(connection));
+        remaining_bps -= bps;
+      }
+    }
+  }
+  workload.check_invariants();
+  return workload;
+}
+
+NetworkWorkload build_network_vbr_mix(const SimConfig& config,
+                                      const NetworkTopology& topology,
+                                      const VbrMixSpec& spec, Rng& rng) {
+  MMR_ASSERT(topology.ports_per_router() == config.ports);
+  MMR_ASSERT(spec.trace_gops >= 1);
+
+  NetworkWorkload workload(topology);
+  const TimeBase time_base = config.time_base();
+  NetworkPlacer placer(config, topology);
+  const std::vector<PortEndpoint>& sinks = placer.sinks();
+  const auto& library = mpeg_sequence_library();
+  const double period_cycles =
+      time_base.seconds_to_cycles(kFramePeriodSeconds);
+
+  // Pass 1: plan connections and realise traces (the BB peak rate is
+  // workload-wide, so sources are built afterwards).
+  struct Planned {
+    NetworkConnection connection;
+    MpegTrace trace;
+    double phase;
+    std::uint32_t start_frame;
+  };
+  std::vector<Planned> planned;
+  for (std::uint32_t r = 0; r < topology.routers(); ++r) {
+    for (std::uint32_t in_port : topology.local_input_ports(r)) {
+      Rng port_rng = rng.fork(0x44DD + r * 64 + in_port);
+      double remaining_bps =
+          spec.target_load * time_base.link_bandwidth_bps();
+      while (true) {
+        const auto& params = library[port_rng.uniform(library.size())];
+        if (params.mean_bps() > remaining_bps) {
+          const auto leanest = std::min_element(
+              library.begin(), library.end(),
+              [](const MpegSequenceParams& a, const MpegSequenceParams& b) {
+                return a.mean_bps() < b.mean_bps();
+              });
+          if (leanest->mean_bps() > remaining_bps) break;
+          continue;
+        }
+        Planned p;
+        p.connection.traffic_class = TrafficClass::kVbr;
+        const PortEndpoint sink = sinks[port_rng.uniform(sinks.size())];
+        p.connection.path =
+            compute_path(topology, r, in_port, sink.router, sink.port);
+        if (!placer.reserve_path(p.connection.path)) break;
+        p.trace = generate_mpeg_trace(params, spec.trace_gops, port_rng);
+        p.connection.mean_bandwidth_bps = p.trace.mean_bps();
+        p.connection.peak_bandwidth_bps = p.trace.peak_bps();
+        p.start_frame =
+            static_cast<std::uint32_t>(port_rng.uniform(p.trace.frames()));
+        p.phase = port_rng.uniform_real() * period_cycles;
+        remaining_bps -= p.connection.mean_bandwidth_bps;
+        planned.push_back(std::move(p));
+      }
+    }
+  }
+
+  double workload_peak_bps = 0.0;
+  for (const Planned& p : planned) {
+    workload_peak_bps =
+        std::max(workload_peak_bps, p.connection.peak_bandwidth_bps);
+  }
+  workload_peak_bps =
+      std::min(workload_peak_bps, time_base.link_bandwidth_bps());
+
+  for (Planned& p : planned) {
+    p.connection.id = static_cast<ConnectionId>(workload.connections.size());
+    workload.sources.push_back(std::make_unique<VbrSource>(
+        p.connection.id, std::move(p.trace), spec.model, time_base,
+        workload_peak_bps, p.phase, p.start_frame));
+    workload.connections.push_back(std::move(p.connection));
+  }
+  workload.check_invariants();
+  return workload;
+}
+
+const ClassMetrics* NetworkMetrics::find_class(
+    const std::string& label) const {
+  for (const ClassMetrics& c : per_class) {
+    if (c.label == label) return &c;
+  }
+  return nullptr;
+}
+
+MmrNetworkSimulation::MmrNetworkSimulation(SimConfig config,
+                                           NetworkWorkload workload)
+    : config_(config),
+      workload_(std::move(workload)),
+      warmup_(config.warmup_cycles) {
+  config_.validate();
+  workload_.check_invariants();
+  const NetworkTopology& topology = workload_.topology;
+  MMR_ASSERT(topology.ports_per_router() == config_.ports);
+
+  const RoundAccounting rounds(config_.flit_cycles_per_round(),
+                               config_.time_base());
+
+  // Per-router connection tables: one entry per hop, added in (connection,
+  // hop) order so that ConnectionTable's VC assignment reproduces the
+  // reservation made by the workload builder.
+  std::vector<ConnectionTable> tables(
+      topology.routers(), ConnectionTable(config_.ports));
+  // (router, input, vc) -> routing info.
+  next_hop_.assign(topology.routers(),
+                   std::vector<std::vector<NextHop>>(
+                       config_.ports, std::vector<NextHop>()));
+  hop_index_.assign(topology.routers(),
+                    std::vector<std::vector<std::uint32_t>>(
+                        config_.ports, std::vector<std::uint32_t>()));
+  for (auto& per_router : next_hop_) {
+    for (auto& per_input : per_router) {
+      per_input.resize(config_.vcs_per_link);
+    }
+  }
+  for (auto& per_router : hop_index_) {
+    for (auto& per_input : per_router) {
+      per_input.resize(config_.vcs_per_link, 0);
+    }
+  }
+
+  // Channels.
+  channel_of_output_.assign(
+      static_cast<std::size_t>(topology.routers()) * config_.ports, -1);
+  upstream_channel_.assign(
+      static_cast<std::size_t>(topology.routers()) * config_.ports, -1);
+  for (std::uint32_t r = 0; r < topology.routers(); ++r) {
+    for (std::uint32_t p = 0; p < config_.ports; ++p) {
+      const auto down = topology.downstream(r, p);
+      if (!down.has_value()) continue;
+      const auto channel = static_cast<std::int32_t>(channels_.size());
+      channel_of_output_[static_cast<std::size_t>(r) * config_.ports + p] =
+          channel;
+      upstream_channel_[static_cast<std::size_t>(down->router) *
+                            config_.ports +
+                        down->port] = channel;
+      channels_.emplace_back(PortEndpoint{r, p}, *down, config_.link_latency,
+                             config_.vcs_per_link,
+                             config_.buffer_flits_per_vc,
+                             config_.credit_latency);
+    }
+  }
+
+  // NICs on local input ports.
+  nic_of_input_.assign(
+      static_cast<std::size_t>(topology.routers()) * config_.ports, -1);
+  for (std::uint32_t r = 0; r < topology.routers(); ++r) {
+    for (std::uint32_t p : topology.local_input_ports(r)) {
+      nic_of_input_[static_cast<std::size_t>(r) * config_.ports + p] =
+          static_cast<std::int32_t>(nics_.size());
+      nics_.push_back(std::make_unique<Nic>(config_.vcs_per_link,
+                                            config_.buffer_flits_per_vc,
+                                            config_.credit_latency));
+      nic_links_.emplace_back(config_.link_latency);
+      nic_endpoints_.push_back({r, p});
+      ++local_inputs_;
+    }
+    local_outputs_ +=
+        static_cast<std::uint32_t>(topology.local_output_ports(r).size());
+  }
+
+  // Populate tables and the routing maps.
+  for (const NetworkConnection& connection : workload_.connections) {
+    for (std::size_t h = 0; h < connection.path.size(); ++h) {
+      const Hop& hop = connection.path[h];
+      ConnectionDescriptor descriptor;
+      descriptor.traffic_class = connection.traffic_class;
+      descriptor.input_link = hop.in_port;
+      descriptor.output_link = hop.out_port;
+      descriptor.mean_bandwidth_bps = connection.mean_bandwidth_bps;
+      descriptor.peak_bandwidth_bps = connection.peak_bandwidth_bps;
+      descriptor.slots_per_round =
+          rounds.slots_for_bandwidth(connection.mean_bandwidth_bps);
+      descriptor.peak_slots_per_round =
+          rounds.slots_for_bandwidth(connection.peak_bandwidth_bps);
+      const ConnectionId local_id =
+          tables[hop.router].add(descriptor, config_.vcs_per_link);
+      MMR_ASSERT_MSG(tables[hop.router].get(local_id).vc == hop.vc,
+                     "table VC assignment must match the reservation");
+
+      NextHop& next = next_hop_[hop.router][hop.in_port][hop.vc];
+      hop_index_[hop.router][hop.in_port][hop.vc] =
+          static_cast<std::uint32_t>(h);
+      if (h + 1 < connection.path.size()) {
+        const std::int32_t channel =
+            channel_of_output_[static_cast<std::size_t>(hop.router) *
+                                   config_.ports +
+                               hop.out_port];
+        MMR_ASSERT(channel != -1);
+        next.local = false;
+        next.channel = static_cast<std::uint32_t>(channel);
+        next.downstream_vc = connection.path[h + 1].vc;
+      } else {
+        next.local = true;
+      }
+    }
+  }
+
+  // Routers, each with a downstream-credit eligibility gate.
+  routers_.reserve(topology.routers());
+  const Rng rng(config_.seed, 0x4E7);
+  for (std::uint32_t r = 0; r < topology.routers(); ++r) {
+    routers_.emplace_back(config_, tables[r], rng.fork(r));
+  }
+  for (std::uint32_t r = 0; r < topology.routers(); ++r) {
+    routers_[r].set_eligibility(
+        [this, r](std::uint32_t input, std::uint32_t vc) {
+          const NextHop& next = next_hop_[r][input][vc];
+          if (next.local) return true;
+          return channels_[next.channel].credits.has_credit(
+              next.downstream_vc);
+        });
+  }
+
+  // Statistics grouping.
+  for (const NetworkConnection& connection : workload_.connections) {
+    ConnectionDescriptor descriptor;
+    descriptor.traffic_class = connection.traffic_class;
+    descriptor.mean_bandwidth_bps = connection.mean_bandwidth_bps;
+    const std::string label = class_label(descriptor);
+    std::size_t index = classes_.size();
+    for (std::size_t i = 0; i < classes_.size(); ++i) {
+      if (classes_[i].label == label) {
+        index = i;
+        break;
+      }
+    }
+    if (index == classes_.size()) {
+      ClassMetrics cls;
+      cls.label = label;
+      classes_.push_back(std::move(cls));
+    }
+    class_of_connection_.push_back(index);
+  }
+
+  for (std::uint32_t i = 0; i < workload_.sources.size(); ++i) {
+    const Cycle next = workload_.sources[i]->next_emission();
+    if (next != kNever) heap_.emplace(next, i);
+  }
+}
+
+const MmrRouter& MmrNetworkSimulation::router(std::uint32_t index) const {
+  MMR_ASSERT(index < routers_.size());
+  return routers_[index];
+}
+
+std::uint64_t MmrNetworkSimulation::backlog() const {
+  std::uint64_t total = 0;
+  for (const MmrRouter& router : routers_) total += router.flits_buffered();
+  for (const auto& nic : nics_) total += nic->total_queued() - nic->total_sent();
+  for (const LinkPipeline& link : nic_links_) total += link.in_flight();
+  for (const Channel& channel : channels_) total += channel.pipe.in_flight();
+  return total;
+}
+
+void MmrNetworkSimulation::deliver(const MmrRouter::Departure& departure,
+                                   std::uint32_t hops, Cycle delivered_at) {
+  if (delivered_at < warmup_) return;
+  const Flit& flit = departure.flit;
+  ++delivered_;
+  const double delay_us = config_.time_base().cycles_to_us(
+      static_cast<double>(delivered_at - flit.generated_at));
+  flit_delay_us_.add(delay_us);
+  delivered_hops_.add(static_cast<double>(hops));
+  ClassMetrics& cls = classes_[class_of_connection_[flit.connection]];
+  ++cls.flits_delivered;
+  cls.flit_delay_us.add(delay_us);
+  cls.flit_delay_hist.add(delay_us);
+  if (flit.last_of_frame &&
+      workload_.connections[flit.connection].traffic_class ==
+          TrafficClass::kVbr) {
+    ++frames_completed_;
+    frame_delay_us_.add(delay_us);
+  }
+}
+
+void MmrNetworkSimulation::step_one() {
+  const Cycle now = now_;
+  const bool measure = now >= warmup_;
+
+  // 1. Channel housekeeping: returned credits land, in-flight flits arrive.
+  for (Channel& channel : channels_) {
+    channel.credits.tick(now);
+    arrival_buffer_.clear();
+    channel.pipe.pop_due(now, arrival_buffer_);
+    for (const LinkTransfer& transfer : arrival_buffer_) {
+      routers_[channel.to.router].accept(channel.to.port, transfer.vc,
+                                         transfer.flit, now);
+    }
+  }
+  // NIC->router links likewise.
+  for (std::size_t n = 0; n < nics_.size(); ++n) {
+    arrival_buffer_.clear();
+    nic_links_[n].pop_due(now, arrival_buffer_);
+    const PortEndpoint endpoint = nic_endpoints_[n];
+    for (const LinkTransfer& transfer : arrival_buffer_) {
+      routers_[endpoint.router].accept(endpoint.port, transfer.vc,
+                                       transfer.flit, now);
+    }
+  }
+
+  // 2. Traffic generation into NICs.
+  while (!heap_.empty() && heap_.top().first <= now) {
+    const std::uint32_t index = heap_.top().second;
+    heap_.pop();
+    TrafficSource& source = *workload_.sources[index];
+    flit_buffer_.clear();
+    source.generate(now, flit_buffer_);
+    const NetworkConnection& connection = workload_.connections[index];
+    const Hop& first = connection.first_hop();
+    const std::int32_t nic = nic_of_input_[static_cast<std::size_t>(
+                                               first.router) *
+                                               config_.ports +
+                                           first.in_port];
+    MMR_ASSERT(nic != -1);
+    for (const Flit& flit : flit_buffer_) {
+      nics_[static_cast<std::size_t>(nic)]->deposit(first.vc, flit);
+      if (flit.generated_at >= warmup_) {
+        ++generated_;
+        ++classes_[class_of_connection_[flit.connection]].flits_generated;
+      }
+    }
+    const Cycle next = source.next_emission();
+    if (next != kNever) {
+      MMR_ASSERT(next > now);
+      heap_.emplace(next, index);
+    }
+  }
+
+  // 3. NIC link controllers.
+  for (std::size_t n = 0; n < nics_.size(); ++n) {
+    if (auto transfer = nics_[n]->select_and_send(now)) {
+      nic_links_[n].push(*transfer, now);
+    }
+  }
+
+  // 4. Every router performs one scheduling cycle.
+  for (std::uint32_t r = 0; r < routers_.size(); ++r) {
+    departure_buffer_.clear();
+    routers_[r].step(now, measure, departure_buffer_);
+    for (const MmrRouter::Departure& departure : departure_buffer_) {
+      // Return the freed buffer slot to whoever fills this input link.
+      const std::int32_t nic =
+          nic_of_input_[static_cast<std::size_t>(r) * config_.ports +
+                        departure.input];
+      if (nic != -1) {
+        nics_[static_cast<std::size_t>(nic)]->return_credit(departure.vc, now);
+      } else {
+        // Find the upstream channel: it is the unique channel ending at
+        // (r, departure.input).
+        const std::int32_t up = upstream_channel_[static_cast<std::size_t>(
+                                                      r) *
+                                                      config_.ports +
+                                                  departure.input];
+        MMR_ASSERT(up != -1);
+        channels_[static_cast<std::size_t>(up)].credits.release(departure.vc,
+                                                                now);
+      }
+      // Forward or deliver.
+      const NextHop& next = next_hop_[r][departure.input][departure.vc];
+      if (next.local) {
+        deliver(departure,
+                hop_index_[r][departure.input][departure.vc] + 1, now + 1);
+      } else {
+        Channel& channel = channels_[next.channel];
+        channel.credits.consume(next.downstream_vc);
+        LinkTransfer transfer;
+        transfer.flit = departure.flit;
+        transfer.vc = next.downstream_vc;
+        channel.pipe.push(transfer, now);
+      }
+    }
+  }
+
+  if ((now + 1) % (1 << 16) == 0) check_invariants();
+  ++now_;
+}
+
+NetworkMetrics MmrNetworkSimulation::run() {
+  MMR_ASSERT_MSG(!ran_, "run() may only be called once");
+  ran_ = true;
+  const Cycle total = config_.total_cycles();
+  while (now_ < total) step_one();
+  check_invariants();
+
+  NetworkMetrics metrics;
+  metrics.arbiter = config_.arbiter;
+  metrics.flit_cycle_us = config_.time_base().flit_cycle_us();
+  const double in_capacity = static_cast<double>(local_inputs_) *
+                             static_cast<double>(config_.measure_cycles);
+  const double out_capacity = static_cast<double>(local_outputs_) *
+                              static_cast<double>(config_.measure_cycles);
+  metrics.generated_load_measured =
+      static_cast<double>(generated_) / in_capacity;
+  metrics.delivered_load = static_cast<double>(delivered_) / out_capacity;
+  metrics.flits_generated = generated_;
+  metrics.flits_delivered = delivered_;
+  metrics.backlog_flits = backlog();
+  metrics.flit_delay_us = flit_delay_us_;
+  metrics.per_class = classes_;
+  metrics.delivered_hops = delivered_hops_;
+  for (const MmrRouter& router : routers_) {
+    metrics.router_utilization.push_back(router.crossbar().utilization());
+  }
+  metrics.frames_completed = frames_completed_;
+  metrics.frame_delay_us = frame_delay_us_;
+  return metrics;
+}
+
+void MmrNetworkSimulation::check_invariants() const {
+  for (const MmrRouter& router : routers_) router.check_invariants();
+  for (const auto& nic : nics_) nic->check_invariants();
+  for (const Channel& channel : channels_) channel.credits.check_invariants();
+}
+
+}  // namespace mmr

@@ -1,0 +1,182 @@
+// A network of MMRs (the paper's future work, Section 6).  Every router is
+// a full MmrRouter; inter-router channels carry flits with the same
+// credit-based flow control used between NIC and router, and a router's
+// link scheduler only offers a VC as a candidate when the *downstream* hop
+// has buffer space (credit) — so flits are never dropped anywhere.
+// Connections follow fixed shortest paths (pipelined circuit switching
+// reserves one VC per traversed input link at setup).
+#pragma once
+
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "mmr/core/metrics.hpp"
+#include "mmr/network/routing.hpp"
+#include "mmr/network/topology.hpp"
+#include "mmr/router/nic.hpp"
+#include "mmr/router/router.hpp"
+#include "mmr/sim/config.hpp"
+#include "mmr/traffic/cbr.hpp"
+#include "mmr/traffic/mix.hpp"
+
+namespace mmr {
+
+/// A multi-hop connection: class, rates and the reserved path.
+struct NetworkConnection {
+  ConnectionId id = kInvalidConnection;
+  TrafficClass traffic_class = TrafficClass::kCbr;
+  double mean_bandwidth_bps = 0.0;
+  double peak_bandwidth_bps = 0.0;
+  std::vector<Hop> path;  ///< per-hop VCs filled by the workload builder
+
+  [[nodiscard]] const Hop& first_hop() const { return path.front(); }
+  [[nodiscard]] const Hop& last_hop() const { return path.back(); }
+};
+
+struct NetworkWorkload {
+  explicit NetworkWorkload(NetworkTopology topology_)
+      : topology(std::move(topology_)) {}
+
+  NetworkTopology topology;
+  std::vector<NetworkConnection> connections;            ///< by id
+  std::vector<std::unique_ptr<TrafficSource>> sources;   ///< by id
+
+  void check_invariants() const;
+};
+
+/// Builds a CBR mix over the network: per local input port, connections are
+/// drawn from the spec's classes until `target_load` is reached;
+/// destinations are uniform over all local output ports of other placements
+/// (uniform-random policy only — balancing is topology-dependent).
+[[nodiscard]] NetworkWorkload build_network_cbr_mix(
+    const SimConfig& config, const NetworkTopology& topology,
+    const CbrMixSpec& spec, Rng& rng);
+
+/// Builds an MPEG-2 VBR mix over the network (the paper's video workload on
+/// its future-work topology): per local input port, sequences are drawn
+/// uniformly from the library until `target_load` of average bandwidth is
+/// placed; the BB peak is workload-wide, as in the single-router builder.
+[[nodiscard]] NetworkWorkload build_network_vbr_mix(
+    const SimConfig& config, const NetworkTopology& topology,
+    const VbrMixSpec& spec, Rng& rng);
+
+struct NetworkMetrics {
+  std::string arbiter;
+  double flit_cycle_us = 0.0;
+
+  double generated_load_measured = 0.0;  ///< vs local input capacity
+  double delivered_load = 0.0;           ///< vs local output capacity
+  std::uint64_t flits_generated = 0;
+  std::uint64_t flits_delivered = 0;
+  std::uint64_t backlog_flits = 0;
+
+  StreamingStats flit_delay_us;          ///< end-to-end, since generation
+  std::vector<ClassMetrics> per_class;
+  StreamingStats delivered_hops;         ///< path length of delivered flits
+  std::vector<double> router_utilization;
+
+  // VBR application-level metrics (empty for CBR-only workloads).
+  std::uint64_t frames_completed = 0;
+  StreamingStats frame_delay_us;
+
+  [[nodiscard]] bool saturated(double deficit_tolerance = 0.995,
+                               double delay_threshold_cycles = 500.0) const {
+    if (static_cast<double>(flits_delivered) <
+        static_cast<double>(flits_generated) * deficit_tolerance) {
+      return true;
+    }
+    return !flit_delay_us.empty() &&
+           flit_delay_us.mean() > delay_threshold_cycles * flit_cycle_us;
+  }
+
+  [[nodiscard]] const ClassMetrics* find_class(const std::string& label) const;
+};
+
+class MmrNetworkSimulation {
+ public:
+  MmrNetworkSimulation(SimConfig config, NetworkWorkload workload);
+
+  /// Runs warmup + measurement; may only be called once.
+  NetworkMetrics run();
+
+  void step_one();
+
+  [[nodiscard]] Cycle now() const { return now_; }
+  [[nodiscard]] const NetworkTopology& topology() const {
+    return workload_.topology;
+  }
+  [[nodiscard]] const MmrRouter& router(std::uint32_t index) const;
+  [[nodiscard]] std::uint64_t backlog() const;
+
+  void check_invariants() const;
+
+ private:
+  /// Where a flit popped from (router, input, vc) goes next.
+  struct NextHop {
+    bool local = true;            ///< delivered to the attached host
+    std::uint32_t channel = 0;    ///< else: channel index...
+    std::uint32_t downstream_vc = 0;  ///< ...and VC on the next input link
+  };
+
+  /// Directed inter-router channel with its credit loop.
+  struct Channel {
+    PortEndpoint from;
+    PortEndpoint to;
+    LinkPipeline pipe;
+    CreditManager credits;  ///< upstream view of the downstream VCM
+
+    Channel(PortEndpoint from_, PortEndpoint to_, Cycle link_latency,
+            std::uint32_t vcs, std::uint32_t buffer_flits,
+            Cycle credit_latency)
+        : from(from_),
+          to(to_),
+          pipe(link_latency),
+          credits(vcs, buffer_flits, credit_latency) {}
+  };
+
+  void deliver(const MmrRouter::Departure& departure, std::uint32_t hops,
+               Cycle delivered_at);
+
+  SimConfig config_;
+  NetworkWorkload workload_;
+
+  std::vector<MmrRouter> routers_;
+  std::vector<Channel> channels_;
+  /// (router, out_port) -> channel index or -1 (local).
+  std::vector<std::int32_t> channel_of_output_;
+  /// NICs on local input ports; -1 elsewhere.
+  std::vector<std::unique_ptr<Nic>> nics_;
+  std::vector<std::int32_t> nic_of_input_;
+  std::vector<LinkPipeline> nic_links_;       ///< one per NIC, same indexing
+  std::vector<PortEndpoint> nic_endpoints_;   ///< (router, input) per NIC
+  /// (router, in_port) -> channel feeding it, or -1 (local / NIC).
+  std::vector<std::int32_t> upstream_channel_;
+  /// Per (router, input, vc): routing and upstream-credit bookkeeping.
+  std::vector<std::vector<std::vector<NextHop>>> next_hop_;
+  std::vector<std::vector<std::vector<std::uint32_t>>> hop_index_;
+
+  // Statistics.
+  Cycle warmup_;
+  std::uint32_t local_inputs_ = 0;
+  std::uint32_t local_outputs_ = 0;
+  std::vector<std::size_t> class_of_connection_;
+  std::vector<ClassMetrics> classes_;
+  std::uint64_t generated_ = 0;
+  std::uint64_t delivered_ = 0;
+  StreamingStats flit_delay_us_;
+  StreamingStats delivered_hops_;
+  std::uint64_t frames_completed_ = 0;
+  StreamingStats frame_delay_us_;
+
+  using Emission = std::pair<Cycle, std::uint32_t>;
+  std::priority_queue<Emission, std::vector<Emission>, std::greater<>> heap_;
+
+  Cycle now_ = 0;
+  bool ran_ = false;
+  std::vector<Flit> flit_buffer_;
+  std::vector<LinkTransfer> arrival_buffer_;
+  std::vector<MmrRouter::Departure> departure_buffer_;
+};
+
+}  // namespace mmr

@@ -1,0 +1,41 @@
+// Path computation for pipelined circuit switching: at connection setup a
+// routing probe walks from source to destination reserving one VC per hop.
+// We model it as shortest-path (BFS) routing over the router graph, fixed
+// for the connection's lifetime.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mmr/network/topology.hpp"
+
+namespace mmr {
+
+/// One router traversal of a connection's path.
+struct Hop {
+  std::uint32_t router = 0;
+  std::uint32_t in_port = 0;   ///< input link entered on
+  std::uint32_t out_port = 0;  ///< output link left on
+  std::uint32_t vc = 0;        ///< VC reserved on (router, in_port);
+                               ///< assigned by the network builder
+
+  friend bool operator==(const Hop&, const Hop&) = default;
+};
+
+/// Shortest path from (src_router, src local input port) to (dst_router,
+/// dst local output port).  Returns one Hop per traversed router; hop 0
+/// enters on the source's local port, the last hop leaves on the
+/// destination's local port.  Aborts when the endpoints are not local or no
+/// path exists (VC fields are left 0 for the builder to fill).
+[[nodiscard]] std::vector<Hop> compute_path(const NetworkTopology& topology,
+                                            std::uint32_t src_router,
+                                            std::uint32_t src_port,
+                                            std::uint32_t dst_router,
+                                            std::uint32_t dst_port);
+
+/// Router-level hop distance (number of routers traversed).
+[[nodiscard]] std::uint32_t path_length(const NetworkTopology& topology,
+                                        std::uint32_t src_router,
+                                        std::uint32_t dst_router);
+
+}  // namespace mmr

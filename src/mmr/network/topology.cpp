@@ -1,0 +1,124 @@
+#include "mmr/network/topology.hpp"
+
+#include <algorithm>
+
+namespace mmr {
+
+NetworkTopology::NetworkTopology(std::uint32_t routers,
+                                 std::uint32_t ports_per_router)
+    : routers_(routers), ports_(ports_per_router) {
+  MMR_ASSERT(routers_ >= 1);
+  MMR_ASSERT(ports_ >= 2);
+  downstream_of_output_.resize(static_cast<std::size_t>(routers_) * ports_);
+  upstream_of_input_.resize(static_cast<std::size_t>(routers_) * ports_);
+}
+
+void NetworkTopology::connect(PortEndpoint from, PortEndpoint to) {
+  auto& down = downstream_of_output_[index(from.router, from.port)];
+  auto& up = upstream_of_input_[index(to.router, to.port)];
+  MMR_ASSERT_MSG(!down.has_value(), "output port already connected");
+  MMR_ASSERT_MSG(!up.has_value(), "input port already connected");
+  MMR_ASSERT_MSG(from.router != to.router, "self-loops are not meaningful");
+  down = to;
+  up = from;
+  ++channel_count_;
+}
+
+std::optional<PortEndpoint> NetworkTopology::downstream(
+    std::uint32_t router, std::uint32_t out_port) const {
+  return downstream_of_output_[index(router, out_port)];
+}
+
+std::optional<PortEndpoint> NetworkTopology::upstream(
+    std::uint32_t router, std::uint32_t in_port) const {
+  return upstream_of_input_[index(router, in_port)];
+}
+
+std::vector<std::uint32_t> NetworkTopology::local_input_ports(
+    std::uint32_t router) const {
+  std::vector<std::uint32_t> ports;
+  for (std::uint32_t port = 0; port < ports_; ++port) {
+    if (input_is_local(router, port)) ports.push_back(port);
+  }
+  return ports;
+}
+
+std::vector<std::uint32_t> NetworkTopology::local_output_ports(
+    std::uint32_t router) const {
+  std::vector<std::uint32_t> ports;
+  for (std::uint32_t port = 0; port < ports_; ++port) {
+    if (output_is_local(router, port)) ports.push_back(port);
+  }
+  return ports;
+}
+
+NetworkTopology NetworkTopology::bidirectional_ring(
+    std::uint32_t routers, std::uint32_t ports_per_router) {
+  MMR_ASSERT(routers >= 2);
+  MMR_ASSERT(ports_per_router >= 3);
+  NetworkTopology topology(routers, ports_per_router);
+  for (std::uint32_t r = 0; r < routers; ++r) {
+    const std::uint32_t next = (r + 1) % routers;
+    // Clockwise on port 0, counter-clockwise on port 1.
+    topology.connect({r, 0}, {next, 0});
+    topology.connect({next, 1}, {r, 1});
+  }
+  return topology;
+}
+
+NetworkTopology NetworkTopology::line(std::uint32_t routers,
+                                      std::uint32_t ports_per_router) {
+  MMR_ASSERT(routers >= 2);
+  MMR_ASSERT(ports_per_router >= 3);
+  NetworkTopology topology(routers, ports_per_router);
+  for (std::uint32_t r = 0; r + 1 < routers; ++r) {
+    topology.connect({r, 0}, {r + 1, 0});      // rightward
+    topology.connect({r + 1, 1}, {r, 1});      // leftward
+  }
+  return topology;
+}
+
+NetworkTopology NetworkTopology::single(std::uint32_t ports_per_router) {
+  return NetworkTopology(1, ports_per_router);
+}
+
+NetworkTopology NetworkTopology::mesh(std::uint32_t width,
+                                      std::uint32_t height,
+                                      std::uint32_t ports_per_router) {
+  MMR_ASSERT(width >= 1 && height >= 1);
+  MMR_ASSERT(width * height >= 2);
+  // Direction ports use fixed indices (E=0, W=1, N=2, S=3), so the port
+  // count must span the used directions; additionally every router must
+  // keep at least one local (host) port beyond its own link degree.  Max
+  // node degree: east+west both used needs width >= 3, north+south
+  // height >= 3.
+  const std::uint32_t direction_span = height > 1 ? 4u : 2u;
+  const std::uint32_t max_degree =
+      std::min(width - 1, 2u) + std::min(height - 1, 2u);
+  MMR_ASSERT_MSG(
+      ports_per_router >= std::max(direction_span, max_degree + 1),
+      "mesh routers need the direction span plus a local port");
+  NetworkTopology topology(width * height, ports_per_router);
+  constexpr std::uint32_t kEast = 0;
+  constexpr std::uint32_t kWest = 1;
+  constexpr std::uint32_t kNorth = 2;
+  constexpr std::uint32_t kSouth = 3;
+  const auto id = [width](std::uint32_t x, std::uint32_t y) {
+    return y * width + x;
+  };
+  for (std::uint32_t y = 0; y < height; ++y) {
+    for (std::uint32_t x = 0; x < width; ++x) {
+      if (x + 1 < width) {
+        topology.connect({id(x, y), kEast}, {id(x + 1, y), kWest});
+        topology.connect({id(x + 1, y), kWest}, {id(x, y), kEast});
+      }
+      if (y + 1 < height) {
+        topology.connect({id(x, y), kSouth}, {id(x, y + 1), kNorth});
+        topology.connect({id(x, y + 1), kNorth}, {id(x, y), kSouth});
+      }
+    }
+  }
+  return topology;
+}
+
+}  // namespace mmr

@@ -1,0 +1,99 @@
+// Multi-router topology description (the paper's stated future work:
+// "this study must be further extended to a network composed of several
+// MMRs").  Every router has P ports; each port pairs one input link with
+// one output link.  A port is either *local* (a NIC injects on the input
+// side, a host consumes on the output side) or *connected*: its output link
+// feeds another router's input link.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mmr/sim/assert.hpp"
+
+namespace mmr {
+
+struct PortEndpoint {
+  std::uint32_t router = 0;
+  std::uint32_t port = 0;
+
+  friend bool operator==(const PortEndpoint&, const PortEndpoint&) = default;
+};
+
+class NetworkTopology {
+ public:
+  NetworkTopology(std::uint32_t routers, std::uint32_t ports_per_router);
+
+  [[nodiscard]] std::uint32_t routers() const { return routers_; }
+  [[nodiscard]] std::uint32_t ports_per_router() const { return ports_; }
+
+  /// Directed channel: `from` router's output port -> `to` router's input
+  /// port.  Each output and each input may be connected at most once.
+  void connect(PortEndpoint from, PortEndpoint to);
+
+  /// Downstream endpoint of an output link, or nullopt if local.
+  [[nodiscard]] std::optional<PortEndpoint> downstream(
+      std::uint32_t router, std::uint32_t out_port) const;
+
+  /// Upstream endpoint feeding an input link, or nullopt if local (NIC).
+  [[nodiscard]] std::optional<PortEndpoint> upstream(
+      std::uint32_t router, std::uint32_t in_port) const;
+
+  [[nodiscard]] bool output_is_local(std::uint32_t router,
+                                     std::uint32_t out_port) const {
+    return !downstream(router, out_port).has_value();
+  }
+  [[nodiscard]] bool input_is_local(std::uint32_t router,
+                                    std::uint32_t in_port) const {
+    return !upstream(router, in_port).has_value();
+  }
+
+  /// Local (host-facing) ports of one router.
+  [[nodiscard]] std::vector<std::uint32_t> local_input_ports(
+      std::uint32_t router) const;
+  [[nodiscard]] std::vector<std::uint32_t> local_output_ports(
+      std::uint32_t router) const;
+
+  /// Total number of directed inter-router channels.
+  [[nodiscard]] std::uint32_t channels() const { return channel_count_; }
+
+  // --- stock topologies ----------------------------------------------------
+
+  /// Bidirectional ring: port 0 runs clockwise (to the next router), port 1
+  /// counter-clockwise; the remaining P-2 ports are local.  Needs P >= 3
+  /// and >= 2 routers.
+  static NetworkTopology bidirectional_ring(std::uint32_t routers,
+                                            std::uint32_t ports_per_router);
+
+  /// Open chain: interior routers spend two ports on neighbours, end
+  /// routers one.  Needs P >= 3 and >= 2 routers.
+  static NetworkTopology line(std::uint32_t routers,
+                              std::uint32_t ports_per_router);
+
+  /// A single router with every port local (the paper's base setup).
+  static NetworkTopology single(std::uint32_t ports_per_router);
+
+  /// width x height 2-D mesh.  Direction ports are fixed: 0 = east,
+  /// 1 = west, 2 = north, 3 = south (unused directions on edge routers
+  /// stay local); remaining ports are local.  Needs ports_per_router >= 5
+  /// for interior routers to keep a host port.  Router index = y*width + x.
+  static NetworkTopology mesh(std::uint32_t width, std::uint32_t height,
+                              std::uint32_t ports_per_router);
+
+ private:
+  [[nodiscard]] std::size_t index(std::uint32_t router,
+                                  std::uint32_t port) const {
+    MMR_ASSERT(router < routers_);
+    MMR_ASSERT(port < ports_);
+    return static_cast<std::size_t>(router) * ports_ + port;
+  }
+
+  std::uint32_t routers_;
+  std::uint32_t ports_;
+  std::uint32_t channel_count_ = 0;
+  std::vector<std::optional<PortEndpoint>> downstream_of_output_;
+  std::vector<std::optional<PortEndpoint>> upstream_of_input_;
+};
+
+}  // namespace mmr

@@ -1,0 +1,108 @@
+#include "mmr/qos/admission.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mmr {
+
+AdmissionController::AdmissionController(std::uint32_t ports,
+                                         RoundAccounting rounds,
+                                         double concurrency_factor)
+    : ports_(ports),
+      rounds_(rounds),
+      concurrency_factor_(concurrency_factor),
+      input_budget_(ports),
+      output_budget_(ports) {
+  MMR_ASSERT(ports_ > 0);
+  MMR_ASSERT(concurrency_factor_ >= 1.0);
+}
+
+bool AdmissionController::fits(const LinkBudget& budget,
+                               std::uint32_t mean_slots,
+                               std::uint32_t peak_slots) const {
+  const auto round = static_cast<std::uint64_t>(rounds_.flit_cycles_per_round());
+  if (budget.mean_slots + mean_slots > round) return false;
+  const double peak_budget =
+      concurrency_factor_ * static_cast<double>(round);
+  return static_cast<double>(budget.peak_slots + peak_slots) <= peak_budget;
+}
+
+bool AdmissionController::try_admit(ConnectionDescriptor& descriptor) {
+  MMR_ASSERT(descriptor.input_link < ports_);
+  MMR_ASSERT(descriptor.output_link < ports_);
+  if (!descriptor.is_qos()) {
+    descriptor.slots_per_round = 0;
+    descriptor.peak_slots_per_round = 0;
+    return true;  // best effort reserves nothing
+  }
+
+  MMR_ASSERT(descriptor.mean_bandwidth_bps > 0.0);
+  MMR_ASSERT(descriptor.peak_bandwidth_bps >= descriptor.mean_bandwidth_bps);
+  const std::uint32_t mean_slots =
+      rounds_.slots_for_bandwidth(descriptor.mean_bandwidth_bps);
+  // CBR connections have peak == mean: rule (b) then collapses into (a)
+  // whenever concurrency_factor >= 1, matching the paper's CBR test.
+  const std::uint32_t peak_slots =
+      rounds_.slots_for_bandwidth(descriptor.peak_bandwidth_bps);
+
+  if (!fits(input_budget_[descriptor.input_link], mean_slots, peak_slots) ||
+      !fits(output_budget_[descriptor.output_link], mean_slots, peak_slots)) {
+    return false;
+  }
+
+  descriptor.slots_per_round = mean_slots;
+  descriptor.peak_slots_per_round = peak_slots;
+  input_budget_[descriptor.input_link].mean_slots += mean_slots;
+  input_budget_[descriptor.input_link].peak_slots += peak_slots;
+  output_budget_[descriptor.output_link].mean_slots += mean_slots;
+  output_budget_[descriptor.output_link].peak_slots += peak_slots;
+  return true;
+}
+
+void AdmissionController::release(const ConnectionDescriptor& descriptor) {
+  if (!descriptor.is_qos()) return;
+  auto take = [](std::uint64_t& budget, std::uint32_t amount) {
+    MMR_ASSERT(budget >= amount);
+    budget -= amount;
+  };
+  take(input_budget_[descriptor.input_link].mean_slots,
+       descriptor.slots_per_round);
+  take(input_budget_[descriptor.input_link].peak_slots,
+       descriptor.peak_slots_per_round);
+  take(output_budget_[descriptor.output_link].mean_slots,
+       descriptor.slots_per_round);
+  take(output_budget_[descriptor.output_link].peak_slots,
+       descriptor.peak_slots_per_round);
+}
+
+std::uint32_t AdmissionController::input_mean_slots(std::uint32_t link) const {
+  MMR_ASSERT(link < ports_);
+  return static_cast<std::uint32_t>(input_budget_[link].mean_slots);
+}
+
+std::uint32_t AdmissionController::output_mean_slots(std::uint32_t link) const {
+  MMR_ASSERT(link < ports_);
+  return static_cast<std::uint32_t>(output_budget_[link].mean_slots);
+}
+
+std::uint32_t AdmissionController::input_peak_slots(std::uint32_t link) const {
+  MMR_ASSERT(link < ports_);
+  return static_cast<std::uint32_t>(input_budget_[link].peak_slots);
+}
+
+std::uint32_t AdmissionController::output_peak_slots(std::uint32_t link) const {
+  MMR_ASSERT(link < ports_);
+  return static_cast<std::uint32_t>(output_budget_[link].peak_slots);
+}
+
+double AdmissionController::max_mean_utilization() const {
+  std::uint64_t busiest = 0;
+  for (std::uint32_t link = 0; link < ports_; ++link) {
+    busiest = std::max({busiest, input_budget_[link].mean_slots,
+                        output_budget_[link].mean_slots});
+  }
+  return static_cast<double>(busiest) /
+         static_cast<double>(rounds_.flit_cycles_per_round());
+}
+
+}  // namespace mmr

@@ -1,0 +1,51 @@
+#include "mmr/qos/connection.hpp"
+
+namespace mmr {
+
+const char* to_string(TrafficClass c) {
+  switch (c) {
+    case TrafficClass::kCbr: return "CBR";
+    case TrafficClass::kVbr: return "VBR";
+    case TrafficClass::kBestEffort: return "BE";
+  }
+  return "?";
+}
+
+ConnectionTable::ConnectionTable(std::uint32_t ports)
+    : ports_(ports), by_input_link_(ports) {
+  MMR_ASSERT(ports_ > 0);
+}
+
+ConnectionId ConnectionTable::add(ConnectionDescriptor descriptor,
+                                  std::uint32_t vcs_per_link) {
+  MMR_ASSERT(descriptor.input_link < ports_);
+  MMR_ASSERT(descriptor.output_link < ports_);
+  auto& on_link = by_input_link_[descriptor.input_link];
+  MMR_ASSERT_MSG(on_link.size() < vcs_per_link,
+                 "input link out of virtual channels");
+  descriptor.id = static_cast<ConnectionId>(connections_.size());
+  descriptor.vc = static_cast<std::uint32_t>(on_link.size());
+  on_link.push_back(descriptor.id);
+  connections_.push_back(descriptor);
+  return descriptor.id;
+}
+
+ConnectionId ConnectionTable::at_vc(std::uint32_t link,
+                                    std::uint32_t vc) const {
+  MMR_ASSERT(link < ports_);
+  const auto& on_link = by_input_link_[link];
+  if (vc >= on_link.size()) return kInvalidConnection;
+  return on_link[vc];
+}
+
+double ConnectionTable::qos_mean_bps_on_input(std::uint32_t link) const {
+  MMR_ASSERT(link < ports_);
+  double total = 0.0;
+  for (ConnectionId id : by_input_link_[link]) {
+    const ConnectionDescriptor& c = connections_[id];
+    if (c.is_qos()) total += c.mean_bandwidth_bps;
+  }
+  return total;
+}
+
+}  // namespace mmr

@@ -1,0 +1,87 @@
+// Connection descriptors and the connection table.  In the MMR every
+// connection owns a dedicated virtual channel on each link of its (single
+// router => input link, output link) path, established at setup time by a
+// routing probe that reserves link bandwidth and buffer space.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mmr/sim/assert.hpp"
+
+namespace mmr {
+
+using ConnectionId = std::uint32_t;
+inline constexpr ConnectionId kInvalidConnection = ~ConnectionId{0};
+
+enum class TrafficClass : std::uint8_t {
+  kCbr,         ///< constant bit rate, QoS-guaranteed
+  kVbr,         ///< variable bit rate (MPEG-2 video), QoS-guaranteed
+  kBestEffort,  ///< no reservation; served with leftover bandwidth
+};
+
+[[nodiscard]] const char* to_string(TrafficClass c);
+
+struct ConnectionDescriptor {
+  ConnectionId id = kInvalidConnection;
+  TrafficClass traffic_class = TrafficClass::kBestEffort;
+  std::uint32_t input_link = 0;   ///< NIC / physical input port
+  std::uint32_t output_link = 0;  ///< destination output port
+  std::uint32_t vc = 0;           ///< VC index within the input link
+
+  double mean_bandwidth_bps = 0.0;  ///< requested average bandwidth
+  double peak_bandwidth_bps = 0.0;  ///< requested peak (== mean for CBR)
+
+  // Filled in by admission control:
+  std::uint32_t slots_per_round = 0;       ///< reserved flit cycles / round
+  std::uint32_t peak_slots_per_round = 0;  ///< peak flit cycles / round
+
+  [[nodiscard]] bool is_qos() const {
+    return traffic_class != TrafficClass::kBestEffort;
+  }
+};
+
+/// Owns every established connection; indexed by ConnectionId.  VC numbers
+/// are assigned per input link in admission order.
+class ConnectionTable {
+ public:
+  explicit ConnectionTable(std::uint32_t ports);
+
+  /// Registers a connection: assigns its id and its VC on the input link.
+  /// Returns the id.  Aborts if the input link has no VC left (the caller
+  /// must respect the vcs_per_link budget — see Workload builder).
+  ConnectionId add(ConnectionDescriptor descriptor, std::uint32_t vcs_per_link);
+
+  [[nodiscard]] std::size_t size() const { return connections_.size(); }
+  [[nodiscard]] bool empty() const { return connections_.empty(); }
+  [[nodiscard]] std::uint32_t ports() const { return ports_; }
+
+  [[nodiscard]] const ConnectionDescriptor& get(ConnectionId id) const {
+    MMR_ASSERT(id < connections_.size());
+    return connections_[id];
+  }
+
+  [[nodiscard]] const std::vector<ConnectionDescriptor>& all() const {
+    return connections_;
+  }
+
+  /// Connections whose input link is `link` (VC-ordered).
+  [[nodiscard]] const std::vector<ConnectionId>& on_input_link(
+      std::uint32_t link) const {
+    MMR_ASSERT(link < ports_);
+    return by_input_link_[link];
+  }
+
+  /// Connection occupying (input link, vc), or kInvalidConnection.
+  [[nodiscard]] ConnectionId at_vc(std::uint32_t link, std::uint32_t vc) const;
+
+  /// Sum of mean bandwidth of QoS connections on an input link, bps.
+  [[nodiscard]] double qos_mean_bps_on_input(std::uint32_t link) const;
+
+ private:
+  std::uint32_t ports_;
+  std::vector<ConnectionDescriptor> connections_;
+  std::vector<std::vector<ConnectionId>> by_input_link_;
+};
+
+}  // namespace mmr

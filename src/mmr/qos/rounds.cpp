@@ -1,0 +1,39 @@
+#include "mmr/qos/rounds.hpp"
+
+#include <cmath>
+
+#include "mmr/sim/assert.hpp"
+
+namespace mmr {
+
+RoundAccounting::RoundAccounting(std::uint32_t flit_cycles_per_round,
+                                 TimeBase time_base)
+    : round_(flit_cycles_per_round), time_base_(time_base) {
+  MMR_ASSERT(round_ > 0);
+}
+
+std::uint32_t RoundAccounting::slots_for_bandwidth(double bps) const {
+  MMR_ASSERT(bps >= 0.0);
+  if (bps == 0.0) return 0;
+  const double fraction = time_base_.load_fraction(bps);
+  const double slots = std::ceil(fraction * static_cast<double>(round_));
+  return static_cast<std::uint32_t>(std::fmax(1.0, slots));
+}
+
+double RoundAccounting::bandwidth_for_slots(std::uint32_t slots) const {
+  return time_base_.link_bandwidth_bps() * static_cast<double>(slots) /
+         static_cast<double>(round_);
+}
+
+double RoundAccounting::round_seconds() const {
+  return time_base_.flit_cycle_seconds() * static_cast<double>(round_);
+}
+
+double RoundAccounting::iat_router_cycles(double bps) const {
+  MMR_ASSERT(bps > 0.0);
+  const double seconds_per_flit =
+      static_cast<double>(time_base_.flit_bits()) / bps;
+  return seconds_per_flit / time_base_.router_cycle_seconds();
+}
+
+}  // namespace mmr

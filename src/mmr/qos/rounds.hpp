@@ -1,0 +1,43 @@
+// Round / frame bandwidth accounting (Section 2, "Connection Set up").
+// Link and switch-port bandwidth are split into flit cycles; flit cycles are
+// grouped into rounds whose length is an integer multiple of the number of
+// virtual channels per link.  A connection's reservation is expressed as a
+// number of flit cycles ("slots") per round.
+#pragma once
+
+#include <cstdint>
+
+#include "mmr/sim/time.hpp"
+
+namespace mmr {
+
+class RoundAccounting {
+ public:
+  RoundAccounting(std::uint32_t flit_cycles_per_round, TimeBase time_base);
+
+  [[nodiscard]] std::uint32_t flit_cycles_per_round() const {
+    return round_;
+  }
+
+  /// Slots per round needed to carry `bps` average bandwidth.  Rounds up;
+  /// any positive bandwidth reserves at least one slot (the scheduling
+  /// granularity of the hardware).
+  [[nodiscard]] std::uint32_t slots_for_bandwidth(double bps) const;
+
+  /// Bandwidth (bps) that `slots` per round actually provide.
+  [[nodiscard]] double bandwidth_for_slots(std::uint32_t slots) const;
+
+  /// Round duration in seconds.
+  [[nodiscard]] double round_seconds() const;
+
+  /// Mean flit inter-arrival time, in *router* (phit) cycles, of a
+  /// connection with the given average bandwidth — the IAT that IABP's
+  /// priority ratio divides by.
+  [[nodiscard]] double iat_router_cycles(double bps) const;
+
+ private:
+  std::uint32_t round_;
+  TimeBase time_base_;
+};
+
+}  // namespace mmr

@@ -1,0 +1,57 @@
+// Credit-based flow control between NIC and MMR (Section 2, "Flow
+// Control").  One credit per VC buffer slot; the NIC consumes a credit when
+// it forwards a flit and the router returns it (after a small propagation
+// latency) when the flit leaves the VC buffer through the crossbar.  This
+// is what lets the MMR avoid data losses with only a few flits of buffering.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "mmr/sim/time.hpp"
+
+namespace mmr {
+
+class CreditManager {
+ public:
+  CreditManager(std::uint32_t vcs, std::uint32_t credits_per_vc,
+                Cycle return_latency);
+
+  [[nodiscard]] std::uint32_t vcs() const {
+    return static_cast<std::uint32_t>(credits_.size());
+  }
+  [[nodiscard]] std::uint32_t credits(std::uint32_t vc) const;
+  [[nodiscard]] bool has_credit(std::uint32_t vc) const {
+    return credits(vc) > 0;
+  }
+
+  /// NIC side: consumes one credit to send a flit.
+  void consume(std::uint32_t vc);
+
+  /// Router side: schedules a credit return; it becomes usable at
+  /// `now + return_latency`.
+  void release(std::uint32_t vc, Cycle now);
+
+  /// Applies every credit whose return has propagated by `now`.  Must be
+  /// called with non-decreasing `now`.
+  void tick(Cycle now);
+
+  [[nodiscard]] std::uint32_t in_flight() const {
+    return static_cast<std::uint32_t>(pending_.size());
+  }
+
+  void check_invariants() const;
+
+ private:
+  struct PendingReturn {
+    Cycle ready;
+    std::uint32_t vc;
+  };
+
+  std::uint32_t credits_per_vc_;
+  Cycle return_latency_;
+  std::vector<std::uint32_t> credits_;
+  std::deque<PendingReturn> pending_;  ///< FIFO: release() times non-decreasing
+};
+
+}  // namespace mmr

@@ -1,0 +1,33 @@
+#include "mmr/router/crossbar.hpp"
+
+#include "mmr/sim/assert.hpp"
+
+namespace mmr {
+
+Crossbar::Crossbar(std::uint32_t ports) : input_of_output_(ports, -1) {
+  MMR_ASSERT(ports > 0);
+}
+
+void Crossbar::apply(const Matching& matching, bool measure) {
+  MMR_ASSERT(matching.ports() == ports());
+  std::uint32_t changed = 0;
+  for (std::uint32_t out = 0; out < ports(); ++out) {
+    const std::int32_t in = matching.input_of(out);
+    if (in != input_of_output_[out]) {
+      ++changed;
+      input_of_output_[out] = in;
+    }
+  }
+  if (measure) {
+    utilization_.add(matching.size(), ports());
+    reconfigurations_.add(changed, 1);
+    matching_size_.add(static_cast<double>(matching.size()));
+  }
+}
+
+std::int32_t Crossbar::input_of(std::uint32_t output) const {
+  MMR_ASSERT(output < ports());
+  return input_of_output_[output];
+}
+
+}  // namespace mmr

@@ -1,0 +1,51 @@
+// Multiplexed crossbar: as many ports as physical channels (the VCs are
+// multiplexed onto them), reconfigured every scheduling cycle from the
+// arbiter's matching.  Tracks the utilization and reconfiguration counts the
+// evaluation reports (Figure 8).
+#pragma once
+
+#include <vector>
+
+#include "mmr/arbiter/matching.hpp"
+#include "mmr/sim/stats.hpp"
+#include "mmr/sim/time.hpp"
+
+namespace mmr {
+
+class Crossbar {
+ public:
+  explicit Crossbar(std::uint32_t ports);
+
+  [[nodiscard]] std::uint32_t ports() const {
+    return static_cast<std::uint32_t>(input_of_output_.size());
+  }
+
+  /// Applies one cycle's matching; counts utilization over the measurement
+  /// window only when `measure` is set (warmup exclusion).
+  void apply(const Matching& matching, bool measure);
+
+  /// Input currently connected to `output`, or -1.
+  [[nodiscard]] std::int32_t input_of(std::uint32_t output) const;
+
+  /// Fraction of output-port cycles that carried a flit (measured window).
+  [[nodiscard]] double utilization() const { return utilization_.ratio(); }
+  [[nodiscard]] std::uint64_t flits_switched() const {
+    return utilization_.numerator();
+  }
+  /// Crosspoint configuration changes per cycle, averaged (measured window).
+  [[nodiscard]] double mean_reconfigurations() const {
+    return reconfigurations_.ratio();
+  }
+  /// Matching size per cycle, averaged (measured window).
+  [[nodiscard]] double mean_matching_size() const {
+    return matching_size_.mean();
+  }
+
+ private:
+  std::vector<std::int32_t> input_of_output_;
+  RatioAccumulator utilization_;       ///< matched outputs / ports
+  RatioAccumulator reconfigurations_;  ///< changed outputs / cycles
+  StreamingStats matching_size_;
+};
+
+}  // namespace mmr

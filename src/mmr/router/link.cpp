@@ -1,0 +1,25 @@
+#include "mmr/router/link.hpp"
+
+#include "mmr/sim/assert.hpp"
+
+namespace mmr {
+
+LinkPipeline::LinkPipeline(Cycle latency) : latency_(latency) {}
+
+void LinkPipeline::push(const LinkTransfer& transfer, Cycle now) {
+  MMR_ASSERT_MSG(last_push_ == kNever || now > last_push_,
+                 "a link carries at most one flit per cycle");
+  MMR_ASSERT(in_flight_.empty() || in_flight_.back().arrives <= now + latency_);
+  last_push_ = now;
+  in_flight_.push_back({now + latency_, transfer});
+  ++carried_;
+}
+
+void LinkPipeline::pop_due(Cycle now, std::vector<LinkTransfer>& out) {
+  while (!in_flight_.empty() && in_flight_.front().arrives <= now) {
+    out.push_back(in_flight_.front().transfer);
+    in_flight_.pop_front();
+  }
+}
+
+}  // namespace mmr

@@ -1,0 +1,49 @@
+// Fixed-latency, one-item-per-cycle conduits: the physical link between NIC
+// and router (flits) travels through one of these.  Links are short in the
+// target environment (cluster/LAN), so latencies are a cycle or two.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "mmr/sim/time.hpp"
+#include "mmr/traffic/flit.hpp"
+
+namespace mmr {
+
+/// A flit in flight on a physical link, tagged with its VC.
+struct LinkTransfer {
+  Flit flit;
+  std::uint32_t vc = 0;
+};
+
+class LinkPipeline {
+ public:
+  explicit LinkPipeline(Cycle latency);
+
+  [[nodiscard]] Cycle latency() const { return latency_; }
+  [[nodiscard]] std::size_t in_flight() const { return in_flight_.size(); }
+
+  /// One transfer may start per cycle (the link carries one flit at a time).
+  void push(const LinkTransfer& transfer, Cycle now);
+
+  /// Appends transfers arriving at or before `now` (in order); call with
+  /// non-decreasing `now`.
+  void pop_due(Cycle now, std::vector<LinkTransfer>& out);
+
+  /// Total flits ever carried (for utilization accounting).
+  [[nodiscard]] std::uint64_t carried() const { return carried_; }
+
+ private:
+  struct InFlight {
+    Cycle arrives;
+    LinkTransfer transfer;
+  };
+
+  Cycle latency_;
+  Cycle last_push_ = kNever;  ///< enforces one push per cycle
+  std::deque<InFlight> in_flight_;
+  std::uint64_t carried_ = 0;
+};
+
+}  // namespace mmr

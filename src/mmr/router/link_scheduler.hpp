@@ -1,0 +1,49 @@
+// Link scheduling / candidate selection (Sections 3.1 and 4): per input
+// port, pick the L virtual channels whose head flits carry the highest
+// biased priorities.  Level 0 is the top-priority candidate.  Queue ages are
+// measured in router (phit) cycles since the head flit entered the VCM, as
+// SIABP's hardware counters do.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "mmr/arbiter/candidate.hpp"
+#include "mmr/qos/priority.hpp"
+#include "mmr/router/vcm.hpp"
+
+namespace mmr {
+
+class LinkScheduler {
+ public:
+  /// `output_of_vc[vc]` — the output port each VC's connection was routed
+  /// to at setup; `qos_of_vc[vc]` — the priority-function constants.
+  LinkScheduler(std::uint32_t input_port, std::uint32_t levels,
+                PriorityFunction priority, std::uint32_t phits_per_flit,
+                std::vector<std::uint32_t> output_of_vc,
+                std::vector<QosParams> qos_of_vc);
+
+  /// Filter deciding whether a VC may compete this cycle (multi-router
+  /// networks gate on downstream buffer credit; nullptr = all eligible).
+  using Eligibility = std::function<bool(std::uint32_t vc)>;
+
+  /// Appends this port's candidates (up to `levels`) to `out`.
+  void select(const VirtualChannelMemory& vcm, Cycle now, CandidateSet& out,
+              const Eligibility* eligible = nullptr) const;
+
+  /// The biased priority the head flit of `vc` has at `now` (test hook).
+  [[nodiscard]] Priority head_priority(const VirtualChannelMemory& vcm,
+                                       std::uint32_t vc, Cycle now) const;
+
+  [[nodiscard]] std::uint32_t levels() const { return levels_; }
+
+ private:
+  std::uint32_t input_port_;
+  std::uint32_t levels_;
+  PriorityFunction priority_;
+  std::uint32_t phits_per_flit_;
+  std::vector<std::uint32_t> output_of_vc_;
+  std::vector<QosParams> qos_of_vc_;
+};
+
+}  // namespace mmr

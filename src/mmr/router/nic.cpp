@@ -1,0 +1,57 @@
+#include "mmr/router/nic.hpp"
+
+#include "mmr/sim/assert.hpp"
+
+namespace mmr {
+
+Nic::Nic(std::uint32_t vcs, std::uint32_t credits_per_vc, Cycle credit_latency)
+    : queues_(vcs), credits_(vcs, credits_per_vc, credit_latency) {
+  MMR_ASSERT(vcs > 0);
+}
+
+void Nic::deposit(std::uint32_t vc, const Flit& flit) {
+  MMR_ASSERT(vc < vcs());
+  if (queues_[vc].empty()) ++nonempty_;
+  queues_[vc].push_back(flit);
+  ++total_queued_;
+}
+
+std::optional<LinkTransfer> Nic::select_and_send(Cycle now) {
+  credits_.tick(now);
+  if (nonempty_ == 0) return std::nullopt;
+  const std::uint32_t n = vcs();
+  for (std::uint32_t k = 0; k < n; ++k) {
+    const std::uint32_t vc = (rr_next_ + k) % n;
+    if (queues_[vc].empty() || !credits_.has_credit(vc)) continue;
+    credits_.consume(vc);
+    LinkTransfer transfer;
+    transfer.flit = queues_[vc].front();
+    transfer.vc = vc;
+    queues_[vc].pop_front();
+    if (queues_[vc].empty()) --nonempty_;
+    ++total_sent_;
+    // Demand-driven round-robin: resume after the connection just served.
+    rr_next_ = (vc + 1) % n;
+    return transfer;
+  }
+  return std::nullopt;
+}
+
+std::size_t Nic::queued(std::uint32_t vc) const {
+  MMR_ASSERT(vc < vcs());
+  return queues_[vc].size();
+}
+
+void Nic::check_invariants() const {
+  std::uint64_t counted = 0;
+  std::uint32_t nonempty = 0;
+  for (const auto& queue : queues_) {
+    counted += queue.size();
+    if (!queue.empty()) ++nonempty;
+  }
+  MMR_ASSERT(counted == total_queued_ - total_sent_);
+  MMR_ASSERT(nonempty == nonempty_);
+  credits_.check_invariants();
+}
+
+}  // namespace mmr

@@ -1,0 +1,59 @@
+// Network Interface Card model (Figure 4).  Traffic sources deposit flits
+// into per-connection buffers considered infinite (host memory backs them);
+// the physical link controller forwards flits of connections that have both
+// a flit and a credit, in demand-driven round-robin order, one flit per
+// cycle.  The paper shows this simple policy suffices because the router's
+// scheduler, small buffers and flow control make the NIC adapt to the
+// router's needs.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "mmr/router/credits.hpp"
+#include "mmr/router/link.hpp"
+#include "mmr/sim/time.hpp"
+#include "mmr/traffic/flit.hpp"
+
+namespace mmr {
+
+class Nic {
+ public:
+  /// `vcs` = connections attached to this NIC's link (VC-indexed).
+  Nic(std::uint32_t vcs, std::uint32_t credits_per_vc, Cycle credit_latency);
+
+  [[nodiscard]] std::uint32_t vcs() const {
+    return static_cast<std::uint32_t>(queues_.size());
+  }
+
+  /// Source side: deposits a generated flit (infinite buffer).
+  void deposit(std::uint32_t vc, const Flit& flit);
+
+  /// Router side: returns a credit (usable after the credit latency).
+  void return_credit(std::uint32_t vc, Cycle now) {
+    credits_.release(vc, now);
+  }
+
+  /// Link controller: applies due credits, then picks the next connection
+  /// in demand-driven round-robin order with a flit and a credit.  Returns
+  /// the flit to put on the link, or nothing if no connection is eligible.
+  [[nodiscard]] std::optional<LinkTransfer> select_and_send(Cycle now);
+
+  [[nodiscard]] std::size_t queued(std::uint32_t vc) const;
+  [[nodiscard]] std::uint64_t total_queued() const { return total_queued_; }
+  [[nodiscard]] std::uint64_t total_sent() const { return total_sent_; }
+  [[nodiscard]] const CreditManager& credits() const { return credits_; }
+
+  void check_invariants() const;
+
+ private:
+  std::vector<std::deque<Flit>> queues_;
+  CreditManager credits_;
+  std::uint32_t rr_next_ = 0;  ///< round-robin cursor
+  std::uint64_t total_queued_ = 0;
+  std::uint64_t total_sent_ = 0;
+  std::uint32_t nonempty_ = 0;
+};
+
+}  // namespace mmr

@@ -1,0 +1,112 @@
+#include "mmr/router/router.hpp"
+
+#include <algorithm>
+
+#include "mmr/arbiter/verify.hpp"
+#include "mmr/sim/assert.hpp"
+
+namespace mmr {
+
+MmrRouter::MmrRouter(const SimConfig& config, const ConnectionTable& table,
+                     Rng rng)
+    : ports_(config.ports),
+      arbiter_(make_arbiter(config.arbiter, config.ports, rng.fork(0xA9B1))),
+      crossbar_(config.ports),
+      candidates_(config.ports, config.candidate_levels) {
+  config.validate();
+  MMR_ASSERT(table.ports() == ports_);
+
+  const TimeBase time_base = config.time_base();
+  const RoundAccounting rounds(config.flit_cycles_per_round(), time_base);
+
+  vcms_.reserve(ports_);
+  link_schedulers_.reserve(ports_);
+  for (std::uint32_t port = 0; port < ports_; ++port) {
+    vcms_.emplace_back(config.vcs_per_link, config.buffer_flits_per_vc);
+
+    std::vector<std::uint32_t> output_of_vc(config.vcs_per_link, 0);
+    std::vector<QosParams> qos_of_vc(config.vcs_per_link);
+    for (ConnectionId id : table.on_input_link(port)) {
+      const ConnectionDescriptor& c = table.get(id);
+      output_of_vc[c.vc] = c.output_link;
+      QosParams qos;
+      // Best-effort connections reserve nothing; they bias from the minimum
+      // initial priority, so QoS traffic dominates them until they age.
+      qos.slots_per_round = std::max<std::uint32_t>(1, c.slots_per_round);
+      qos.iat_router_cycles =
+          rounds.iat_router_cycles(std::max(c.mean_bandwidth_bps, 1.0));
+      qos_of_vc[c.vc] = qos;
+    }
+    link_schedulers_.emplace_back(
+        port, config.candidate_levels, PriorityFunction(config.priority_scheme),
+        time_base.phits_per_flit(), std::move(output_of_vc),
+        std::move(qos_of_vc));
+  }
+}
+
+bool MmrRouter::can_accept(std::uint32_t input, std::uint32_t vc) const {
+  MMR_ASSERT(input < ports_);
+  return vcms_[input].can_accept(vc);
+}
+
+void MmrRouter::accept(std::uint32_t input, std::uint32_t vc, const Flit& flit,
+                       Cycle now) {
+  MMR_ASSERT(input < ports_);
+  vcms_[input].push(vc, flit, now);
+  ++accepted_;
+}
+
+void MmrRouter::step(Cycle now, bool measure,
+                     std::vector<Departure>& departures) {
+  // Link scheduling: every input port offers its top-L candidates.
+  candidates_.clear();
+  for (std::uint32_t port = 0; port < ports_; ++port) {
+    if (eligibility_) {
+      const LinkScheduler::Eligibility eligible =
+          [this, port](std::uint32_t vc) { return eligibility_(port, vc); };
+      link_schedulers_[port].select(vcms_[port], now, candidates_, &eligible);
+    } else {
+      link_schedulers_[port].select(vcms_[port], now, candidates_);
+    }
+  }
+
+  // Switch scheduling.
+  const Matching matching = arbiter_->arbitrate(candidates_);
+  const MatchingCheck check = check_matching(candidates_, matching);
+  MMR_ASSERT_MSG(check.valid, check.problem.c_str());
+
+  // Synchronous crossbar transit of every matched head flit.
+  crossbar_.apply(matching, measure);
+  for (std::uint32_t input = 0; input < ports_; ++input) {
+    const std::int32_t cand_index = matching.candidate_of(input);
+    if (cand_index == -1) continue;
+    const Candidate& granted =
+        candidates_.at(static_cast<std::size_t>(cand_index));
+    MMR_ASSERT(granted.input == input);
+    Departure departure;
+    departure.input = input;
+    departure.output = granted.output;
+    departure.vc = granted.vc;
+    departure.flit = vcms_[input].pop(granted.vc);
+    MMR_ASSERT_MSG(departure.flit.connection != kInvalidConnection,
+                   "granted VC held no real flit");
+    departures.push_back(departure);
+    ++departed_;
+  }
+}
+
+const VirtualChannelMemory& MmrRouter::vcm(std::uint32_t input) const {
+  MMR_ASSERT(input < ports_);
+  return vcms_[input];
+}
+
+void MmrRouter::check_invariants() const {
+  std::uint64_t buffered = 0;
+  for (const VirtualChannelMemory& vcm : vcms_) {
+    vcm.check_invariants();
+    buffered += vcm.total_flits();
+  }
+  MMR_ASSERT(buffered == flits_buffered());
+}
+
+}  // namespace mmr

@@ -1,0 +1,78 @@
+// The Multimedia Router (Figure 1): per physical input link a Virtual
+// Channel Memory plus Link Scheduler, a multiplexed crossbar with as many
+// ports as physical channels, and a pluggable Switch Scheduler.  One call to
+// step() performs one scheduling cycle: candidate selection on every input
+// link, switch arbitration, and synchronous flit forwarding through the
+// crossbar.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mmr/arbiter/factory.hpp"
+#include "mmr/qos/connection.hpp"
+#include "mmr/qos/rounds.hpp"
+#include "mmr/router/crossbar.hpp"
+#include "mmr/router/link_scheduler.hpp"
+#include "mmr/router/vcm.hpp"
+#include "mmr/sim/config.hpp"
+
+namespace mmr {
+
+class MmrRouter {
+ public:
+  MmrRouter(const SimConfig& config, const ConnectionTable& table, Rng rng);
+
+  /// A flit leaving on an output link this cycle.
+  struct Departure {
+    std::uint32_t input = 0;
+    std::uint32_t output = 0;
+    std::uint32_t vc = 0;
+    Flit flit;
+  };
+
+  [[nodiscard]] std::uint32_t ports() const { return ports_; }
+
+  [[nodiscard]] bool can_accept(std::uint32_t input, std::uint32_t vc) const;
+  void accept(std::uint32_t input, std::uint32_t vc, const Flit& flit,
+              Cycle now);
+
+  /// Gate deciding whether (input, vc) may compete for the crossbar this
+  /// cycle.  Multi-router networks install one to enforce downstream credit
+  /// availability; unset = every occupied VC is eligible.
+  using EligibilityFn =
+      std::function<bool(std::uint32_t input, std::uint32_t vc)>;
+  void set_eligibility(EligibilityFn eligibility) {
+    eligibility_ = std::move(eligibility);
+  }
+
+  /// One scheduling cycle.  Departures leave their output links during this
+  /// cycle; `measure` gates crossbar statistics (warmup exclusion).
+  void step(Cycle now, bool measure, std::vector<Departure>& departures);
+
+  [[nodiscard]] const Crossbar& crossbar() const { return crossbar_; }
+  [[nodiscard]] const VirtualChannelMemory& vcm(std::uint32_t input) const;
+  [[nodiscard]] const SwitchArbiter& arbiter() const { return *arbiter_; }
+  [[nodiscard]] std::uint64_t flits_accepted() const { return accepted_; }
+  [[nodiscard]] std::uint64_t flits_departed() const { return departed_; }
+  /// Flits currently buffered inside the router.
+  [[nodiscard]] std::uint64_t flits_buffered() const {
+    return accepted_ - departed_;
+  }
+
+  void check_invariants() const;
+
+ private:
+  std::uint32_t ports_;
+  EligibilityFn eligibility_;
+  std::vector<VirtualChannelMemory> vcms_;
+  std::vector<LinkScheduler> link_schedulers_;
+  std::unique_ptr<SwitchArbiter> arbiter_;
+  Crossbar crossbar_;
+  CandidateSet candidates_;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t departed_ = 0;
+};
+
+}  // namespace mmr

@@ -1,0 +1,29 @@
+// Always-on contract checks. Simulation correctness bugs silently corrupt
+// measured results, so invariants stay enabled in release builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mmr::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "MMR_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace mmr::detail
+
+#define MMR_ASSERT(expr)                                               \
+  do {                                                                 \
+    if (!(expr)) [[unlikely]]                                          \
+      ::mmr::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr);  \
+  } while (false)
+
+#define MMR_ASSERT_MSG(expr, msg)                                   \
+  do {                                                              \
+    if (!(expr)) [[unlikely]]                                       \
+      ::mmr::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

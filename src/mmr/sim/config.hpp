@@ -1,0 +1,77 @@
+// Central simulation configuration.  Defaults follow the paper / MMR
+// literature: 4x4 router, 2.4 Gbps 16-bit links, 4096-bit flits, four
+// candidate levels, SIABP link scheduling, small credit-controlled buffers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mmr/sim/time.hpp"
+
+namespace mmr {
+
+/// Priority biasing function used by the link scheduler (Section 3.1).
+enum class PriorityScheme : std::uint8_t {
+  kSiabp,      ///< Simple-IABP: shift-based biasing (hardware-friendly)
+  kIabp,       ///< Inter-Arrival Based Priority: queuing delay / IAT
+  kFifoAge,    ///< age only, ignores bandwidth requirements
+  kStatic,     ///< reserved slots only, ignores waiting time
+};
+
+[[nodiscard]] const char* to_string(PriorityScheme s);
+[[nodiscard]] PriorityScheme priority_scheme_from_string(const std::string& s);
+
+struct SimConfig {
+  // --- geometry -----------------------------------------------------------
+  std::uint32_t ports = 4;            ///< physical input = output links
+  std::uint32_t vcs_per_link = 256;   ///< virtual channels per physical link
+
+  // --- link technology ----------------------------------------------------
+  double link_bandwidth_bps = 2.4e9;  ///< 2.4 Gbps links
+  std::uint32_t flit_bits = 4096;     ///< large flits amortise arbitration
+  std::uint32_t phit_bits = 16;       ///< 16-bit wide links
+
+  // --- router resources ---------------------------------------------------
+  std::uint32_t buffer_flits_per_vc = 2;  ///< MMR VC buffer ("a few flits")
+  std::uint32_t candidate_levels = 4;     ///< link-scheduler candidates/port
+  Cycle link_latency = 1;                 ///< NIC->MMR flit transfer, cycles
+  Cycle credit_latency = 1;               ///< MMR->NIC credit return, cycles
+
+  // --- bandwidth accounting (Section 2, "Connection Set up") --------------
+  /// Flit cycles per round = round_multiple * vcs_per_link.
+  std::uint32_t round_multiple = 4;
+  /// VBR admission: sum of peak bandwidths <= round * concurrency_factor.
+  double concurrency_factor = 3.0;
+
+  // --- scheduling ---------------------------------------------------------
+  PriorityScheme priority_scheme = PriorityScheme::kSiabp;
+  std::string arbiter = "coa";  ///< see arbiter factory for names
+
+  // --- run control ---------------------------------------------------------
+  std::uint64_t seed = 0x5EEDu;
+  Cycle warmup_cycles = 20'000;    ///< statistics discarded
+  Cycle measure_cycles = 200'000;  ///< statistics collected
+
+  // --- derived ------------------------------------------------------------
+  [[nodiscard]] TimeBase time_base() const {
+    return TimeBase(link_bandwidth_bps, flit_bits, phit_bits);
+  }
+  [[nodiscard]] std::uint32_t flit_cycles_per_round() const {
+    return round_multiple * vcs_per_link;
+  }
+  [[nodiscard]] Cycle total_cycles() const {
+    return warmup_cycles + measure_cycles;
+  }
+
+  /// Aborts with a readable message when a field combination is nonsense.
+  void validate() const;
+};
+
+/// Applies "key=value" overrides (e.g. from bench argv) to a config.
+/// Unknown keys raise an error listing the valid keys.  Returns the keys that
+/// were applied.
+std::vector<std::string> apply_overrides(
+    SimConfig& config, const std::vector<std::string>& overrides);
+
+}  // namespace mmr

@@ -1,0 +1,53 @@
+#include "mmr/sim/csv.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "mmr/sim/assert.hpp"
+
+namespace mmr {
+
+CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> header)
+    : out_(out), columns_(header.size()) {
+  MMR_ASSERT(columns_ > 0);
+  row(header);
+  rows_ = 0;  // header does not count as a data row
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (char ch : cell) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  MMR_ASSERT_MSG(cells.size() == columns_, "CSV row width mismatch");
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    if (c != 0) out_ << ',';
+    out_ << escape(cells[c]);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::row_numeric(const std::vector<double>& cells, int precision) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  for (double x : cells) {
+    if (std::isnan(x)) {
+      text.emplace_back("");
+      continue;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*g", precision, x);
+    text.emplace_back(buf);
+  }
+  row(text);
+}
+
+}  // namespace mmr

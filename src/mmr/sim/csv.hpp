@@ -1,0 +1,28 @@
+// CSV emission for bench results so figures can be re-plotted externally.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mmr {
+
+class CsvWriter {
+ public:
+  CsvWriter(std::ostream& out, std::vector<std::string> header);
+
+  void row(const std::vector<std::string>& cells);
+  void row_numeric(const std::vector<double>& cells, int precision = 6);
+
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+
+  /// RFC-4180 quoting when a cell needs it.
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::ostream& out_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace mmr

@@ -1,0 +1,120 @@
+#include "mmr/sim/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "mmr/sim/assert.hpp"
+
+namespace mmr {
+
+LogHistogram::LogHistogram(double min_value, double growth)
+    : min_value_(min_value), log_growth_(std::log(growth)) {
+  MMR_ASSERT(min_value > 0.0);
+  MMR_ASSERT(growth > 1.0);
+}
+
+std::size_t LogHistogram::bucket_of(double x) const {
+  if (x <= min_value_) return 0;
+  const double b = std::log(x / min_value_) / log_growth_;
+  return static_cast<std::size_t>(b) + 1;
+}
+
+double LogHistogram::bucket_lo(std::size_t b) const {
+  if (b == 0) return 0.0;
+  return min_value_ * std::exp(static_cast<double>(b - 1) * log_growth_);
+}
+
+double LogHistogram::bucket_hi(std::size_t b) const {
+  return min_value_ * std::exp(static_cast<double>(b) * log_growth_);
+}
+
+void LogHistogram::add(double x) {
+  MMR_ASSERT(x >= 0.0);
+  const std::size_t b = bucket_of(x);
+  if (b >= buckets_.size()) buckets_.resize(b + 1, 0);
+  ++buckets_[b];
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  MMR_ASSERT(min_value_ == other.min_value_);
+  MMR_ASSERT(log_growth_ == other.log_growth_);
+  if (other.count_ == 0) return;
+  if (buckets_.size() < other.buckets_.size())
+    buckets_.resize(other.buckets_.size(), 0);
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i)
+    buckets_[i] += other.buckets_[i];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+}
+
+void LogHistogram::reset() {
+  buckets_.clear();
+  count_ = 0;
+  min_ = max_ = 0.0;
+}
+
+double LogHistogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(count_ - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    seen += buckets_[b];
+    if (seen > rank) {
+      // Geometric midpoint, clamped to the observed extremes.
+      const double lo = std::max(bucket_lo(b), min_);
+      const double hi = std::min(bucket_hi(b), max_);
+      if (lo <= 0.0) return hi * 0.5;
+      return std::sqrt(lo * hi);
+    }
+  }
+  return max_;
+}
+
+std::string LogHistogram::ascii(std::size_t max_rows) const {
+  std::ostringstream out;
+  if (count_ == 0) {
+    out << "(empty histogram)\n";
+    return out.str();
+  }
+  // Coalesce buckets into at most max_rows rows.
+  const std::size_t nb = buckets_.size();
+  const std::size_t per_row = std::max<std::size_t>(1, (nb + max_rows - 1) / max_rows);
+  std::uint64_t row_max = 0;
+  std::vector<std::uint64_t> rows;
+  for (std::size_t b = 0; b < nb; b += per_row) {
+    std::uint64_t c = 0;
+    for (std::size_t i = b; i < std::min(nb, b + per_row); ++i) c += buckets_[i];
+    rows.push_back(c);
+    row_max = std::max(row_max, c);
+  }
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const std::size_t b = r * per_row;
+    const double lo = bucket_lo(b);
+    const double hi = bucket_hi(std::min(nb, b + per_row) - 1);
+    const auto width = static_cast<std::size_t>(
+        row_max == 0 ? 0 : (40.0 * static_cast<double>(rows[r]) /
+                            static_cast<double>(row_max)));
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "[%10.2f, %10.2f) ", lo, hi);
+    out << buf << std::string(width, '#') << ' ' << rows[r] << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace mmr

@@ -1,0 +1,50 @@
+// Log-bucketed histogram for latency distributions.  Buckets grow
+// geometrically so that percentile queries stay accurate (bounded relative
+// error) across the many decades a saturating router produces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mmr {
+
+class LogHistogram {
+ public:
+  /// `min_value` is the resolution floor (values below land in bucket 0),
+  /// `growth` the geometric bucket ratio (> 1).
+  explicit LogHistogram(double min_value = 1.0, double growth = 1.05);
+
+  void add(double x);
+  void merge(const LogHistogram& other);
+  void reset();
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+
+  /// Approximate quantile (q in [0, 1]); returns the geometric midpoint of
+  /// the bucket containing the q-th sample.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double p50() const { return quantile(0.50); }
+  [[nodiscard]] double p95() const { return quantile(0.95); }
+  [[nodiscard]] double p99() const { return quantile(0.99); }
+  [[nodiscard]] double max_seen() const { return max_; }
+  [[nodiscard]] double min_seen() const { return min_; }
+
+  /// Multi-line ASCII rendering (for examples / debugging).
+  [[nodiscard]] std::string ascii(std::size_t max_rows = 20) const;
+
+ private:
+  [[nodiscard]] std::size_t bucket_of(double x) const;
+  [[nodiscard]] double bucket_lo(std::size_t b) const;
+  [[nodiscard]] double bucket_hi(std::size_t b) const;
+
+  double min_value_;
+  double log_growth_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace mmr

@@ -1,0 +1,56 @@
+// Tiny leveled logger.  Level comes from the MMR_LOG environment variable
+// (error|warn|info|debug); defaults to warn so tests and benches stay quiet.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mmr {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  [[nodiscard]] LogLevel level() const { return level_; }
+  void set_level(LogLevel level) { level_ = level; }
+
+  void write(LogLevel level, const std::string& message);
+
+ private:
+  Logger();
+  LogLevel level_;
+};
+
+namespace detail {
+
+template <typename... Args>
+void log(LogLevel level, Args&&... args) {
+  Logger& logger = Logger::instance();
+  if (static_cast<int>(level) > static_cast<int>(logger.level())) return;
+  std::ostringstream out;
+  (out << ... << args);
+  logger.write(level, out.str());
+}
+
+}  // namespace detail
+
+template <typename... Args>
+void log_error(Args&&... args) {
+  detail::log(LogLevel::kError, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  detail::log(LogLevel::kWarn, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  detail::log(LogLevel::kInfo, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_debug(Args&&... args) {
+  detail::log(LogLevel::kDebug, std::forward<Args>(args)...);
+}
+
+}  // namespace mmr

@@ -1,0 +1,75 @@
+// Deterministic pseudo-random number generation (xoshiro256++), seeded via
+// SplitMix64.  Every stochastic component of the simulator owns its own Rng
+// stream derived from (master seed, component id) so that runs are exactly
+// reproducible regardless of sweep parallelism or component count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mmr {
+
+/// SplitMix64 step; used for seeding and cheap hashing of stream ids.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256++ generator.  Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds from a master seed and a stream id (component identity).
+  explicit Rng(std::uint64_t seed, std::uint64_t stream = 0);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() { return next(); }
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound).  bound must be > 0.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform_real();
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// Bernoulli trial.
+  bool chance(double p);
+
+  /// Exponentially distributed with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Normal via Box-Muller (no cached second value; cheap enough here).
+  double normal(double mean, double stddev);
+
+  /// Lognormal parameterised by the mean and coefficient of variation of the
+  /// *resulting* distribution (not of the underlying normal).
+  double lognormal_mean_cv(double mean, double cv);
+
+  /// Index drawn proportionally to `weights` (all >= 0, sum > 0).
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[uniform(i)]);
+    }
+  }
+
+  /// Derives an independent child stream (for sub-components).
+  [[nodiscard]] Rng fork(std::uint64_t stream) const;
+
+ private:
+  std::uint64_t s_[4];
+  std::uint64_t seed_;
+  std::uint64_t stream_;
+};
+
+}  // namespace mmr

@@ -1,0 +1,74 @@
+#include "mmr/sim/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mmr {
+
+void StreamingStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void StreamingStats::merge(const StreamingStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void StreamingStats::reset() { *this = StreamingStats{}; }
+
+double StreamingStats::mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double StreamingStats::variance() const {
+  return n_ == 0 ? 0.0 : m2_ / static_cast<double>(n_);
+}
+
+double StreamingStats::stddev() const { return std::sqrt(variance()); }
+
+double StreamingStats::min() const { return n_ == 0 ? 0.0 : min_; }
+
+double StreamingStats::max() const { return n_ == 0 ? 0.0 : max_; }
+
+void JitterTracker::add(double x) {
+  if (has_prev_) deltas_.add(std::abs(x - prev_));
+  prev_ = x;
+  has_prev_ = true;
+}
+
+void JitterTracker::reset() {
+  has_prev_ = false;
+  prev_ = 0.0;
+  deltas_.reset();
+}
+
+void RatioAccumulator::add(std::uint64_t numerator, std::uint64_t denominator) {
+  num_ += numerator;
+  den_ += denominator;
+}
+
+void RatioAccumulator::reset() {
+  num_ = 0;
+  den_ = 0;
+}
+
+double RatioAccumulator::ratio() const {
+  return den_ == 0 ? 0.0 : static_cast<double>(num_) / static_cast<double>(den_);
+}
+
+}  // namespace mmr

@@ -1,0 +1,70 @@
+// Streaming statistics used throughout the simulator: Welford mean/variance,
+// jitter tracking (mean |delta| between consecutive samples), and time-series
+// accumulation for utilization-style ratios.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace mmr {
+
+/// Single-pass mean / variance / min / max accumulator (Welford).
+class StreamingStats {
+ public:
+  void add(double x);
+  void merge(const StreamingStats& other);
+  void reset();
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] bool empty() const { return n_ == 0; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;  ///< population variance
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return mean() * static_cast<double>(n_); }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Jitter: statistics of |x_i - x_{i-1}| over a sample stream (the paper's
+/// definition — delay variation between adjacent units of one connection).
+class JitterTracker {
+ public:
+  void add(double x);
+  void reset();
+
+  [[nodiscard]] const StreamingStats& deltas() const { return deltas_; }
+  [[nodiscard]] double mean_jitter() const { return deltas_.mean(); }
+  [[nodiscard]] double max_jitter() const {
+    return deltas_.empty() ? 0.0 : deltas_.max();
+  }
+  [[nodiscard]] std::uint64_t count() const { return deltas_.count(); }
+
+ private:
+  bool has_prev_ = false;
+  double prev_ = 0.0;
+  StreamingStats deltas_;
+};
+
+/// Accumulates a ratio of counts over cycles (e.g. matched outputs / ports).
+class RatioAccumulator {
+ public:
+  void add(std::uint64_t numerator, std::uint64_t denominator);
+  void reset();
+
+  [[nodiscard]] double ratio() const;
+  [[nodiscard]] std::uint64_t numerator() const { return num_; }
+  [[nodiscard]] std::uint64_t denominator() const { return den_; }
+
+ private:
+  std::uint64_t num_ = 0;
+  std::uint64_t den_ = 0;
+};
+
+}  // namespace mmr

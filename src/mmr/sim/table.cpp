@@ -1,0 +1,66 @@
+#include "mmr/sim/table.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "mmr/sim/assert.hpp"
+
+namespace mmr {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  MMR_ASSERT(!header_.empty());
+}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  MMR_ASSERT_MSG(cells.size() == header_.size(),
+                 "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void AsciiTable::add_row_numeric(const std::vector<double>& cells,
+                                 int precision) {
+  std::vector<std::string> row;
+  row.reserve(cells.size());
+  for (double c : cells) row.push_back(num(c, precision));
+  add_row(std::move(row));
+}
+
+std::string AsciiTable::num(double x, int precision) {
+  if (std::isnan(x)) return "-";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, x);
+  return buf;
+}
+
+std::string AsciiTable::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream out;
+  auto rule = [&] {
+    out << '+';
+    for (std::size_t w : width) out << std::string(w + 2, '-') << '+';
+    out << '\n';
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    out << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << ' ' << cells[c] << std::string(width[c] - cells[c].size(), ' ')
+          << " |";
+    }
+    out << '\n';
+  };
+  rule();
+  line(header_);
+  rule();
+  for (const auto& row : rows_) line(row);
+  rule();
+  return out.str();
+}
+
+}  // namespace mmr

@@ -1,0 +1,82 @@
+#include "mmr/sim/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "mmr/sim/assert.hpp"
+
+namespace mmr {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  MMR_ASSERT(task != nullptr);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    MMR_ASSERT_MSG(!stopping_, "submit after shutdown");
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n, std::size_t threads,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  ThreadPool pool(threads);
+  std::atomic<std::size_t> next{0};
+  const std::size_t lanes = std::min(n, pool.size());
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    pool.submit([&] {
+      while (true) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        fn(i);
+      }
+    });
+  }
+  pool.wait_idle();
+}
+
+}  // namespace mmr

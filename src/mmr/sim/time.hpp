@@ -1,0 +1,85 @@
+// Time model.
+//
+// The engine advances one *flit cycle* at a time: the time to transmit one
+// flit over a physical link (and, synchronously, through the crossbar).  A
+// flit is made of phits; one phit crosses the link per *router cycle* (phit
+// cycle).  SIABP queue-age counters are specified in router cycles, so the
+// conversion factor `phits_per_flit` matters for priority biasing.
+//
+// All bookkeeping uses integral flit cycles; wall-clock conversions happen
+// only at the reporting boundary (double microseconds).
+#pragma once
+
+#include <cstdint>
+
+namespace mmr {
+
+/// Simulation time in flit cycles.
+using Cycle = std::uint64_t;
+
+/// Sentinel for "not yet" timestamps.
+inline constexpr Cycle kNever = ~Cycle{0};
+
+/// Converts between flit cycles, router cycles and wall-clock time for a
+/// given link technology.
+class TimeBase {
+ public:
+  constexpr TimeBase(double link_bandwidth_bps, std::uint32_t flit_bits,
+                     std::uint32_t phit_bits)
+      : link_bandwidth_bps_(link_bandwidth_bps),
+        flit_bits_(flit_bits),
+        phit_bits_(phit_bits) {}
+
+  [[nodiscard]] constexpr double link_bandwidth_bps() const {
+    return link_bandwidth_bps_;
+  }
+  [[nodiscard]] constexpr std::uint32_t flit_bits() const { return flit_bits_; }
+  [[nodiscard]] constexpr std::uint32_t phit_bits() const { return phit_bits_; }
+
+  [[nodiscard]] constexpr std::uint32_t phits_per_flit() const {
+    return flit_bits_ / phit_bits_;
+  }
+
+  /// Duration of one flit cycle in seconds.
+  [[nodiscard]] constexpr double flit_cycle_seconds() const {
+    return static_cast<double>(flit_bits_) / link_bandwidth_bps_;
+  }
+
+  [[nodiscard]] constexpr double flit_cycle_us() const {
+    return flit_cycle_seconds() * 1e6;
+  }
+
+  /// Duration of one router (phit) cycle in seconds.
+  [[nodiscard]] constexpr double router_cycle_seconds() const {
+    return static_cast<double>(phit_bits_) / link_bandwidth_bps_;
+  }
+
+  [[nodiscard]] constexpr double cycles_to_us(double flit_cycles) const {
+    return flit_cycles * flit_cycle_us();
+  }
+
+  [[nodiscard]] constexpr double cycles_to_seconds(double flit_cycles) const {
+    return flit_cycles * flit_cycle_seconds();
+  }
+
+  [[nodiscard]] constexpr double seconds_to_cycles(double seconds) const {
+    return seconds / flit_cycle_seconds();
+  }
+
+  /// Flits per second a connection of `bps` average rate must inject.
+  [[nodiscard]] constexpr double flits_per_second(double bps) const {
+    return bps / static_cast<double>(flit_bits_);
+  }
+
+  /// Fraction of one link's bandwidth a connection of `bps` consumes.
+  [[nodiscard]] constexpr double load_fraction(double bps) const {
+    return bps / link_bandwidth_bps_;
+  }
+
+ private:
+  double link_bandwidth_bps_;
+  std::uint32_t flit_bits_;
+  std::uint32_t phit_bits_;
+};
+
+}  // namespace mmr

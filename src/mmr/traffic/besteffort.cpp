@@ -1,0 +1,54 @@
+#include "mmr/traffic/besteffort.hpp"
+
+#include <cmath>
+
+#include "mmr/sim/assert.hpp"
+
+namespace mmr {
+
+BestEffortSource::BestEffortSource(ConnectionId connection, double mean_bps,
+                                   double mean_message_flits,
+                                   TimeBase time_base, Rng rng)
+    : connection_(connection),
+      mean_bps_(mean_bps),
+      mean_message_flits_(mean_message_flits),
+      rng_(rng) {
+  MMR_ASSERT(mean_bps > 0.0);
+  MMR_ASSERT(mean_message_flits >= 1.0);
+  // Messages of L flits at `mean_bps` arrive every L * flit_bits / bps
+  // seconds on average.
+  const double flits_per_second = time_base.flits_per_second(mean_bps);
+  const double messages_per_second = flits_per_second / mean_message_flits;
+  mean_gap_cycles_ =
+      time_base.seconds_to_cycles(1.0 / messages_per_second);
+  next_time_ = rng_.exponential(mean_gap_cycles_);
+}
+
+Cycle BestEffortSource::next_emission() const {
+  return static_cast<Cycle>(std::ceil(next_time_));
+}
+
+void BestEffortSource::generate(Cycle now, std::vector<Flit>& out) {
+  while (next_emission() <= now) {
+    // Geometric message length with the configured mean (support >= 1).
+    std::uint32_t length = 1;
+    const double continue_p = 1.0 - 1.0 / mean_message_flits_;
+    while (rng_.chance(continue_p)) ++length;
+
+    const Cycle arrival = next_emission();
+    for (std::uint32_t i = 0; i < length; ++i) {
+      Flit flit;
+      flit.connection = connection_;
+      flit.seq = seq_++;
+      flit.frame = message_index_;
+      flit.last_of_frame = (i + 1 == length);
+      flit.generated_at = arrival;
+      flit.frame_origin = arrival;
+      out.push_back(flit);
+    }
+    ++message_index_;
+    next_time_ += rng_.exponential(mean_gap_cycles_);
+  }
+}
+
+}  // namespace mmr

@@ -1,0 +1,39 @@
+// Best-effort traffic: the MMR forwards non-multimedia messages with Virtual
+// Cut-Through switching using leftover bandwidth.  Modelled as Poisson
+// message arrivals with geometrically distributed message lengths; a
+// message's flits are enqueued together (the host writes the whole message
+// into the NIC).
+#pragma once
+
+#include "mmr/sim/rng.hpp"
+#include "mmr/sim/time.hpp"
+#include "mmr/traffic/flit.hpp"
+
+namespace mmr {
+
+class BestEffortSource final : public TrafficSource {
+ public:
+  /// `mean_bps` long-run offered rate; `mean_message_flits` average message
+  /// length (geometric, >= 1).
+  BestEffortSource(ConnectionId connection, double mean_bps,
+                   double mean_message_flits, TimeBase time_base, Rng rng);
+
+  [[nodiscard]] ConnectionId connection() const override { return connection_; }
+  [[nodiscard]] Cycle next_emission() const override;
+  void generate(Cycle now, std::vector<Flit>& out) override;
+  [[nodiscard]] double mean_bps() const override { return mean_bps_; }
+
+ private:
+  void schedule_next_message();
+
+  ConnectionId connection_;
+  double mean_bps_;
+  double mean_message_flits_;
+  double mean_gap_cycles_;  ///< mean inter-message gap
+  Rng rng_;
+  double next_time_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::uint32_t message_index_ = 0;
+};
+
+}  // namespace mmr

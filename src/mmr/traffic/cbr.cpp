@@ -1,0 +1,39 @@
+#include "mmr/traffic/cbr.hpp"
+
+#include <cmath>
+
+#include "mmr/sim/assert.hpp"
+
+namespace mmr {
+
+CbrSource::CbrSource(ConnectionId connection, double bps, TimeBase time_base,
+                     double phase_cycles)
+    : connection_(connection),
+      bps_(bps),
+      iat_cycles_(time_base.link_bandwidth_bps() / bps),
+      next_time_(phase_cycles) {
+  MMR_ASSERT(bps > 0.0);
+  MMR_ASSERT_MSG(bps <= time_base.link_bandwidth_bps(),
+                 "a CBR connection cannot exceed the link bandwidth");
+  MMR_ASSERT(phase_cycles >= 0.0);
+}
+
+Cycle CbrSource::next_emission() const {
+  return static_cast<Cycle>(std::ceil(next_time_));
+}
+
+void CbrSource::generate(Cycle now, std::vector<Flit>& out) {
+  while (next_emission() <= now) {
+    Flit flit;
+    flit.connection = connection_;
+    flit.seq = seq_++;
+    flit.frame = 0;
+    flit.last_of_frame = true;  // each CBR flit is its own data unit
+    flit.generated_at = next_emission();
+    flit.frame_origin = flit.generated_at;
+    out.push_back(flit);
+    next_time_ += iat_cycles_;
+  }
+}
+
+}  // namespace mmr

@@ -1,0 +1,43 @@
+// Constant-bit-rate sources.  The paper's CBR workload is a random mix of
+// 64 Kbps (voice), 1.54 Mbps (T1 video) and 55 Mbps (high-quality video)
+// connections, each injecting flits at a fixed inter-arrival time.
+#pragma once
+
+#include "mmr/sim/time.hpp"
+#include "mmr/traffic/flit.hpp"
+
+namespace mmr {
+
+/// The paper's three CBR bandwidth classes.
+struct CbrClass {
+  const char* name;
+  double bps;
+};
+inline constexpr CbrClass kCbrLow{"64 Kbps", 64e3};
+inline constexpr CbrClass kCbrMedium{"1.54 Mbps", 1.54e6};
+inline constexpr CbrClass kCbrHigh{"55 Mbps", 55e6};
+
+class CbrSource final : public TrafficSource {
+ public:
+  /// `phase_cycles` staggers the first emission so that same-rate sources do
+  /// not all fire on the same cycle.
+  CbrSource(ConnectionId connection, double bps, TimeBase time_base,
+            double phase_cycles = 0.0);
+
+  [[nodiscard]] ConnectionId connection() const override { return connection_; }
+  [[nodiscard]] Cycle next_emission() const override;
+  void generate(Cycle now, std::vector<Flit>& out) override;
+  [[nodiscard]] double mean_bps() const override { return bps_; }
+
+  /// Flit inter-arrival time in flit cycles (= link_bps / connection_bps).
+  [[nodiscard]] double iat_cycles() const { return iat_cycles_; }
+
+ private:
+  ConnectionId connection_;
+  double bps_;
+  double iat_cycles_;
+  double next_time_;  ///< fractional cycles; emitted at ceil()
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace mmr

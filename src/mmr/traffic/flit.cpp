@@ -1,0 +1,6 @@
+#include "mmr/traffic/flit.hpp"
+
+// Flit is a plain aggregate; this translation unit anchors the TrafficSource
+// vtable so the library has a home for it.
+
+namespace mmr {}  // namespace mmr

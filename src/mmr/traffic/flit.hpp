@@ -1,0 +1,44 @@
+// Flit: the flow-control unit.  Flits are large (4096 bits by default) and
+// forwarded synchronously through the crossbar; phit-level pipelining hides
+// their serialization latency, so the engine treats one flit transfer as one
+// scheduling cycle.
+#pragma once
+
+#include <cstdint>
+
+#include "mmr/qos/connection.hpp"
+#include "mmr/sim/time.hpp"
+
+namespace mmr {
+
+struct Flit {
+  ConnectionId connection = kInvalidConnection;
+  std::uint64_t seq = 0;       ///< per-connection sequence number
+  std::uint32_t frame = 0;     ///< video frame (VBR) / message (BE) index
+  bool last_of_frame = false;  ///< closes its frame / message
+  Cycle generated_at = 0;      ///< when the source emitted this flit
+  Cycle frame_origin = 0;      ///< when its frame was generated (application
+                               ///< data unit boundary); == generated_at for
+                               ///< CBR and best-effort traffic
+};
+
+/// Interface implemented by every traffic generator.  Sources are pulled by
+/// the engine: `next_emission()` says when the source has something to emit;
+/// `generate(now, out)` appends every flit due at or before `now` (in
+/// emission order) and advances the emission clock.
+class TrafficSource {
+ public:
+  virtual ~TrafficSource() = default;
+
+  [[nodiscard]] virtual ConnectionId connection() const = 0;
+
+  /// Cycle of the next flit emission, or kNever for an exhausted source.
+  [[nodiscard]] virtual Cycle next_emission() const = 0;
+
+  virtual void generate(Cycle now, std::vector<Flit>& out) = 0;
+
+  /// Long-run average offered bandwidth (bps) — used for load accounting.
+  [[nodiscard]] virtual double mean_bps() const = 0;
+};
+
+}  // namespace mmr

@@ -1,0 +1,112 @@
+#include "mmr/traffic/mpeg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "mmr/sim/assert.hpp"
+
+namespace mmr {
+
+const char* to_string(FrameType t) {
+  switch (t) {
+    case FrameType::kI: return "I";
+    case FrameType::kP: return "P";
+    case FrameType::kB: return "B";
+  }
+  return "?";
+}
+
+double MpegSequenceParams::mean_bits(FrameType t) const {
+  switch (t) {
+    case FrameType::kI: return mean_bits_i;
+    case FrameType::kP: return mean_bits_p;
+    case FrameType::kB: return mean_bits_b;
+  }
+  return 0.0;
+}
+
+double MpegSequenceParams::cv(FrameType t) const {
+  switch (t) {
+    case FrameType::kI: return cv_i;
+    case FrameType::kP: return cv_p;
+    case FrameType::kB: return cv_b;
+  }
+  return 0.0;
+}
+
+double MpegSequenceParams::mean_bps() const {
+  double gop_bits = 0.0;
+  for (FrameType t : kGopPattern) gop_bits += mean_bits(t);
+  return gop_bits / (kGopFrames * kFramePeriodSeconds);
+}
+
+const std::vector<MpegSequenceParams>& mpeg_sequence_library() {
+  // Means in bits; calibrated (not the unavailable originals — see DESIGN.md)
+  // so that complex sequences (Mobile Calendar, Flower Garden) run hot and
+  // movie content (Hook, Martin) runs cool, like the real traces.
+  static const std::vector<MpegSequenceParams> library = {
+      {"Ayersroc", 900e3, 450e3, 220e3, 0.12, 0.18, 0.15},
+      {"Hook", 700e3, 320e3, 150e3, 0.15, 0.22, 0.20},
+      {"Martin", 650e3, 300e3, 140e3, 0.14, 0.20, 0.18},
+      {"Flower Garden", 1500e3, 850e3, 420e3, 0.10, 0.15, 0.13},
+      {"Mobile Calendar", 1700e3, 1000e3, 500e3, 0.08, 0.12, 0.10},
+      {"Table Tennis", 1100e3, 550e3, 260e3, 0.16, 0.24, 0.20},
+      {"Football", 1300e3, 700e3, 350e3, 0.14, 0.20, 0.18},
+  };
+  return library;
+}
+
+const MpegSequenceParams& mpeg_sequence(const std::string& name) {
+  for (const MpegSequenceParams& seq : mpeg_sequence_library()) {
+    if (seq.name == name) return seq;
+  }
+  throw std::invalid_argument("unknown MPEG-2 sequence: " + name);
+}
+
+std::uint64_t MpegTrace::max_frame_bits() const {
+  MMR_ASSERT(!frame_bits.empty());
+  return *std::max_element(frame_bits.begin(), frame_bits.end());
+}
+
+std::uint64_t MpegTrace::min_frame_bits() const {
+  MMR_ASSERT(!frame_bits.empty());
+  return *std::min_element(frame_bits.begin(), frame_bits.end());
+}
+
+double MpegTrace::mean_frame_bits() const {
+  MMR_ASSERT(!frame_bits.empty());
+  double total = 0.0;
+  for (std::uint64_t bits : frame_bits) total += static_cast<double>(bits);
+  return total / static_cast<double>(frame_bits.size());
+}
+
+double MpegTrace::mean_bps() const {
+  return mean_frame_bits() / kFramePeriodSeconds;
+}
+
+double MpegTrace::peak_bps() const {
+  return static_cast<double>(max_frame_bits()) / kFramePeriodSeconds;
+}
+
+MpegTrace generate_mpeg_trace(const MpegSequenceParams& params,
+                              std::uint32_t gops, Rng& rng) {
+  MMR_ASSERT(gops > 0);
+  MMR_ASSERT(params.mean_bits_i > 0.0);
+  MMR_ASSERT(params.mean_bits_p > 0.0);
+  MMR_ASSERT(params.mean_bits_b > 0.0);
+  MpegTrace trace;
+  trace.sequence = params.name;
+  trace.frame_bits.reserve(static_cast<std::size_t>(gops) * kGopFrames);
+  for (std::uint32_t g = 0; g < gops; ++g) {
+    for (FrameType t : kGopPattern) {
+      const double mean = params.mean_bits(t);
+      double bits = rng.lognormal_mean_cv(mean, params.cv(t));
+      bits = std::clamp(bits, 0.25 * mean, 4.0 * mean);
+      trace.frame_bits.push_back(static_cast<std::uint64_t>(bits));
+    }
+  }
+  return trace;
+}
+
+}  // namespace mmr

@@ -1,0 +1,88 @@
+// MPEG-2 video traffic model (Section 5.2).
+//
+// The paper drives its VBR experiments with real MPEG-2 traces of seven
+// well-known sequences (Table 1).  The original trace files are not
+// available, so this module generates *synthetic* traces with the same
+// structure: a fixed 15-frame GOP (IBBPBBPBBPBBPBB), one frame every 33 ms,
+// and per-sequence I/P/B frame-size statistics (lognormal around per-type
+// means) calibrated to high-quality MPEG-2 rates (≈7–22 Mbps average,
+// peak/mean ≈ 2.5–4).  See DESIGN.md for the substitution rationale.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mmr/sim/rng.hpp"
+
+namespace mmr {
+
+enum class FrameType : std::uint8_t { kI, kP, kB };
+
+[[nodiscard]] const char* to_string(FrameType t);
+
+/// The paper's GOP: IBBPBBPBBPBBPBB.
+inline constexpr std::array<FrameType, 15> kGopPattern = {
+    FrameType::kI, FrameType::kB, FrameType::kB, FrameType::kP, FrameType::kB,
+    FrameType::kB, FrameType::kP, FrameType::kB, FrameType::kB, FrameType::kP,
+    FrameType::kB, FrameType::kB, FrameType::kP, FrameType::kB, FrameType::kB};
+
+inline constexpr std::uint32_t kGopFrames =
+    static_cast<std::uint32_t>(kGopPattern.size());
+
+/// Frame period: "Every 33 milliseconds, a frame must be injected."
+inline constexpr double kFramePeriodSeconds = 33e-3;
+
+/// Per-sequence frame-size statistics (bits).
+struct MpegSequenceParams {
+  std::string name;
+  double mean_bits_i = 0.0;
+  double mean_bits_p = 0.0;
+  double mean_bits_b = 0.0;
+  double cv_i = 0.0;  ///< coefficient of variation per frame type
+  double cv_p = 0.0;
+  double cv_b = 0.0;
+
+  [[nodiscard]] double mean_bits(FrameType t) const;
+  [[nodiscard]] double cv(FrameType t) const;
+
+  /// Long-run average bit rate (bits/s) implied by the GOP mix.
+  [[nodiscard]] double mean_bps() const;
+};
+
+/// Table 1's seven sequences: Ayersroc, Hook, Martin, Flower Garden,
+/// Mobile Calendar, Table Tennis, Football.
+[[nodiscard]] const std::vector<MpegSequenceParams>& mpeg_sequence_library();
+
+[[nodiscard]] const MpegSequenceParams& mpeg_sequence(const std::string& name);
+
+/// A realised trace: frame sizes in bits, GOP-pattern order.
+struct MpegTrace {
+  std::string sequence;
+  std::vector<std::uint64_t> frame_bits;
+
+  [[nodiscard]] std::uint32_t frames() const {
+    return static_cast<std::uint32_t>(frame_bits.size());
+  }
+  [[nodiscard]] std::uint32_t gops() const { return frames() / kGopFrames; }
+  [[nodiscard]] std::uint64_t max_frame_bits() const;
+  [[nodiscard]] std::uint64_t min_frame_bits() const;
+  [[nodiscard]] double mean_frame_bits() const;
+  /// Average rate of the realised trace (bits/s).
+  [[nodiscard]] double mean_bps() const;
+  /// Rate needed to inject the largest frame within one frame period —
+  /// the Back-to-Back injection model's peak bandwidth contribution.
+  [[nodiscard]] double peak_bps() const;
+  [[nodiscard]] FrameType frame_type(std::uint32_t index) const {
+    return kGopPattern[index % kGopFrames];
+  }
+};
+
+/// Draws `gops` GOPs of frame sizes.  Sizes are lognormal per frame type,
+/// clamped to [0.25, 4] x the type mean so a single outlier cannot dominate
+/// the run.
+[[nodiscard]] MpegTrace generate_mpeg_trace(const MpegSequenceParams& params,
+                                            std::uint32_t gops, Rng& rng);
+
+}  // namespace mmr

@@ -1,0 +1,105 @@
+#include "mmr/traffic/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mmr {
+
+namespace {
+
+std::string strip(const std::string& text) {
+  const auto begin = text.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = text.find_last_not_of(" \t\r");
+  return text.substr(begin, end - begin + 1);
+}
+
+std::uint64_t parse_bits(const std::string& cell, std::size_t line) {
+  try {
+    std::size_t used = 0;
+    const unsigned long long bits = std::stoull(cell, &used);
+    if (used != cell.size() || bits == 0) throw std::invalid_argument(cell);
+    return bits;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("trace line " + std::to_string(line) +
+                                ": bad frame size '" + cell + "'");
+  }
+}
+
+}  // namespace
+
+void write_trace_csv(std::ostream& out, const MpegTrace& trace) {
+  out << "frame,type,bits\n";
+  for (std::uint32_t f = 0; f < trace.frames(); ++f) {
+    out << f << ',' << to_string(trace.frame_type(f)) << ','
+        << trace.frame_bits[f] << '\n';
+  }
+}
+
+MpegTrace read_trace_csv(std::istream& in, const std::string& name) {
+  MpegTrace trace;
+  trace.sequence = name;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string text = strip(line);
+    if (text.empty() || text[0] == '#') continue;
+    // Skip a header row (any row whose last field is not numeric).
+    const auto comma = text.find_last_of(',');
+    const std::string last =
+        strip(comma == std::string::npos ? text : text.substr(comma + 1));
+    if (line_number == 1 && !last.empty() &&
+        (last.find_first_not_of("0123456789") != std::string::npos)) {
+      continue;
+    }
+    trace.frame_bits.push_back(parse_bits(last, line_number));
+  }
+  if (trace.frame_bits.empty()) {
+    throw std::invalid_argument("trace '" + name + "' contains no frames");
+  }
+  return trace;
+}
+
+MpegTrace read_trace_lines(std::istream& in, const std::string& name) {
+  MpegTrace trace;
+  trace.sequence = name;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string text = strip(line);
+    if (text.empty() || text[0] == '#') continue;
+    trace.frame_bits.push_back(parse_bits(text, line_number));
+  }
+  if (trace.frame_bits.empty()) {
+    throw std::invalid_argument("trace '" + name + "' contains no frames");
+  }
+  return trace;
+}
+
+void save_trace_csv(const std::string& path, const MpegTrace& trace) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write trace file: " + path);
+  write_trace_csv(out, trace);
+}
+
+MpegTrace load_trace(const std::string& path, const std::string& name) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read trace file: " + path);
+  // Sniff the format from the first non-empty line.
+  const auto start = in.tellg();
+  std::string first;
+  while (std::getline(in, first)) {
+    if (!strip(first).empty()) break;
+  }
+  in.clear();
+  in.seekg(start);
+  if (strip(first).find(',') != std::string::npos) {
+    return read_trace_csv(in, name);
+  }
+  return read_trace_lines(in, name);
+}
+
+}  // namespace mmr

@@ -1,0 +1,34 @@
+// MPEG trace import/export.  The paper drove its experiments from real
+// MPEG-2 trace files; this module reads the two common interchange formats
+// so real traces can replace the synthetic generator:
+//  * "lines" format (classic trace archives): one frame size per line, in
+//    bits; '#' comments and blank lines ignored.
+//  * CSV format (what the fig6 bench emits): header `frame,type,bits` or
+//    any CSV whose last column is the frame size in bits.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "mmr/traffic/mpeg.hpp"
+
+namespace mmr {
+
+/// Writes `frame,type,bits` CSV (types follow the GOP pattern).
+void write_trace_csv(std::ostream& out, const MpegTrace& trace);
+
+/// Reads the CSV format back.  Throws std::invalid_argument on malformed
+/// rows or an empty trace.
+[[nodiscard]] MpegTrace read_trace_csv(std::istream& in,
+                                       const std::string& name);
+
+/// Reads the one-size-per-line archive format (bits per frame).
+[[nodiscard]] MpegTrace read_trace_lines(std::istream& in,
+                                         const std::string& name);
+
+/// File helpers; throw std::runtime_error when the file cannot be opened.
+void save_trace_csv(const std::string& path, const MpegTrace& trace);
+[[nodiscard]] MpegTrace load_trace(const std::string& path,
+                                   const std::string& name);
+
+}  // namespace mmr

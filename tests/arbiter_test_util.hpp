@@ -1,0 +1,67 @@
+// Shared helpers for arbiter tests.
+#pragma once
+
+#include "mmr/arbiter/candidate.hpp"
+#include "mmr/sim/rng.hpp"
+
+namespace mmr::test {
+
+/// Random candidate set: each input contributes a geometric number of
+/// contiguous levels; outputs uniform; priorities non-increasing per input.
+inline CandidateSet random_candidates(std::uint32_t ports,
+                                      std::uint32_t levels, double density,
+                                      Rng& rng) {
+  CandidateSet set(ports, levels);
+  for (std::uint32_t input = 0; input < ports; ++input) {
+    Priority prev = ~Priority{0};
+    for (std::uint32_t level = 0; level < levels; ++level) {
+      if (!rng.chance(density)) break;
+      Candidate c;
+      c.input = static_cast<std::uint16_t>(input);
+      c.output = static_cast<std::uint16_t>(rng.uniform(ports));
+      c.level = static_cast<std::uint8_t>(level);
+      c.vc = input * levels + level;
+      c.priority = std::min<Priority>(prev, 1 + rng.uniform(1u << 20));
+      prev = c.priority;
+      set.add(c);
+    }
+  }
+  return set;
+}
+
+/// Candidate set with exactly one candidate per (input -> output) pair from
+/// a permutation.
+inline CandidateSet permutation_candidates(std::uint32_t ports,
+                                           std::uint32_t shift = 0) {
+  CandidateSet set(ports, 1);
+  for (std::uint32_t input = 0; input < ports; ++input) {
+    Candidate c;
+    c.input = static_cast<std::uint16_t>(input);
+    c.output = static_cast<std::uint16_t>((input + shift) % ports);
+    c.level = 0;
+    c.vc = input;
+    c.priority = 100;
+    set.add(c);
+  }
+  return set;
+}
+
+/// All inputs request the same output at level 0, with distinct priorities
+/// priority(input) = base + input.
+inline CandidateSet contention_candidates(std::uint32_t ports,
+                                          std::uint32_t output,
+                                          Priority base = 10) {
+  CandidateSet set(ports, 1);
+  for (std::uint32_t input = 0; input < ports; ++input) {
+    Candidate c;
+    c.input = static_cast<std::uint16_t>(input);
+    c.output = static_cast<std::uint16_t>(output);
+    c.level = 0;
+    c.vc = input;
+    c.priority = base + input;
+    set.add(c);
+  }
+  return set;
+}
+
+}  // namespace mmr::test

@@ -1,0 +1,133 @@
+#include "mmr/arbiter/candidate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arbiter_test_util.hpp"
+#include "mmr/arbiter/matching.hpp"
+
+namespace mmr {
+namespace {
+
+TEST(CandidateSet, StartsEmpty) {
+  CandidateSet set(4, 4);
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_EQ(set.ports(), 4u);
+  EXPECT_EQ(set.levels(), 4u);
+  for (std::uint32_t input = 0; input < 4; ++input) {
+    EXPECT_EQ(set.levels_used(input), 0u);
+    for (std::uint32_t level = 0; level < 4; ++level) {
+      EXPECT_EQ(set.index_of(input, level), -1);
+    }
+  }
+}
+
+TEST(CandidateSet, AddAndLookup) {
+  CandidateSet set(4, 2);
+  Candidate c;
+  c.input = 2;
+  c.output = 3;
+  c.level = 0;
+  c.vc = 17;
+  c.priority = 99;
+  set.add(c);
+  EXPECT_EQ(set.size(), 1u);
+  const std::int32_t idx = set.index_of(2, 0);
+  ASSERT_NE(idx, -1);
+  const Candidate& got = set.at(static_cast<std::size_t>(idx));
+  EXPECT_EQ(got.output, 3);
+  EXPECT_EQ(got.vc, 17u);
+  EXPECT_EQ(got.priority, 99u);
+  EXPECT_EQ(set.levels_used(2), 1u);
+  EXPECT_EQ(set.levels_used(0), 0u);
+}
+
+TEST(CandidateSet, ClearResets) {
+  Rng rng(41, 0);
+  CandidateSet set = test::random_candidates(4, 4, 1.0, rng);
+  EXPECT_FALSE(set.empty());
+  set.clear();
+  EXPECT_TRUE(set.empty());
+  for (std::uint32_t input = 0; input < 4; ++input) {
+    EXPECT_EQ(set.index_of(input, 0), -1);
+  }
+}
+
+TEST(CandidateSet, InvariantsHoldForRandomSets) {
+  Rng rng(42, 0);
+  for (int trial = 0; trial < 100; ++trial) {
+    const CandidateSet set = test::random_candidates(8, 4, 0.7, rng);
+    set.check_invariants();
+  }
+}
+
+TEST(CandidateSetDeath, RejectsDuplicateSlot) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  CandidateSet set(4, 2);
+  Candidate c;
+  c.input = 1;
+  c.output = 0;
+  c.level = 0;
+  set.add(c);
+  EXPECT_DEATH(set.add(c), "duplicate");
+}
+
+TEST(CandidateSetDeath, RejectsLevelGap) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  CandidateSet set(4, 3);
+  Candidate c;
+  c.input = 1;
+  c.output = 0;
+  c.level = 1;  // level 0 missing
+  EXPECT_DEATH(set.add(c), "contiguous");
+}
+
+TEST(CandidateSetDeath, RejectsOutOfRangePorts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  CandidateSet set(4, 2);
+  Candidate c;
+  c.input = 4;  // out of range
+  c.output = 0;
+  c.level = 0;
+  EXPECT_DEATH(set.add(c), "input");
+}
+
+TEST(CandidateSetDeath, CheckInvariantsCatchesIncreasingPriority) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  CandidateSet set(2, 2);
+  Candidate c;
+  c.input = 0;
+  c.output = 0;
+  c.level = 0;
+  c.priority = 5;
+  set.add(c);
+  c.level = 1;
+  c.priority = 50;  // must not exceed the level-0 priority
+  set.add(c);
+  EXPECT_DEATH(set.check_invariants(), "priorities");
+}
+
+TEST(Matching, BasicBookkeeping) {
+  Matching m(4);
+  EXPECT_EQ(m.size(), 0u);
+  m.match(1, 2, 7);
+  EXPECT_TRUE(m.input_matched(1));
+  EXPECT_TRUE(m.output_matched(2));
+  EXPECT_FALSE(m.input_matched(0));
+  EXPECT_EQ(m.output_of(1), 2);
+  EXPECT_EQ(m.input_of(2), 1);
+  EXPECT_EQ(m.candidate_of(1), 7);
+  EXPECT_EQ(m.output_of(0), -1);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(MatchingDeath, RejectsDoubleMatch) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Matching m(4);
+  m.match(1, 2, 0);
+  EXPECT_DEATH(m.match(1, 3, 1), "input matched twice");
+  EXPECT_DEATH(m.match(0, 2, 1), "output matched twice");
+}
+
+}  // namespace
+}  // namespace mmr

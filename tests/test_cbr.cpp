@@ -1,0 +1,103 @@
+#include "mmr/traffic/cbr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mmr/sim/config.hpp"
+
+namespace mmr {
+namespace {
+
+TimeBase tb() { return TimeBase(2.4e9, 4096, 16); }
+
+TEST(CbrSource, IatMatchesBandwidth) {
+  const CbrSource source(0, 55e6, tb());
+  EXPECT_NEAR(source.iat_cycles(), 2.4e9 / 55e6, 1e-9);
+  EXPECT_DOUBLE_EQ(source.mean_bps(), 55e6);
+}
+
+TEST(CbrSource, EmitsAtConfiguredRate) {
+  CbrSource source(3, 55e6, tb());
+  std::vector<Flit> flits;
+  const Cycle window = 100'000;
+  source.generate(window, flits);
+  const double expected = static_cast<double>(window) / source.iat_cycles();
+  EXPECT_NEAR(static_cast<double>(flits.size()), expected, 2.0);
+}
+
+TEST(CbrSource, LowRateEmitsSparsely) {
+  CbrSource source(1, 64e3, tb());
+  std::vector<Flit> flits;
+  source.generate(100'000, flits);
+  // 64 Kbps -> one flit every 37500 cycles.
+  EXPECT_NEAR(static_cast<double>(flits.size()), 100000.0 / 37500.0, 2.0);
+}
+
+TEST(CbrSource, FlitFieldsAreCoherent) {
+  CbrSource source(7, 1.54e6, tb());
+  std::vector<Flit> flits;
+  source.generate(50'000, flits);
+  ASSERT_FALSE(flits.empty());
+  std::uint64_t seq = 0;
+  Cycle prev = 0;
+  for (const Flit& flit : flits) {
+    EXPECT_EQ(flit.connection, 7u);
+    EXPECT_EQ(flit.seq, seq++);
+    EXPECT_TRUE(flit.last_of_frame);
+    EXPECT_EQ(flit.generated_at, flit.frame_origin);
+    EXPECT_GE(flit.generated_at, prev);
+    prev = flit.generated_at;
+  }
+}
+
+TEST(CbrSource, EmissionTimesAreEvenlySpaced) {
+  CbrSource source(0, 55e6, tb());
+  std::vector<Flit> flits;
+  source.generate(20'000, flits);
+  ASSERT_GE(flits.size(), 3u);
+  const double iat = source.iat_cycles();
+  for (std::size_t i = 1; i < flits.size(); ++i) {
+    const double gap = static_cast<double>(flits[i].generated_at) -
+                       static_cast<double>(flits[i - 1].generated_at);
+    EXPECT_NEAR(gap, iat, 1.01);  // ceil() quantisation
+  }
+}
+
+TEST(CbrSource, PhaseDelaysFirstEmission) {
+  CbrSource shifted(0, 55e6, tb(), /*phase=*/100.0);
+  EXPECT_EQ(shifted.next_emission(), 100u);
+  std::vector<Flit> flits;
+  shifted.generate(99, flits);
+  EXPECT_TRUE(flits.empty());
+  shifted.generate(100, flits);
+  EXPECT_EQ(flits.size(), 1u);
+}
+
+TEST(CbrSource, GenerateIsIdempotentForSameCycle) {
+  CbrSource source(0, 55e6, tb());
+  std::vector<Flit> flits;
+  source.generate(1000, flits);
+  const std::size_t count = flits.size();
+  source.generate(1000, flits);  // nothing new due
+  EXPECT_EQ(flits.size(), count);
+}
+
+TEST(CbrSource, NextEmissionAdvancesPastGenerate) {
+  CbrSource source(0, 1.54e6, tb());
+  std::vector<Flit> flits;
+  source.generate(10'000, flits);
+  EXPECT_GT(source.next_emission(), 10'000u);
+}
+
+TEST(CbrSource, PaperClassConstants) {
+  EXPECT_DOUBLE_EQ(kCbrLow.bps, 64e3);
+  EXPECT_DOUBLE_EQ(kCbrMedium.bps, 1.54e6);
+  EXPECT_DOUBLE_EQ(kCbrHigh.bps, 55e6);
+}
+
+TEST(CbrSourceDeath, RejectsExcessiveRate) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(CbrSource(0, 3e9, tb()), "exceed");
+}
+
+}  // namespace
+}  // namespace mmr

@@ -1,0 +1,118 @@
+#include "mmr/sim/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mmr {
+namespace {
+
+TEST(TimeBase, PaperConstants) {
+  const TimeBase tb(2.4e9, 4096, 16);
+  EXPECT_EQ(tb.phits_per_flit(), 256u);
+  EXPECT_NEAR(tb.flit_cycle_us(), 1.70667, 1e-4);
+  EXPECT_NEAR(tb.router_cycle_seconds(), 16.0 / 2.4e9, 1e-18);
+}
+
+TEST(TimeBase, RoundTripConversions) {
+  const TimeBase tb(2.4e9, 4096, 16);
+  const double cycles = 12345.0;
+  EXPECT_NEAR(tb.seconds_to_cycles(tb.cycles_to_seconds(cycles)), cycles,
+              1e-6);
+  EXPECT_NEAR(tb.cycles_to_us(1.0), tb.flit_cycle_us(), 1e-12);
+}
+
+TEST(TimeBase, LoadFraction) {
+  const TimeBase tb(2.4e9, 4096, 16);
+  EXPECT_NEAR(tb.load_fraction(2.4e9), 1.0, 1e-12);
+  EXPECT_NEAR(tb.load_fraction(55e6), 55.0 / 2400.0, 1e-12);
+  EXPECT_NEAR(tb.flits_per_second(4096.0), 1.0, 1e-12);
+}
+
+TEST(SimConfig, DefaultsAreValid) {
+  SimConfig config;
+  config.validate();  // aborts on violation
+  EXPECT_EQ(config.flit_cycles_per_round(), 4u * 256u);
+  EXPECT_EQ(config.total_cycles(), config.warmup_cycles + config.measure_cycles);
+}
+
+TEST(SimConfig, OverridesApply) {
+  SimConfig config;
+  const auto applied = apply_overrides(
+      config, {"ports=8", "vcs=64", "arbiter=wfa", "priority=iabp",
+               "link_bps=1.2e9", "buffer_flits=4", "levels=2", "seed=77",
+               "warmup=100", "measure=200", "round_multiple=8",
+               "concurrency_factor=2.5", "flit_bits=2048", "phit_bits=8",
+               "link_latency=2", "credit_latency=3"});
+  EXPECT_EQ(applied.size(), 16u);
+  EXPECT_EQ(config.ports, 8u);
+  EXPECT_EQ(config.vcs_per_link, 64u);
+  EXPECT_EQ(config.arbiter, "wfa");
+  EXPECT_EQ(config.priority_scheme, PriorityScheme::kIabp);
+  EXPECT_DOUBLE_EQ(config.link_bandwidth_bps, 1.2e9);
+  EXPECT_EQ(config.buffer_flits_per_vc, 4u);
+  EXPECT_EQ(config.candidate_levels, 2u);
+  EXPECT_EQ(config.seed, 77u);
+  EXPECT_EQ(config.warmup_cycles, 100u);
+  EXPECT_EQ(config.measure_cycles, 200u);
+  EXPECT_EQ(config.round_multiple, 8u);
+  EXPECT_DOUBLE_EQ(config.concurrency_factor, 2.5);
+  EXPECT_EQ(config.flit_bits, 2048u);
+  EXPECT_EQ(config.phit_bits, 8u);
+  EXPECT_EQ(config.link_latency, 2u);
+  EXPECT_EQ(config.credit_latency, 3u);
+  config.validate();
+}
+
+TEST(SimConfig, UnknownKeyThrowsListingValidKeys) {
+  SimConfig config;
+  try {
+    apply_overrides(config, {"bogus=1"});
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("bogus"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("arbiter"), std::string::npos);
+  }
+}
+
+TEST(SimConfig, MalformedOverrideThrows) {
+  SimConfig config;
+  EXPECT_THROW(apply_overrides(config, {"ports"}), std::invalid_argument);
+  EXPECT_THROW(apply_overrides(config, {"ports=abc"}), std::invalid_argument);
+  EXPECT_THROW(apply_overrides(config, {"link_bps=xyz"}),
+               std::invalid_argument);
+}
+
+TEST(SimConfig, PrioritySchemeRoundTrips) {
+  for (PriorityScheme scheme :
+       {PriorityScheme::kSiabp, PriorityScheme::kIabp,
+        PriorityScheme::kFifoAge, PriorityScheme::kStatic}) {
+    EXPECT_EQ(priority_scheme_from_string(to_string(scheme)), scheme);
+  }
+  EXPECT_THROW((void)priority_scheme_from_string("nope"), std::invalid_argument);
+}
+
+TEST(SimConfigDeath, ValidateRejectsNonsense) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  SimConfig config;
+  config.ports = 1;
+  EXPECT_DEATH(config.validate(), "ports");
+  config = SimConfig{};
+  config.flit_bits = 100;  // not a multiple of phit_bits
+  EXPECT_DEATH(config.validate(), "phit");
+  config = SimConfig{};
+  config.candidate_levels = 0;
+  EXPECT_DEATH(config.validate(), "level");
+  config = SimConfig{};
+  config.candidate_levels = config.vcs_per_link + 1;
+  EXPECT_DEATH(config.validate(), "levels");
+  config = SimConfig{};
+  config.concurrency_factor = 0.5;
+  EXPECT_DEATH(config.validate(), "concurrency");
+  config = SimConfig{};
+  config.measure_cycles = 0;
+  EXPECT_DEATH(config.validate(), "measure");
+}
+
+}  // namespace
+}  // namespace mmr

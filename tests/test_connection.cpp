@@ -1,0 +1,82 @@
+#include "mmr/qos/connection.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mmr {
+namespace {
+
+ConnectionDescriptor make(TrafficClass cls, std::uint32_t in,
+                          std::uint32_t out, double bps) {
+  ConnectionDescriptor c;
+  c.traffic_class = cls;
+  c.input_link = in;
+  c.output_link = out;
+  c.mean_bandwidth_bps = bps;
+  c.peak_bandwidth_bps = bps;
+  return c;
+}
+
+TEST(ConnectionTable, AssignsIdsAndVcsInOrder) {
+  ConnectionTable table(4);
+  const ConnectionId a =
+      table.add(make(TrafficClass::kCbr, 0, 1, 1e6), /*vcs_per_link=*/8);
+  const ConnectionId b = table.add(make(TrafficClass::kCbr, 0, 2, 1e6), 8);
+  const ConnectionId c = table.add(make(TrafficClass::kCbr, 1, 0, 1e6), 8);
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(c, 2u);
+  EXPECT_EQ(table.get(a).vc, 0u);
+  EXPECT_EQ(table.get(b).vc, 1u);  // second VC on link 0
+  EXPECT_EQ(table.get(c).vc, 0u);  // first VC on link 1
+  EXPECT_EQ(table.size(), 3u);
+}
+
+TEST(ConnectionTable, OnInputLinkAndAtVc) {
+  ConnectionTable table(2);
+  const ConnectionId a = table.add(make(TrafficClass::kVbr, 1, 0, 5e6), 4);
+  const ConnectionId b = table.add(make(TrafficClass::kVbr, 1, 1, 5e6), 4);
+  EXPECT_TRUE(table.on_input_link(0).empty());
+  ASSERT_EQ(table.on_input_link(1).size(), 2u);
+  EXPECT_EQ(table.at_vc(1, 0), a);
+  EXPECT_EQ(table.at_vc(1, 1), b);
+  EXPECT_EQ(table.at_vc(1, 2), kInvalidConnection);
+  EXPECT_EQ(table.at_vc(0, 0), kInvalidConnection);
+}
+
+TEST(ConnectionTable, QosMeanBpsExcludesBestEffort) {
+  ConnectionTable table(2);
+  table.add(make(TrafficClass::kCbr, 0, 1, 10e6), 8);
+  table.add(make(TrafficClass::kVbr, 0, 1, 20e6), 8);
+  table.add(make(TrafficClass::kBestEffort, 0, 1, 100e6), 8);
+  EXPECT_DOUBLE_EQ(table.qos_mean_bps_on_input(0), 30e6);
+  EXPECT_DOUBLE_EQ(table.qos_mean_bps_on_input(1), 0.0);
+}
+
+TEST(ConnectionTable, IsQosFlag) {
+  EXPECT_TRUE(make(TrafficClass::kCbr, 0, 0, 1).is_qos());
+  EXPECT_TRUE(make(TrafficClass::kVbr, 0, 0, 1).is_qos());
+  EXPECT_FALSE(make(TrafficClass::kBestEffort, 0, 0, 1).is_qos());
+}
+
+TEST(ConnectionTable, TrafficClassNames) {
+  EXPECT_STREQ(to_string(TrafficClass::kCbr), "CBR");
+  EXPECT_STREQ(to_string(TrafficClass::kVbr), "VBR");
+  EXPECT_STREQ(to_string(TrafficClass::kBestEffort), "BE");
+}
+
+TEST(ConnectionTableDeath, RejectsWhenVcsExhausted) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ConnectionTable table(2);
+  table.add(make(TrafficClass::kCbr, 0, 1, 1e6), /*vcs_per_link=*/1);
+  EXPECT_DEATH(table.add(make(TrafficClass::kCbr, 0, 1, 1e6), 1),
+               "virtual channels");
+}
+
+TEST(ConnectionTableDeath, RejectsOutOfRangeLinks) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ConnectionTable table(2);
+  EXPECT_DEATH(table.add(make(TrafficClass::kCbr, 2, 0, 1e6), 4), "input");
+}
+
+}  // namespace
+}  // namespace mmr

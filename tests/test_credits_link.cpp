@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "mmr/router/credits.hpp"
+#include "mmr/router/link.hpp"
+
+namespace mmr {
+namespace {
+
+TEST(Credits, StartFull) {
+  CreditManager credits(4, 2, 1);
+  for (std::uint32_t vc = 0; vc < 4; ++vc) {
+    EXPECT_EQ(credits.credits(vc), 2u);
+    EXPECT_TRUE(credits.has_credit(vc));
+  }
+  credits.check_invariants();
+}
+
+TEST(Credits, ConsumeDecrements) {
+  CreditManager credits(2, 2, 1);
+  credits.consume(0);
+  EXPECT_EQ(credits.credits(0), 1u);
+  credits.consume(0);
+  EXPECT_EQ(credits.credits(0), 0u);
+  EXPECT_FALSE(credits.has_credit(0));
+  EXPECT_EQ(credits.credits(1), 2u);
+}
+
+TEST(Credits, ReleaseTakesEffectAfterLatency) {
+  CreditManager credits(2, 2, /*latency=*/3);
+  credits.consume(0);
+  credits.release(0, /*now=*/10);
+  EXPECT_EQ(credits.in_flight(), 1u);
+  credits.tick(12);  // not yet (ready at 13)
+  EXPECT_EQ(credits.credits(0), 1u);
+  credits.tick(13);
+  EXPECT_EQ(credits.credits(0), 2u);
+  EXPECT_EQ(credits.in_flight(), 0u);
+}
+
+TEST(Credits, ZeroLatencyReturnsImmediately) {
+  CreditManager credits(1, 1, 0);
+  credits.consume(0);
+  credits.release(0, 5);
+  credits.tick(5);
+  EXPECT_EQ(credits.credits(0), 1u);
+}
+
+TEST(Credits, MultipleReturnsDrainInOrder) {
+  CreditManager credits(1, 3, 2);
+  credits.consume(0);
+  credits.consume(0);
+  credits.consume(0);
+  credits.release(0, 1);
+  credits.release(0, 2);
+  credits.release(0, 5);
+  credits.tick(4);  // releases at 3 and 4 have landed
+  EXPECT_EQ(credits.credits(0), 2u);
+  credits.tick(7);
+  EXPECT_EQ(credits.credits(0), 3u);
+  credits.check_invariants();
+}
+
+TEST(CreditsDeath, ConsumeWithoutCreditAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  CreditManager credits(1, 1, 1);
+  credits.consume(0);
+  EXPECT_DEATH(credits.consume(0), "without a credit");
+}
+
+TEST(CreditsDeath, OverReturnAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  CreditManager credits(1, 1, 0);
+  credits.release(0, 1);  // nothing was consumed
+  EXPECT_DEATH(credits.tick(1), "beyond buffer capacity");
+}
+
+TEST(LinkPipeline, DeliversAfterLatency) {
+  LinkPipeline link(2);
+  LinkTransfer transfer;
+  transfer.vc = 5;
+  transfer.flit.seq = 9;
+  link.push(transfer, /*now=*/10);
+  std::vector<LinkTransfer> out;
+  link.pop_due(11, out);
+  EXPECT_TRUE(out.empty());
+  link.pop_due(12, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].vc, 5u);
+  EXPECT_EQ(out[0].flit.seq, 9u);
+  EXPECT_EQ(link.carried(), 1u);
+  EXPECT_EQ(link.in_flight(), 0u);
+}
+
+TEST(LinkPipeline, PreservesOrder) {
+  LinkPipeline link(1);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    LinkTransfer transfer;
+    transfer.flit.seq = i;
+    link.push(transfer, 10 + i);
+  }
+  std::vector<LinkTransfer> out;
+  link.pop_due(100, out);
+  ASSERT_EQ(out.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) EXPECT_EQ(out[i].flit.seq, i);
+}
+
+TEST(LinkPipeline, ZeroLatencyDeliversSameCycle) {
+  LinkPipeline link(0);
+  link.push(LinkTransfer{}, 7);
+  std::vector<LinkTransfer> out;
+  link.pop_due(7, out);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(LinkPipelineDeath, OnePushPerCycleEnforced) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  LinkPipeline link(1);
+  link.push(LinkTransfer{}, 4);
+  EXPECT_DEATH(link.push(LinkTransfer{}, 4), "one flit per cycle");
+}
+
+TEST(LinkPipeline, InFlightCountsPending) {
+  LinkPipeline link(5);
+  link.push(LinkTransfer{}, 0);
+  link.push(LinkTransfer{}, 1);
+  EXPECT_EQ(link.in_flight(), 2u);
+  std::vector<LinkTransfer> out;
+  link.pop_due(5, out);
+  EXPECT_EQ(link.in_flight(), 1u);
+}
+
+}  // namespace
+}  // namespace mmr

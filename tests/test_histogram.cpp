@@ -1,0 +1,122 @@
+#include "mmr/sim/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "mmr/sim/rng.hpp"
+
+namespace mmr {
+namespace {
+
+TEST(LogHistogram, EmptyQuantileIsZero) {
+  LogHistogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(LogHistogram, SingleValue) {
+  LogHistogram h;
+  h.add(100.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.min_seen(), 100.0);
+  EXPECT_DOUBLE_EQ(h.max_seen(), 100.0);
+  // The quantile lands in the containing bucket, clamped to the extremes.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 100.0);
+}
+
+TEST(LogHistogram, QuantilesAreMonotone) {
+  LogHistogram h;
+  Rng rng(31, 0);
+  for (int i = 0; i < 10000; ++i) h.add(rng.exponential(50.0));
+  double prev = 0.0;
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const double value = h.quantile(q);
+    EXPECT_GE(value, prev);
+    prev = value;
+  }
+}
+
+TEST(LogHistogram, QuantileAccuracyWithinBucketError) {
+  // Against exact order statistics of the same data.
+  LogHistogram h(1.0, 1.05);
+  Rng rng(32, 0);
+  std::vector<double> data;
+  for (int i = 0; i < 20000; ++i) data.push_back(rng.exponential(200.0));
+  for (double x : data) h.add(x);
+  std::sort(data.begin(), data.end());
+  for (double q : {0.5, 0.9, 0.99}) {
+    const double exact = data[static_cast<std::size_t>(
+        q * (static_cast<double>(data.size()) - 1))];
+    // Geometric buckets with growth 1.05 bound relative error ~5%.
+    EXPECT_NEAR(h.quantile(q) / exact, 1.0, 0.06) << "q=" << q;
+  }
+}
+
+TEST(LogHistogram, ValuesBelowFloorLandInBucketZero) {
+  LogHistogram h(1.0, 1.5);
+  h.add(0.0);
+  h.add(0.5);
+  h.add(1.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_LE(h.quantile(0.0), 1.0);
+}
+
+TEST(LogHistogram, MergeMatchesCombined) {
+  LogHistogram a(1.0, 1.1);
+  LogHistogram b(1.0, 1.1);
+  LogHistogram whole(1.0, 1.1);
+  Rng rng(33, 0);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.exponential(10.0);
+    whole.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_DOUBLE_EQ(a.max_seen(), whole.max_seen());
+  EXPECT_DOUBLE_EQ(a.min_seen(), whole.min_seen());
+  for (double q : {0.1, 0.5, 0.9}) {
+    EXPECT_DOUBLE_EQ(a.quantile(q), whole.quantile(q));
+  }
+}
+
+TEST(LogHistogram, MergeEmptyIsNoop) {
+  LogHistogram a;
+  LogHistogram b;
+  a.add(5.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.max_seen(), 5.0);
+}
+
+TEST(LogHistogram, ResetClears) {
+  LogHistogram h;
+  h.add(10.0);
+  h.reset();
+  EXPECT_TRUE(h.empty());
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(LogHistogram, AsciiRendersSomething) {
+  LogHistogram h;
+  EXPECT_NE(h.ascii().find("empty"), std::string::npos);
+  for (int i = 1; i <= 100; ++i) h.add(static_cast<double>(i));
+  const std::string art = h.ascii(10);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_LE(std::count(art.begin(), art.end(), '\n'), 11);
+}
+
+TEST(LogHistogram, P50P95P99Helpers) {
+  LogHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.add(static_cast<double>(i));
+  EXPECT_LT(h.p50(), h.p95());
+  EXPECT_LT(h.p95(), h.p99());
+  EXPECT_LE(h.p99(), h.max_seen() * 1.05);
+}
+
+}  // namespace
+}  // namespace mmr

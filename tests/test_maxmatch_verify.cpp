@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "arbiter_test_util.hpp"
+#include "mmr/arbiter/greedy_priority.hpp"
+#include "mmr/arbiter/maxmatch.hpp"
+#include "mmr/arbiter/verify.hpp"
+
+namespace mmr {
+namespace {
+
+TEST(MaxMatch, PermutationIsPerfect) {
+  std::vector<std::vector<std::uint32_t>> adj = {{1}, {2}, {3}, {0}};
+  EXPECT_EQ(MaxMatchArbiter::max_matching_size(4, adj), 4u);
+}
+
+TEST(MaxMatch, StarGraphMatchesOne) {
+  // Every input requests only output 0.
+  std::vector<std::vector<std::uint32_t>> adj = {{0}, {0}, {0}, {0}};
+  EXPECT_EQ(MaxMatchArbiter::max_matching_size(4, adj), 1u);
+}
+
+TEST(MaxMatch, KnownAugmentingPathCase) {
+  // Greedy would match 0-0 and get stuck; the maximum matching is 2 via
+  // the augmenting path 1-0, 0-1.
+  std::vector<std::vector<std::uint32_t>> adj = {{0, 1}, {0}, {}, {}};
+  EXPECT_EQ(MaxMatchArbiter::max_matching_size(4, adj), 2u);
+}
+
+TEST(MaxMatch, EmptyGraphMatchesZero) {
+  std::vector<std::vector<std::uint32_t>> adj(4);
+  EXPECT_EQ(MaxMatchArbiter::max_matching_size(4, adj), 0u);
+}
+
+TEST(MaxMatch, CompleteBipartiteIsPerfect) {
+  std::vector<std::vector<std::uint32_t>> adj(8);
+  for (auto& row : adj) {
+    for (std::uint32_t out = 0; out < 8; ++out) row.push_back(out);
+  }
+  EXPECT_EQ(MaxMatchArbiter::max_matching_size(8, adj), 8u);
+}
+
+TEST(MaxMatch, AtLeastAsLargeAsGreedyOnRandomGraphs) {
+  Rng rng(0x61, 0);
+  MaxMatchArbiter oracle(8);
+  GreedyPriorityArbiter greedy(8, Rng(0x62, 1));
+  for (int trial = 0; trial < 300; ++trial) {
+    const CandidateSet set = test::random_candidates(8, 4, 0.6, rng);
+    EXPECT_GE(oracle.arbitrate(set).size(), greedy.arbitrate(set).size());
+  }
+}
+
+TEST(MaxMatch, ArbitrateIsConsistentWithStaticOracle) {
+  Rng rng(0x63, 0);
+  MaxMatchArbiter oracle(8);
+  for (int trial = 0; trial < 100; ++trial) {
+    const CandidateSet set = test::random_candidates(8, 4, 0.7, rng);
+    // Rebuild the dedup adjacency the arbiter sees.
+    std::vector<std::vector<std::uint32_t>> adj(8);
+    std::vector<std::vector<bool>> seen(8, std::vector<bool>(8, false));
+    for (const Candidate& c : set.all()) {
+      if (!seen[c.input][c.output]) {
+        seen[c.input][c.output] = true;
+        adj[c.input].push_back(c.output);
+      }
+    }
+    EXPECT_EQ(oracle.arbitrate(set).size(),
+              MaxMatchArbiter::max_matching_size(8, adj));
+  }
+}
+
+TEST(Verify, AcceptsValidMatching) {
+  const CandidateSet set = test::permutation_candidates(4);
+  Matching matching(4);
+  matching.match(0, 0, 0);
+  matching.match(1, 1, 1);
+  const MatchingCheck check = check_matching(set, matching);
+  EXPECT_TRUE(check.valid);
+  EXPECT_TRUE(check.problem.empty());
+}
+
+TEST(Verify, RejectsWrongCandidateReference) {
+  const CandidateSet set = test::permutation_candidates(4, 1);
+  Matching matching(4);
+  // Candidate 0 is (0 -> 1); claim it was (0 -> 2).
+  matching.match(0, 2, 0);
+  const MatchingCheck check = check_matching(set, matching);
+  EXPECT_FALSE(check.valid);
+  EXPECT_NE(check.problem.find("candidate"), std::string::npos);
+}
+
+TEST(Verify, RejectsOutOfRangeCandidateIndex) {
+  const CandidateSet set = test::permutation_candidates(4);
+  Matching matching(4);
+  matching.match(0, 0, 99);
+  EXPECT_FALSE(check_matching(set, matching).valid);
+}
+
+TEST(Verify, RejectsPortCountMismatch) {
+  const CandidateSet set = test::permutation_candidates(4);
+  const Matching matching(8);
+  EXPECT_FALSE(check_matching(set, matching).valid);
+}
+
+TEST(Verify, MaximalityDetection) {
+  const CandidateSet set = test::permutation_candidates(4);
+  Matching empty(4);
+  EXPECT_FALSE(is_maximal(set, empty));
+  Matching full(4);
+  for (std::uint32_t input = 0; input < 4; ++input) {
+    full.match(input, input, static_cast<std::int32_t>(input));
+  }
+  EXPECT_TRUE(is_maximal(set, full));
+  // A matching blocking every request without granting it all is maximal.
+  const CandidateSet star = test::contention_candidates(4, 0);
+  Matching one(4);
+  one.match(2, 0, 2);
+  EXPECT_TRUE(is_maximal(star, one));
+}
+
+}  // namespace
+}  // namespace mmr

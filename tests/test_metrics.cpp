@@ -1,0 +1,134 @@
+#include "mmr/core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mmr {
+namespace {
+
+ConnectionDescriptor descriptor(TrafficClass cls, double bps) {
+  ConnectionDescriptor c;
+  c.traffic_class = cls;
+  c.mean_bandwidth_bps = bps;
+  c.peak_bandwidth_bps = bps;
+  return c;
+}
+
+TEST(ClassLabel, NamesThePaperClasses) {
+  EXPECT_EQ(class_label(descriptor(TrafficClass::kCbr, 64e3)),
+            "CBR 64 Kbps");
+  EXPECT_EQ(class_label(descriptor(TrafficClass::kCbr, 1.54e6)),
+            "CBR 1.54 Mbps");
+  EXPECT_EQ(class_label(descriptor(TrafficClass::kCbr, 55e6)),
+            "CBR 55 Mbps");
+  EXPECT_EQ(class_label(descriptor(TrafficClass::kVbr, 12e6)), "VBR");
+  EXPECT_EQ(class_label(descriptor(TrafficClass::kBestEffort, 1e6)), "BE");
+}
+
+TEST(ClassLabel, FormatsUnknownCbrRates) {
+  EXPECT_EQ(class_label(descriptor(TrafficClass::kCbr, 10e6)),
+            "CBR 10 Mbps");
+}
+
+TEST(SimulationMetrics, FindClass) {
+  SimulationMetrics m;
+  ClassMetrics cls;
+  cls.label = "VBR";
+  m.per_class.push_back(cls);
+  EXPECT_NE(m.find_class("VBR"), nullptr);
+  EXPECT_EQ(m.find_class("BE"), nullptr);
+}
+
+TEST(SimulationMetrics, SaturationHeuristics) {
+  SimulationMetrics m;
+  m.flit_cycle_us = 1.7067;
+  m.generated_load_measured = 0.80;
+  m.delivered_load = 0.80;
+  EXPECT_FALSE(m.saturated());
+  m.delivered_load = 0.75;  // measurable deficit
+  EXPECT_TRUE(m.saturated());
+  m.delivered_load = 0.7999;  // within tolerance
+  EXPECT_FALSE(m.saturated());
+  // Exploded delays also count as saturation.
+  for (int i = 0; i < 10; ++i) m.flit_delay_us.add(10'000.0);
+  EXPECT_TRUE(m.saturated());
+}
+
+TEST(MergeRuns, SingleRunIsIdentity) {
+  SimulationMetrics run;
+  run.arbiter = "coa";
+  run.delivered_load = 0.5;
+  run.flits_delivered = 100;
+  const SimulationMetrics merged = merge_runs({run});
+  EXPECT_EQ(merged.merged_runs, 1u);
+  EXPECT_DOUBLE_EQ(merged.delivered_load, 0.5);
+}
+
+TEST(MergeRuns, AveragesRatiosAndPoolsSamples) {
+  SimulationMetrics a;
+  a.arbiter = "coa";
+  a.delivered_load = 0.4;
+  a.crossbar_utilization = 0.4;
+  a.flits_delivered = 10;
+  a.flit_delay_us.add(10.0);
+  ClassMetrics cls_a;
+  cls_a.label = "VBR";
+  cls_a.flits_delivered = 10;
+  cls_a.flit_delay_us.add(10.0);
+  a.per_class.push_back(cls_a);
+
+  SimulationMetrics b = a;
+  b.delivered_load = 0.6;
+  b.crossbar_utilization = 0.6;
+  b.flit_delay_us.reset();
+  b.flit_delay_us.add(30.0);
+  b.per_class[0].flit_delay_us.reset();
+  b.per_class[0].flit_delay_us.add(30.0);
+
+  const SimulationMetrics merged = merge_runs({a, b});
+  EXPECT_EQ(merged.merged_runs, 2u);
+  EXPECT_DOUBLE_EQ(merged.delivered_load, 0.5);
+  EXPECT_DOUBLE_EQ(merged.crossbar_utilization, 0.5);
+  EXPECT_EQ(merged.flits_delivered, 20u);
+  EXPECT_DOUBLE_EQ(merged.flit_delay_us.mean(), 20.0);
+  ASSERT_EQ(merged.per_class.size(), 1u);
+  EXPECT_DOUBLE_EQ(merged.per_class[0].flit_delay_us.mean(), 20.0);
+  EXPECT_EQ(merged.per_class[0].flits_delivered, 20u);
+}
+
+TEST(MergeRuns, UnionsDistinctClasses) {
+  SimulationMetrics a;
+  a.arbiter = "wfa";
+  ClassMetrics cls_a;
+  cls_a.label = "CBR 55 Mbps";
+  a.per_class.push_back(cls_a);
+  SimulationMetrics b;
+  b.arbiter = "wfa";
+  ClassMetrics cls_b;
+  cls_b.label = "VBR";
+  b.per_class.push_back(cls_b);
+  const SimulationMetrics merged = merge_runs({a, b});
+  EXPECT_EQ(merged.per_class.size(), 2u);
+}
+
+TEST(MergeRuns, ThreeWayAverageIsUniform) {
+  std::vector<SimulationMetrics> runs(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    runs[i].arbiter = "coa";
+    runs[i].delivered_load = 0.3 * static_cast<double>(i + 1);
+  }
+  const SimulationMetrics merged = merge_runs(runs);
+  EXPECT_NEAR(merged.delivered_load, 0.6, 1e-12);
+  EXPECT_EQ(merged.merged_runs, 3u);
+}
+
+TEST(MergeRunsDeath, RejectsMixedArbiters) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  SimulationMetrics a;
+  a.arbiter = "coa";
+  SimulationMetrics b;
+  b.arbiter = "wfa";
+  EXPECT_DEATH((void)merge_runs({a, b}), "same arbiter");
+}
+
+}  // namespace
+}  // namespace mmr

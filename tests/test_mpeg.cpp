@@ -1,0 +1,142 @@
+#include "mmr/traffic/mpeg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mmr {
+namespace {
+
+TEST(Gop, PatternIsIBBPBBPBBPBBPBB) {
+  ASSERT_EQ(kGopFrames, 15u);
+  const char* expected = "IBBPBBPBBPBBPBB";
+  for (std::uint32_t i = 0; i < kGopFrames; ++i) {
+    EXPECT_EQ(to_string(kGopPattern[i])[0], expected[i]) << i;
+  }
+}
+
+TEST(SequenceLibrary, HasTheSevenTable1Sequences) {
+  const auto& library = mpeg_sequence_library();
+  ASSERT_EQ(library.size(), 7u);
+  for (const char* name :
+       {"Ayersroc", "Hook", "Martin", "Flower Garden", "Mobile Calendar",
+        "Table Tennis", "Football"}) {
+    EXPECT_NO_THROW((void)mpeg_sequence(name)) << name;
+  }
+  EXPECT_THROW((void)mpeg_sequence("Akiyo"), std::invalid_argument);
+}
+
+TEST(SequenceLibrary, FrameSizeOrderingIPB) {
+  for (const MpegSequenceParams& params : mpeg_sequence_library()) {
+    EXPECT_GT(params.mean_bits_i, params.mean_bits_p) << params.name;
+    EXPECT_GT(params.mean_bits_p, params.mean_bits_b) << params.name;
+  }
+}
+
+TEST(SequenceLibrary, MeanRatesAreHighQualityMpeg2) {
+  for (const MpegSequenceParams& params : mpeg_sequence_library()) {
+    EXPECT_GT(params.mean_bps(), 5e6) << params.name;
+    EXPECT_LT(params.mean_bps(), 30e6) << params.name;
+  }
+}
+
+TEST(SequenceLibrary, MeanBpsMatchesGopMix) {
+  const MpegSequenceParams& seq = mpeg_sequence("Ayersroc");
+  const double gop_bits =
+      seq.mean_bits_i + 4 * seq.mean_bits_p + 10 * seq.mean_bits_b;
+  EXPECT_NEAR(seq.mean_bps(), gop_bits / (15 * kFramePeriodSeconds), 1.0);
+}
+
+TEST(Trace, HasRequestedLength) {
+  Rng rng(51, 0);
+  const MpegTrace trace =
+      generate_mpeg_trace(mpeg_sequence("Hook"), 6, rng);
+  EXPECT_EQ(trace.frames(), 6 * kGopFrames);
+  EXPECT_EQ(trace.gops(), 6u);
+  EXPECT_EQ(trace.sequence, "Hook");
+}
+
+TEST(Trace, StatisticsAreOrdered) {
+  Rng rng(52, 0);
+  const MpegTrace trace =
+      generate_mpeg_trace(mpeg_sequence("Football"), 10, rng);
+  EXPECT_LT(trace.min_frame_bits(), trace.max_frame_bits());
+  EXPECT_GE(trace.mean_frame_bits(),
+            static_cast<double>(trace.min_frame_bits()));
+  EXPECT_LE(trace.mean_frame_bits(),
+            static_cast<double>(trace.max_frame_bits()));
+  EXPECT_GT(trace.peak_bps(), trace.mean_bps());
+}
+
+TEST(Trace, MeanRateNearModelMean) {
+  Rng rng(53, 0);
+  const MpegSequenceParams& seq = mpeg_sequence("Flower Garden");
+  const MpegTrace trace = generate_mpeg_trace(seq, 50, rng);
+  EXPECT_NEAR(trace.mean_bps() / seq.mean_bps(), 1.0, 0.05);
+}
+
+TEST(Trace, FrameSizesAreClampedToTypeMeanMultiples) {
+  Rng rng(54, 0);
+  const MpegSequenceParams& seq = mpeg_sequence("Table Tennis");
+  const MpegTrace trace = generate_mpeg_trace(seq, 30, rng);
+  for (std::uint32_t f = 0; f < trace.frames(); ++f) {
+    const double mean = seq.mean_bits(trace.frame_type(f));
+    EXPECT_GE(static_cast<double>(trace.frame_bits[f]), 0.25 * mean - 1);
+    EXPECT_LE(static_cast<double>(trace.frame_bits[f]), 4.0 * mean + 1);
+  }
+}
+
+TEST(Trace, IFramesAreLargestOnAverage) {
+  Rng rng(55, 0);
+  const MpegTrace trace =
+      generate_mpeg_trace(mpeg_sequence("Martin"), 20, rng);
+  double sum_i = 0.0;
+  double sum_b = 0.0;
+  std::uint32_t n_i = 0;
+  std::uint32_t n_b = 0;
+  for (std::uint32_t f = 0; f < trace.frames(); ++f) {
+    if (trace.frame_type(f) == FrameType::kI) {
+      sum_i += static_cast<double>(trace.frame_bits[f]);
+      ++n_i;
+    } else if (trace.frame_type(f) == FrameType::kB) {
+      sum_b += static_cast<double>(trace.frame_bits[f]);
+      ++n_b;
+    }
+  }
+  EXPECT_GT(sum_i / n_i, 2.0 * sum_b / n_b);
+}
+
+TEST(Trace, DeterministicGivenRngState) {
+  Rng rng_a(56, 0);
+  Rng rng_b(56, 0);
+  const MpegTrace a = generate_mpeg_trace(mpeg_sequence("Hook"), 5, rng_a);
+  const MpegTrace b = generate_mpeg_trace(mpeg_sequence("Hook"), 5, rng_b);
+  EXPECT_EQ(a.frame_bits, b.frame_bits);
+}
+
+TEST(Trace, DifferentRngStreamsDiffer) {
+  Rng rng_a(56, 1);
+  Rng rng_b(56, 2);
+  const MpegTrace a = generate_mpeg_trace(mpeg_sequence("Hook"), 5, rng_a);
+  const MpegTrace b = generate_mpeg_trace(mpeg_sequence("Hook"), 5, rng_b);
+  EXPECT_NE(a.frame_bits, b.frame_bits);
+}
+
+TEST(Trace, PeakBpsDefinition) {
+  Rng rng(57, 0);
+  const MpegTrace trace =
+      generate_mpeg_trace(mpeg_sequence("Ayersroc"), 4, rng);
+  EXPECT_NEAR(trace.peak_bps(),
+              static_cast<double>(trace.max_frame_bits()) /
+                  kFramePeriodSeconds,
+              1e-6);
+}
+
+TEST(FrameType, ToStringCoversAll) {
+  EXPECT_STREQ(to_string(FrameType::kI), "I");
+  EXPECT_STREQ(to_string(FrameType::kP), "P");
+  EXPECT_STREQ(to_string(FrameType::kB), "B");
+}
+
+}  // namespace
+}  // namespace mmr

@@ -1,0 +1,120 @@
+#include "mmr/router/nic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mmr {
+namespace {
+
+Flit make_flit(ConnectionId connection, std::uint64_t seq) {
+  Flit flit;
+  flit.connection = connection;
+  flit.seq = seq;
+  return flit;
+}
+
+TEST(Nic, EmptyNicSendsNothing) {
+  Nic nic(4, 2, 1);
+  EXPECT_FALSE(nic.select_and_send(0).has_value());
+  EXPECT_EQ(nic.total_queued(), 0u);
+  nic.check_invariants();
+}
+
+TEST(Nic, SendsDepositedFlitAndConsumesCredit) {
+  Nic nic(4, 2, 1);
+  nic.deposit(2, make_flit(7, 0));
+  const auto transfer = nic.select_and_send(0);
+  ASSERT_TRUE(transfer.has_value());
+  EXPECT_EQ(transfer->vc, 2u);
+  EXPECT_EQ(transfer->flit.connection, 7u);
+  EXPECT_EQ(nic.credits().credits(2), 1u);
+  EXPECT_EQ(nic.total_sent(), 1u);
+  nic.check_invariants();
+}
+
+TEST(Nic, OneSendPerCycle) {
+  Nic nic(4, 2, 1);
+  nic.deposit(0, make_flit(0, 0));
+  nic.deposit(1, make_flit(1, 0));
+  EXPECT_TRUE(nic.select_and_send(0).has_value());
+  // Second call in the same conceptual cycle would be a second send; the
+  // engine calls once per cycle, but the NIC itself allows repeated calls —
+  // the link pipeline enforces the one-per-cycle rule.  Here: the next call
+  // still finds the other flit.
+  EXPECT_TRUE(nic.select_and_send(1).has_value());
+  EXPECT_FALSE(nic.select_and_send(2).has_value());
+}
+
+TEST(Nic, DemandDrivenRoundRobinSkipsEmptyQueues) {
+  Nic nic(8, 4, 1);
+  nic.deposit(1, make_flit(1, 0));
+  nic.deposit(5, make_flit(5, 0));
+  nic.deposit(1, make_flit(1, 1));
+  // RR starts at 0: first eligible is VC 1.
+  EXPECT_EQ(nic.select_and_send(0)->vc, 1u);
+  // Cursor resumes after 1: next eligible is VC 5 (skipping 2,3,4).
+  EXPECT_EQ(nic.select_and_send(1)->vc, 5u);
+  // Wraps back to VC 1's second flit.
+  EXPECT_EQ(nic.select_and_send(2)->vc, 1u);
+  EXPECT_FALSE(nic.select_and_send(3).has_value());
+}
+
+TEST(Nic, CreditGatingBlocksAndResumes) {
+  Nic nic(2, /*credits=*/1, /*latency=*/1);
+  nic.deposit(0, make_flit(0, 0));
+  nic.deposit(0, make_flit(0, 1));
+  EXPECT_EQ(nic.select_and_send(0)->vc, 0u);
+  // VC 0 is out of credits; flit 1 must wait.
+  EXPECT_FALSE(nic.select_and_send(1).has_value());
+  nic.return_credit(0, 1);  // usable at cycle 2
+  EXPECT_FALSE(nic.select_and_send(1).has_value());
+  EXPECT_EQ(nic.select_and_send(2)->flit.seq, 1u);
+  nic.check_invariants();
+}
+
+TEST(Nic, BlockedVcDoesNotStallOthers) {
+  Nic nic(3, 1, 1);
+  nic.deposit(0, make_flit(0, 0));
+  nic.deposit(0, make_flit(0, 1));
+  nic.deposit(2, make_flit(2, 0));
+  EXPECT_EQ(nic.select_and_send(0)->vc, 0u);
+  // VC 0 blocked on credits; VC 2 is served instead.
+  EXPECT_EQ(nic.select_and_send(1)->vc, 2u);
+}
+
+TEST(Nic, RoundRobinIsFairUnderSaturation) {
+  Nic nic(4, /*credits=*/2, /*latency=*/0);
+  for (std::uint32_t vc = 0; vc < 4; ++vc) {
+    for (std::uint64_t i = 0; i < 100; ++i) nic.deposit(vc, make_flit(vc, i));
+  }
+  std::vector<int> served(4, 0);
+  for (Cycle now = 0; now < 200; ++now) {
+    const auto transfer = nic.select_and_send(now);
+    ASSERT_TRUE(transfer.has_value());
+    ++served[transfer->vc];
+    // The router drains immediately: return the credit right away.
+    nic.return_credit(transfer->vc, now);
+  }
+  for (int s : served) EXPECT_EQ(s, 50);
+  nic.check_invariants();
+}
+
+TEST(Nic, QueueAccountingMatches) {
+  Nic nic(2, 4, 1);
+  for (int i = 0; i < 5; ++i) nic.deposit(0, make_flit(0, static_cast<std::uint64_t>(i)));
+  EXPECT_EQ(nic.queued(0), 5u);
+  EXPECT_EQ(nic.total_queued(), 5u);
+  (void)nic.select_and_send(0);
+  EXPECT_EQ(nic.queued(0), 4u);
+  EXPECT_EQ(nic.total_sent(), 1u);
+  nic.check_invariants();
+}
+
+TEST(Nic, InfiniteBufferAcceptsLargeBacklog) {
+  Nic nic(1, 1, 1);
+  for (std::uint64_t i = 0; i < 10000; ++i) nic.deposit(0, make_flit(0, i));
+  EXPECT_EQ(nic.queued(0), 10000u);
+  nic.check_invariants();
+}
+
+}  // namespace
+}  // namespace mmr

@@ -1,0 +1,231 @@
+#include "mmr/sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace mmr {
+namespace {
+
+TEST(Rng, DeterministicForSameSeedAndStream) {
+  Rng a(42, 7);
+  Rng b(42, 7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentStreamsDiverge) {
+  Rng a(42, 1);
+  Rng b(42, 2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1, 0);
+  Rng b(2, 0);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng rng(0xABCD, 0);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.uniform(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, UniformBoundOneAlwaysZero) {
+  Rng rng(1, 1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform(1), 0u);
+}
+
+TEST(Rng, UniformCoversAllResidues) {
+  Rng rng(3, 3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformIsApproximatelyUniform) {
+  Rng rng(5, 5);
+  constexpr int kBuckets = 16;
+  constexpr int kSamples = 64000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.uniform(kBuckets)];
+  const double expected = static_cast<double>(kSamples) / kBuckets;
+  for (int c : counts) {
+    EXPECT_NEAR(c, expected, 5.0 * std::sqrt(expected));
+  }
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng rng(6, 6);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const std::int64_t x = rng.uniform_range(-3, 3);
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 3);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformRealInUnitInterval) {
+  Rng rng(7, 7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform_real();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRealMeanNearHalf) {
+  Rng rng(8, 8);
+  double sum = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.uniform_real();
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(9, 9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng(10, 10);
+  int hits = 0;
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(11, 11);
+  double sum = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / kSamples, 4.0, 0.15);
+}
+
+TEST(Rng, ExponentialAlwaysPositive) {
+  Rng rng(12, 12);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.exponential(1.0), 0.0);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(13, 13);
+  double sum = 0.0;
+  double sq = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kSamples;
+  const double var = sq / kSamples - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.1);
+}
+
+TEST(Rng, LognormalMeanAndCvMatch) {
+  Rng rng(14, 14);
+  constexpr int kSamples = 200000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.lognormal_mean_cv(10.0, 0.5);
+    EXPECT_GT(x, 0.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kSamples;
+  const double var = sq / kSamples - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.2);
+  EXPECT_NEAR(std::sqrt(var) / mean, 0.5, 0.05);
+}
+
+TEST(Rng, LognormalZeroCvIsDeterministic) {
+  Rng rng(15, 15);
+  EXPECT_DOUBLE_EQ(rng.lognormal_mean_cv(7.5, 0.0), 7.5);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(16, 16);
+  const std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(weights.size(), 0);
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kSamples, 0.1, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / kSamples, 0.3, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[3]) / kSamples, 0.6, 0.02);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(17, 17);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  rng.shuffle(v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Rng, ShuffleActuallyShuffles) {
+  Rng rng(18, 18);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  rng.shuffle(v);
+  int fixed_points = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (v[static_cast<std::size_t>(i)] == i) ++fixed_points;
+  }
+  EXPECT_LT(fixed_points, 20);
+}
+
+TEST(Rng, ForkIsIndependentOfDrawPosition) {
+  Rng a(99, 4);
+  Rng b(99, 4);
+  (void)b.next();  // advance b only
+  Rng child_a = a.fork(1);
+  Rng child_b = b.fork(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(child_a.next(), child_b.next());
+}
+
+TEST(Rng, ForkedStreamsDiverge) {
+  Rng parent(99, 4);
+  Rng child1 = parent.fork(1);
+  Rng child2 = parent.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (child1.next() == child2.next()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, SplitMix64KnownSequenceIsStable) {
+  std::uint64_t state = 0;
+  const std::uint64_t first = splitmix64(state);
+  std::uint64_t state2 = 0;
+  EXPECT_EQ(splitmix64(state2), first);
+  EXPECT_NE(splitmix64(state2), first);  // second draw differs
+}
+
+}  // namespace
+}  // namespace mmr

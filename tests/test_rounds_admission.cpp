@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "mmr/qos/admission.hpp"
+#include "mmr/qos/rounds.hpp"
+#include "mmr/sim/config.hpp"
+
+namespace mmr {
+namespace {
+
+TimeBase paper_time_base() { return TimeBase(2.4e9, 4096, 16); }
+
+TEST(RoundAccounting, SlotsRoundUpAndFloorAtOne) {
+  const RoundAccounting rounds(1024, paper_time_base());
+  // 64 Kbps is a 2.7e-5 fraction: far below one slot, still reserves 1.
+  EXPECT_EQ(rounds.slots_for_bandwidth(64e3), 1u);
+  // 55 Mbps over 2.4 Gbps = 2.29% of 1024 slots = 23.5 -> 24.
+  EXPECT_EQ(rounds.slots_for_bandwidth(55e6), 24u);
+  EXPECT_EQ(rounds.slots_for_bandwidth(0.0), 0u);
+  // Full link needs the whole round.
+  EXPECT_EQ(rounds.slots_for_bandwidth(2.4e9), 1024u);
+}
+
+TEST(RoundAccounting, BandwidthForSlotsInvertsWithinRounding) {
+  const RoundAccounting rounds(1024, paper_time_base());
+  for (double bps : {1e6, 10e6, 55e6, 100e6}) {
+    const std::uint32_t slots = rounds.slots_for_bandwidth(bps);
+    EXPECT_GE(rounds.bandwidth_for_slots(slots), bps);  // reservation covers
+    EXPECT_LE(rounds.bandwidth_for_slots(slots - 1), bps + 2.4e9 / 1024);
+  }
+}
+
+TEST(RoundAccounting, RoundDuration) {
+  const RoundAccounting rounds(1024, paper_time_base());
+  EXPECT_NEAR(rounds.round_seconds(), 1024 * 4096 / 2.4e9, 1e-12);
+}
+
+TEST(RoundAccounting, IatInRouterCycles) {
+  const RoundAccounting rounds(1024, paper_time_base());
+  // 55 Mbps: a flit every 4096/55e6 seconds; router cycle = 16/2.4e9.
+  EXPECT_NEAR(rounds.iat_router_cycles(55e6),
+              (4096.0 / 55e6) / (16.0 / 2.4e9), 1e-6);
+  // The link itself: one flit per 256 router cycles.
+  EXPECT_NEAR(rounds.iat_router_cycles(2.4e9), 256.0, 1e-9);
+}
+
+class AdmissionTest : public ::testing::Test {
+ protected:
+  AdmissionController make(double concurrency = 3.0) {
+    return AdmissionController(4, RoundAccounting(1024, paper_time_base()),
+                               concurrency);
+  }
+
+  ConnectionDescriptor cbr(std::uint32_t in, std::uint32_t out, double bps) {
+    ConnectionDescriptor c;
+    c.traffic_class = TrafficClass::kCbr;
+    c.input_link = in;
+    c.output_link = out;
+    c.mean_bandwidth_bps = bps;
+    c.peak_bandwidth_bps = bps;
+    return c;
+  }
+
+  ConnectionDescriptor vbr(std::uint32_t in, std::uint32_t out, double mean,
+                           double peak) {
+    ConnectionDescriptor c;
+    c.traffic_class = TrafficClass::kVbr;
+    c.input_link = in;
+    c.output_link = out;
+    c.mean_bandwidth_bps = mean;
+    c.peak_bandwidth_bps = peak;
+    return c;
+  }
+};
+
+TEST_F(AdmissionTest, CbrAdmittedFillsSlots) {
+  AdmissionController cac = make();
+  ConnectionDescriptor c = cbr(0, 1, 55e6);
+  EXPECT_TRUE(cac.try_admit(c));
+  EXPECT_EQ(c.slots_per_round, 24u);
+  EXPECT_EQ(c.peak_slots_per_round, 24u);
+  EXPECT_EQ(cac.input_mean_slots(0), 24u);
+  EXPECT_EQ(cac.output_mean_slots(1), 24u);
+  EXPECT_EQ(cac.input_mean_slots(1), 0u);
+}
+
+TEST_F(AdmissionTest, CbrRejectedWhenRoundFull) {
+  AdmissionController cac = make();
+  // 42 connections x 24 slots = 1008; the 43rd (24 more) would exceed 1024.
+  for (int i = 0; i < 42; ++i) {
+    ConnectionDescriptor c = cbr(0, static_cast<std::uint32_t>(i % 4), 55e6);
+    ASSERT_TRUE(cac.try_admit(c)) << i;
+  }
+  ConnectionDescriptor last = cbr(0, 0, 55e6);
+  EXPECT_FALSE(cac.try_admit(last));
+  // Descriptor untouched on rejection.
+  EXPECT_EQ(last.slots_per_round, 0u);
+  // A small connection still fits in the remaining 16 slots.
+  ConnectionDescriptor small = cbr(0, 0, 1.54e6);
+  EXPECT_TRUE(cac.try_admit(small));
+}
+
+TEST_F(AdmissionTest, OutputLinkBudgetAlsoEnforced) {
+  AdmissionController cac = make();
+  // Saturate output 2 from different inputs.
+  for (int i = 0; i < 42; ++i) {
+    ConnectionDescriptor c = cbr(static_cast<std::uint32_t>(i % 4), 2, 55e6);
+    ASSERT_TRUE(cac.try_admit(c));
+  }
+  ConnectionDescriptor more = cbr(3, 2, 55e6);
+  EXPECT_FALSE(cac.try_admit(more));
+  // Same input, different output: fine.
+  ConnectionDescriptor other = cbr(3, 1, 55e6);
+  EXPECT_TRUE(cac.try_admit(other));
+}
+
+TEST_F(AdmissionTest, VbrUsesMeanForRuleAAndPeakForRuleB) {
+  AdmissionController cac = make(/*concurrency=*/2.0);
+  // mean 100 Mbps (43 slots), peak 600 Mbps (256 slots).
+  for (int i = 0; i < 8; ++i) {
+    ConnectionDescriptor c = vbr(0, static_cast<std::uint32_t>(i % 4), 100e6,
+                                 600e6);
+    ASSERT_TRUE(cac.try_admit(c)) << i;
+  }
+  // Mean: 8*43 = 344 <= 1024 OK; peak: 8*256 = 2048 == 2.0*1024 cap.
+  ConnectionDescriptor ninth = vbr(0, 0, 100e6, 600e6);
+  EXPECT_FALSE(cac.try_admit(ninth)) << "peak rule must reject";
+}
+
+TEST_F(AdmissionTest, VbrMeanRuleRejectsIndependentlyOfPeak) {
+  AdmissionController cac = make(/*concurrency=*/3.0);
+  // mean 200 Mbps = 86 slots, peak barely above mean (90 slots): the mean
+  // rule trips first — 11 fit (946 slots), the 12th would need 1032 > 1024
+  // while the peak budget (3 x 1024) is nowhere near full.
+  for (int i = 0; i < 11; ++i) {
+    ConnectionDescriptor c =
+        vbr(0, static_cast<std::uint32_t>(i % 4), 200e6, 210e6);
+    ASSERT_TRUE(cac.try_admit(c)) << i;
+  }
+  ConnectionDescriptor twelfth = vbr(0, 0, 200e6, 210e6);
+  EXPECT_FALSE(cac.try_admit(twelfth)) << "mean rule must reject";
+}
+
+TEST_F(AdmissionTest, ConcurrencyFactorLoosensPeakRule) {
+  AdmissionController strict = make(1.0);
+  AdmissionController loose = make(4.0);
+  for (int i = 0; i < 4; ++i) {
+    ConnectionDescriptor c = vbr(0, 0, 50e6, 2.4e9 / 4.0);
+    // Each peak = 256 slots; strict cap 1024 -> 4 fit; loose cap 4096.
+    ASSERT_TRUE(strict.try_admit(c)) << i;
+    ASSERT_TRUE(loose.try_admit(c)) << i;
+  }
+  ConnectionDescriptor extra = vbr(0, 0, 50e6, 2.4e9 / 4.0);
+  EXPECT_FALSE(strict.try_admit(extra));
+  EXPECT_TRUE(loose.try_admit(extra));
+}
+
+TEST_F(AdmissionTest, BestEffortBypassesReservation) {
+  AdmissionController cac = make();
+  ConnectionDescriptor be;
+  be.traffic_class = TrafficClass::kBestEffort;
+  be.input_link = 0;
+  be.output_link = 0;
+  be.mean_bandwidth_bps = 1e9;
+  be.peak_bandwidth_bps = 2.4e9;
+  EXPECT_TRUE(cac.try_admit(be));
+  EXPECT_EQ(be.slots_per_round, 0u);
+  EXPECT_EQ(cac.input_mean_slots(0), 0u);
+}
+
+TEST_F(AdmissionTest, ReleaseRestoresBudgets) {
+  AdmissionController cac = make();
+  ConnectionDescriptor c = cbr(1, 2, 55e6);
+  ASSERT_TRUE(cac.try_admit(c));
+  EXPECT_EQ(cac.input_mean_slots(1), 24u);
+  cac.release(c);
+  EXPECT_EQ(cac.input_mean_slots(1), 0u);
+  EXPECT_EQ(cac.output_mean_slots(2), 0u);
+  EXPECT_EQ(cac.input_peak_slots(1), 0u);
+}
+
+TEST_F(AdmissionTest, MaxMeanUtilizationTracksBusiestLink) {
+  AdmissionController cac = make();
+  EXPECT_DOUBLE_EQ(cac.max_mean_utilization(), 0.0);
+  ConnectionDescriptor c = cbr(0, 1, 1.2e9);  // half the link: 512 slots
+  ASSERT_TRUE(cac.try_admit(c));
+  EXPECT_NEAR(cac.max_mean_utilization(), 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace mmr

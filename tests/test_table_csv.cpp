@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "mmr/sim/csv.hpp"
+#include "mmr/sim/table.hpp"
+
+namespace mmr {
+namespace {
+
+TEST(AsciiTable, RendersHeaderAndRows) {
+  AsciiTable table({"a", "long header", "c"});
+  table.add_row({"1", "2", "3"});
+  table.add_row({"wide cell value", "x", "y"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("long header"), std::string::npos);
+  EXPECT_NE(out.find("wide cell value"), std::string::npos);
+  // All lines have equal width.
+  std::istringstream in(out);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(in, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(AsciiTable, NumericRowFormatting) {
+  AsciiTable table({"x", "y"});
+  table.add_row_numeric({1.23456, std::nan("")}, 2);
+  const std::string out = table.render();
+  EXPECT_NE(out.find("1.23"), std::string::npos);
+  EXPECT_NE(out.find(" - "), std::string::npos);
+}
+
+TEST(AsciiTable, NumHelper) {
+  EXPECT_EQ(AsciiTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(AsciiTable::num(3.14159, 0), "3");
+  EXPECT_EQ(AsciiTable::num(std::nan(""), 2), "-");
+}
+
+TEST(AsciiTableDeath, RowWidthMismatchAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  AsciiTable table({"a", "b"});
+  EXPECT_DEATH(table.add_row({"only one"}), "width");
+}
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"a", "b"});
+  csv.row({"1", "2"});
+  csv.row_numeric({3.5, 4.25});
+  EXPECT_EQ(out.str(), "a,b\n1,2\n3.5,4.25\n");
+  EXPECT_EQ(csv.rows_written(), 2u);
+}
+
+TEST(CsvWriter, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriter, NanBecomesEmptyCell) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"a", "b"});
+  csv.row_numeric({std::nan(""), 1.0});
+  EXPECT_EQ(out.str(), "a,b\n,1\n");
+}
+
+TEST(CsvWriterDeath, RowWidthMismatchAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  std::ostringstream out;
+  CsvWriter csv(out, {"a", "b"});
+  EXPECT_DEATH(csv.row({"1", "2", "3"}), "width");
+}
+
+}  // namespace
+}  // namespace mmr

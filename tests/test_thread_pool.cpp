@@ -1,0 +1,88 @@
+#include "mmr/sim/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace mmr {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), 100);
+  }
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();
+  SUCCEED();
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) pool.submit([&counter] { counter.fetch_add(1); });
+  }  // destructor joins
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, SizeReflectsRequestedThreads) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+  ThreadPool defaulted(0);
+  EXPECT_GE(defaulted.size(), 1u);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndicesExactlyOnce) {
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  ThreadPool::parallel_for(kN, 4, [&hits](std::size_t i) {
+    hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ParallelForZeroItemsIsNoop) {
+  ThreadPool::parallel_for(0, 4, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, ParallelForSingleThreadIsSequentialAndComplete) {
+  std::vector<std::size_t> order;
+  ThreadPool::parallel_for(20, 1, [&order](std::size_t i) {
+    order.push_back(i);
+  });
+  ASSERT_EQ(order.size(), 20u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, ParallelForResultsIndependentOfThreadCount) {
+  auto compute = [](std::size_t threads) {
+    std::vector<double> out(64);
+    ThreadPool::parallel_for(64, threads, [&out](std::size_t i) {
+      out[i] = static_cast<double>(i) * 1.5;
+    });
+    return out;
+  };
+  EXPECT_EQ(compute(1), compute(4));
+}
+
+TEST(ThreadPool, MoreItemsThanThreads) {
+  std::atomic<int> counter{0};
+  ThreadPool::parallel_for(257, 3, [&counter](std::size_t) {
+    counter.fetch_add(1);
+  });
+  EXPECT_EQ(counter.load(), 257);
+}
+
+}  // namespace
+}  // namespace mmr

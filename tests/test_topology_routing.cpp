@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "mmr/network/routing.hpp"
+#include "mmr/network/topology.hpp"
+
+namespace mmr {
+namespace {
+
+TEST(Topology, SingleRouterIsAllLocal) {
+  const NetworkTopology topology = NetworkTopology::single(4);
+  EXPECT_EQ(topology.routers(), 1u);
+  EXPECT_EQ(topology.channels(), 0u);
+  EXPECT_EQ(topology.local_input_ports(0).size(), 4u);
+  EXPECT_EQ(topology.local_output_ports(0).size(), 4u);
+}
+
+TEST(Topology, ConnectWiresBothDirections) {
+  NetworkTopology topology(2, 4);
+  topology.connect({0, 2}, {1, 3});
+  ASSERT_TRUE(topology.downstream(0, 2).has_value());
+  EXPECT_EQ(*topology.downstream(0, 2), (PortEndpoint{1, 3}));
+  ASSERT_TRUE(topology.upstream(1, 3).has_value());
+  EXPECT_EQ(*topology.upstream(1, 3), (PortEndpoint{0, 2}));
+  EXPECT_FALSE(topology.output_is_local(0, 2));
+  EXPECT_FALSE(topology.input_is_local(1, 3));
+  // Other directions stay local.
+  EXPECT_TRUE(topology.input_is_local(0, 2));
+  EXPECT_TRUE(topology.output_is_local(1, 3));
+  EXPECT_EQ(topology.channels(), 1u);
+}
+
+TEST(TopologyDeath, RejectsDoubleConnection) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  NetworkTopology topology(3, 4);
+  topology.connect({0, 0}, {1, 0});
+  EXPECT_DEATH(topology.connect({0, 0}, {2, 0}), "already connected");
+  EXPECT_DEATH(topology.connect({2, 0}, {1, 0}), "already connected");
+}
+
+TEST(TopologyDeath, RejectsSelfLoop) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  NetworkTopology topology(2, 4);
+  EXPECT_DEATH(topology.connect({0, 0}, {0, 1}), "Self-loops|self-loops");
+}
+
+TEST(Topology, BidirectionalRingShape) {
+  const NetworkTopology ring = NetworkTopology::bidirectional_ring(4, 4);
+  EXPECT_EQ(ring.channels(), 8u);  // 2 per adjacent pair
+  for (std::uint32_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(ring.local_input_ports(r).size(), 2u);
+    EXPECT_EQ(ring.local_output_ports(r).size(), 2u);
+    EXPECT_EQ(*ring.downstream(r, 0), (PortEndpoint{(r + 1) % 4, 0}));
+    EXPECT_EQ(*ring.downstream(r, 1), (PortEndpoint{(r + 3) % 4, 1}));
+  }
+}
+
+TEST(Topology, LineShape) {
+  const NetworkTopology line = NetworkTopology::line(3, 4);
+  EXPECT_EQ(line.channels(), 4u);
+  EXPECT_EQ(line.local_input_ports(0).size(), 3u);  // end router: 1 used
+  EXPECT_EQ(line.local_input_ports(1).size(), 2u);  // middle: 2 used
+  EXPECT_FALSE(line.downstream(2, 0).has_value());  // no wrap-around
+}
+
+TEST(Topology, MeshShape) {
+  const NetworkTopology mesh = NetworkTopology::mesh(3, 3, 5);
+  EXPECT_EQ(mesh.routers(), 9u);
+  // 12 undirected edges, 2 directed channels each.
+  EXPECT_EQ(mesh.channels(), 24u);
+  // Corner (0,0): degree 2 -> 3 local ports of 5.
+  EXPECT_EQ(mesh.local_input_ports(0).size(), 3u);
+  // Centre (1,1) = router 4: degree 4 -> 1 local port.
+  EXPECT_EQ(mesh.local_input_ports(4).size(), 1u);
+  // East link from router 0 goes to router 1's west port.
+  EXPECT_EQ(*mesh.downstream(0, 0), (PortEndpoint{1, 1}));
+  // Router 0 has no west/north neighbours: those ports stay local.
+  EXPECT_TRUE(mesh.output_is_local(0, 1));
+  EXPECT_TRUE(mesh.output_is_local(0, 2));
+}
+
+TEST(Topology, MeshRequiresLocalPortHeadroom) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // 3x3 has interior degree 4: 4 ports leave the centre router hostless.
+  EXPECT_DEATH((void)NetworkTopology::mesh(3, 3, 4), "local port");
+  // 2x2 uses direction indices up to S=3 (degree 2): 4 ports suffice and
+  // each router keeps two local ports.
+  const NetworkTopology small = NetworkTopology::mesh(2, 2, 4);
+  EXPECT_EQ(small.channels(), 8u);
+  EXPECT_EQ(small.local_input_ports(0).size(), 2u);
+  EXPECT_DEATH((void)NetworkTopology::mesh(2, 2, 3), "direction span");
+}
+
+TEST(Routing, MeshPathsAreManhattanShortest) {
+  const NetworkTopology mesh = NetworkTopology::mesh(4, 4, 5);
+  // Corner to corner: 3 + 3 hops of links = 7 routers traversed.
+  EXPECT_EQ(path_length(mesh, 0, 15), 7u);
+  EXPECT_EQ(path_length(mesh, 0, 3), 4u);
+  EXPECT_EQ(path_length(mesh, 5, 5), 1u);
+  // Path is channel-continuous.
+  const std::vector<Hop> path = compute_path(mesh, 0, 4, 15, 4);
+  ASSERT_EQ(path.size(), 7u);
+  for (std::size_t h = 0; h + 1 < path.size(); ++h) {
+    const auto down = mesh.downstream(path[h].router, path[h].out_port);
+    ASSERT_TRUE(down.has_value());
+    EXPECT_EQ(down->router, path[h + 1].router);
+  }
+}
+
+TEST(Routing, SameRouterPathIsOneHop) {
+  const NetworkTopology topology = NetworkTopology::single(4);
+  const std::vector<Hop> path = compute_path(topology, 0, 1, 0, 3);
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0].router, 0u);
+  EXPECT_EQ(path[0].in_port, 1u);
+  EXPECT_EQ(path[0].out_port, 3u);
+}
+
+TEST(Routing, NeighbourPathInRing) {
+  const NetworkTopology ring = NetworkTopology::bidirectional_ring(4, 4);
+  // Local ports in the ring are 2 and 3.
+  const std::vector<Hop> path = compute_path(ring, 0, 2, 1, 3);
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(path[0].router, 0u);
+  EXPECT_EQ(path[0].in_port, 2u);
+  EXPECT_EQ(path[0].out_port, 0u);  // clockwise channel
+  EXPECT_EQ(path[1].router, 1u);
+  EXPECT_EQ(path[1].in_port, 0u);
+  EXPECT_EQ(path[1].out_port, 3u);
+}
+
+TEST(Routing, RingUsesShortestDirection) {
+  const NetworkTopology ring = NetworkTopology::bidirectional_ring(6, 4);
+  // 0 -> 5 is one hop counter-clockwise, five hops clockwise.
+  const std::vector<Hop> path = compute_path(ring, 0, 2, 5, 2);
+  EXPECT_EQ(path.size(), 2u);
+  EXPECT_EQ(path[0].out_port, 1u);  // counter-clockwise channel
+  EXPECT_EQ(path_length(ring, 0, 5), 2u);
+  EXPECT_EQ(path_length(ring, 0, 3), 4u);  // diameter direction
+}
+
+TEST(Routing, LinePathTraversesAllIntermediates) {
+  const NetworkTopology line = NetworkTopology::line(4, 4);
+  const std::vector<Hop> path = compute_path(line, 0, 2, 3, 2);
+  ASSERT_EQ(path.size(), 4u);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(path[i].router, i);
+  }
+  // Interior hops use the rightward channels (out 0 / in 0).
+  for (std::uint32_t i = 0; i + 1 < 4; ++i) EXPECT_EQ(path[i].out_port, 0u);
+  for (std::uint32_t i = 1; i < 4; ++i) EXPECT_EQ(path[i].in_port, 0u);
+}
+
+TEST(Routing, PathEndpointsAreLocalEnforced) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const NetworkTopology ring = NetworkTopology::bidirectional_ring(4, 4);
+  // Port 0 is a channel port, not local.
+  EXPECT_DEATH((void)compute_path(ring, 0, 0, 1, 2), "local");
+  EXPECT_DEATH((void)compute_path(ring, 0, 2, 1, 0), "local");
+}
+
+TEST(Routing, ChannelContinuityHoldsOnEveryPairInRing) {
+  const NetworkTopology ring = NetworkTopology::bidirectional_ring(5, 4);
+  for (std::uint32_t src = 0; src < 5; ++src) {
+    for (std::uint32_t dst = 0; dst < 5; ++dst) {
+      const std::vector<Hop> path = compute_path(ring, src, 2, dst, 3);
+      EXPECT_EQ(path.front().router, src);
+      EXPECT_EQ(path.back().router, dst);
+      for (std::size_t h = 0; h + 1 < path.size(); ++h) {
+        const auto down = ring.downstream(path[h].router, path[h].out_port);
+        ASSERT_TRUE(down.has_value());
+        EXPECT_EQ(down->router, path[h + 1].router);
+        EXPECT_EQ(down->port, path[h + 1].in_port);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mmr

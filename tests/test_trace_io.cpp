@@ -1,0 +1,95 @@
+#include "mmr/traffic/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "mmr/sim/rng.hpp"
+#include "mmr/traffic/vbr.hpp"
+
+namespace mmr {
+namespace {
+
+MpegTrace sample_trace() {
+  Rng rng(0x7E5, 0);
+  return generate_mpeg_trace(mpeg_sequence("Hook"), 2, rng);
+}
+
+TEST(TraceIo, CsvRoundTrip) {
+  const MpegTrace original = sample_trace();
+  std::stringstream buffer;
+  write_trace_csv(buffer, original);
+  const MpegTrace loaded = read_trace_csv(buffer, "Hook");
+  EXPECT_EQ(loaded.frame_bits, original.frame_bits);
+  EXPECT_EQ(loaded.sequence, "Hook");
+  EXPECT_DOUBLE_EQ(loaded.mean_bps(), original.mean_bps());
+}
+
+TEST(TraceIo, CsvHeaderIsOptional) {
+  std::stringstream with_header("frame,type,bits\n0,I,1000\n1,B,500\n");
+  const MpegTrace a = read_trace_csv(with_header, "t");
+  EXPECT_EQ(a.frame_bits, (std::vector<std::uint64_t>{1000, 500}));
+  std::stringstream without("0,I,1000\n1,B,500\n");
+  const MpegTrace b = read_trace_csv(without, "t");
+  EXPECT_EQ(b.frame_bits, a.frame_bits);
+}
+
+TEST(TraceIo, LinesFormatWithCommentsAndBlanks) {
+  std::stringstream in("# archive header\n\n123456\n 78910 \n\n# tail\n42\n");
+  const MpegTrace trace = read_trace_lines(in, "archive");
+  EXPECT_EQ(trace.frame_bits, (std::vector<std::uint64_t>{123456, 78910, 42}));
+}
+
+TEST(TraceIo, RejectsGarbage) {
+  std::stringstream bad_lines("123\nnot-a-number\n");
+  EXPECT_THROW((void)read_trace_lines(bad_lines, "x"), std::invalid_argument);
+  std::stringstream bad_csv("0,I,12x4\n");
+  EXPECT_THROW((void)read_trace_csv(bad_csv, "x"), std::invalid_argument);
+  std::stringstream zero("0\n");
+  EXPECT_THROW((void)read_trace_lines(zero, "x"), std::invalid_argument);
+  std::stringstream empty("# nothing\n");
+  EXPECT_THROW((void)read_trace_lines(empty, "x"), std::invalid_argument);
+}
+
+TEST(TraceIo, FileRoundTripWithFormatSniffing) {
+  const MpegTrace original = sample_trace();
+  const std::string csv_path = ::testing::TempDir() + "/mmr_trace.csv";
+  save_trace_csv(csv_path, original);
+  const MpegTrace from_csv = load_trace(csv_path, "Hook");
+  EXPECT_EQ(from_csv.frame_bits, original.frame_bits);
+
+  const std::string lines_path = ::testing::TempDir() + "/mmr_trace.txt";
+  {
+    std::ofstream out(lines_path);
+    for (std::uint64_t bits : original.frame_bits) out << bits << '\n';
+  }
+  const MpegTrace from_lines = load_trace(lines_path, "Hook");
+  EXPECT_EQ(from_lines.frame_bits, original.frame_bits);
+  std::remove(csv_path.c_str());
+  std::remove(lines_path.c_str());
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW((void)load_trace("/nonexistent/trace.csv", "x"),
+               std::runtime_error);
+  EXPECT_THROW(save_trace_csv("/nonexistent/dir/trace.csv", sample_trace()),
+               std::runtime_error);
+}
+
+TEST(TraceIo, LoadedTraceDrivesAVbrSource) {
+  const MpegTrace original = sample_trace();
+  std::stringstream buffer;
+  write_trace_csv(buffer, original);
+  const MpegTrace loaded = read_trace_csv(buffer, "Hook");
+  const TimeBase tb(2.4e9, 4096, 16);
+  VbrSource source(0, loaded, InjectionModel::kSmoothRate, tb,
+                   loaded.peak_bps());
+  std::vector<Flit> flits;
+  source.generate(50'000, flits);
+  EXPECT_FALSE(flits.empty());
+}
+
+}  // namespace
+}  // namespace mmr

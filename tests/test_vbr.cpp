@@ -1,0 +1,180 @@
+#include "mmr/traffic/vbr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "mmr/sim/config.hpp"
+
+namespace mmr {
+namespace {
+
+TimeBase tb() { return TimeBase(2.4e9, 4096, 16); }
+
+MpegTrace small_trace(std::uint32_t gops = 2, std::uint64_t seed = 61) {
+  Rng rng(seed, 0);
+  return generate_mpeg_trace(mpeg_sequence("Ayersroc"), gops, rng);
+}
+
+double period_cycles() { return tb().seconds_to_cycles(kFramePeriodSeconds); }
+
+TEST(VbrSource, FrameFlitCountMatchesTraceBits) {
+  const MpegTrace trace = small_trace();
+  VbrSource source(0, trace, InjectionModel::kSmoothRate, tb(),
+                   trace.peak_bps());
+  for (std::uint32_t f = 0; f < trace.frames(); ++f) {
+    const auto expected = static_cast<std::uint32_t>(
+        (trace.frame_bits[f] + 4095) / 4096);
+    EXPECT_EQ(source.frame_flits(f), std::max(1u, expected)) << f;
+  }
+}
+
+TEST(VbrSource, SmoothRateSpreadsFlitsAcrossThePeriod) {
+  const MpegTrace trace = small_trace();
+  VbrSource source(0, trace, InjectionModel::kSmoothRate, tb(),
+                   trace.peak_bps());
+  std::vector<Flit> flits;
+  source.generate(static_cast<Cycle>(3 * period_cycles()), flits);
+  std::map<std::uint32_t, std::vector<Cycle>> by_frame;
+  for (const Flit& flit : flits) by_frame[flit.frame].push_back(flit.generated_at);
+  for (const auto& [frame, times] : by_frame) {
+    if (frame >= 2) continue;  // last frame may be partial at the horizon
+    const double boundary = source.frame_boundary(frame);
+    // All inside the frame window.
+    EXPECT_GE(static_cast<double>(times.front()), boundary - 1);
+    EXPECT_LE(static_cast<double>(times.back()), boundary + period_cycles());
+    // Roughly even spacing: max gap close to period / n.
+    const double expected_gap =
+        period_cycles() / static_cast<double>(times.size());
+    for (std::size_t i = 1; i < times.size(); ++i) {
+      const double gap = static_cast<double>(times[i] - times[i - 1]);
+      EXPECT_NEAR(gap, expected_gap, 2.0) << "frame " << frame;
+    }
+  }
+}
+
+TEST(VbrSource, BackToBackBurstsAtPeakRate) {
+  const MpegTrace trace = small_trace();
+  const double peak = trace.peak_bps();
+  VbrSource source(0, trace, InjectionModel::kBackToBack, tb(), peak);
+  std::vector<Flit> flits;
+  source.generate(static_cast<Cycle>(2 * period_cycles()), flits);
+  const double iat_p = 2.4e9 / peak;
+  std::uint32_t frame1_count = 0;
+  Cycle prev = 0;
+  for (const Flit& flit : flits) {
+    if (flit.frame != 1) continue;
+    if (frame1_count > 0) {
+      EXPECT_NEAR(static_cast<double>(flit.generated_at - prev), iat_p, 1.01);
+    }
+    prev = flit.generated_at;
+    ++frame1_count;
+  }
+  EXPECT_EQ(frame1_count, source.frame_flits(1));
+  // The burst ends well before the frame period for a non-maximal frame.
+  if (source.frame_flits(1) * iat_p < 0.8 * period_cycles()) {
+    EXPECT_LT(static_cast<double>(prev),
+              source.frame_boundary(1) + 0.9 * period_cycles());
+  }
+}
+
+TEST(VbrSource, LastOfFrameMarksExactlyOneFlitPerFrame) {
+  const MpegTrace trace = small_trace();
+  VbrSource source(0, trace, InjectionModel::kSmoothRate, tb(),
+                   trace.peak_bps());
+  std::vector<Flit> flits;
+  source.generate(static_cast<Cycle>(5 * period_cycles()), flits);
+  std::map<std::uint32_t, std::uint32_t> last_marks;
+  std::map<std::uint32_t, std::uint32_t> counts;
+  for (const Flit& flit : flits) {
+    ++counts[flit.frame];
+    if (flit.last_of_frame) ++last_marks[flit.frame];
+  }
+  for (const auto& [frame, count] : counts) {
+    if (count == source.frame_flits(frame)) {
+      EXPECT_EQ(last_marks[frame], 1u) << "frame " << frame;
+    }
+  }
+}
+
+TEST(VbrSource, SequenceNumbersAndFrameOriginsAdvance) {
+  const MpegTrace trace = small_trace();
+  VbrSource source(9, trace, InjectionModel::kSmoothRate, tb(),
+                   trace.peak_bps());
+  std::vector<Flit> flits;
+  source.generate(static_cast<Cycle>(2.5 * period_cycles()), flits);
+  std::uint64_t seq = 0;
+  for (const Flit& flit : flits) {
+    EXPECT_EQ(flit.connection, 9u);
+    EXPECT_EQ(flit.seq, seq++);
+    EXPECT_NEAR(static_cast<double>(flit.frame_origin),
+                source.frame_boundary(flit.frame), 1.01);
+    EXPECT_GE(flit.generated_at + 1, flit.frame_origin);
+  }
+}
+
+TEST(VbrSource, TraceRepeatsCyclically) {
+  const MpegTrace trace = small_trace(/*gops=*/1);
+  VbrSource source(0, trace, InjectionModel::kSmoothRate, tb(),
+                   trace.peak_bps());
+  // Frame kGopFrames repeats frame 0's size.
+  EXPECT_EQ(source.frame_flits(kGopFrames), source.frame_flits(0));
+  EXPECT_EQ(source.frame_flits(kGopFrames + 3), source.frame_flits(3));
+}
+
+TEST(VbrSource, StartFrameShiftsTracePosition) {
+  const MpegTrace trace = small_trace();
+  VbrSource base(0, trace, InjectionModel::kSmoothRate, tb(),
+                 trace.peak_bps());
+  VbrSource shifted(0, trace, InjectionModel::kSmoothRate, tb(),
+                    trace.peak_bps(), 0.0, /*start_frame=*/5);
+  EXPECT_EQ(shifted.frame_flits(0), base.frame_flits(5));
+  EXPECT_EQ(shifted.frame_flits(1), base.frame_flits(6));
+}
+
+TEST(VbrSource, MeanRateMatchesTraceOverLongWindow) {
+  const MpegTrace trace = small_trace(/*gops=*/4);
+  VbrSource source(0, trace, InjectionModel::kSmoothRate, tb(),
+                   trace.peak_bps());
+  std::vector<Flit> flits;
+  const double window = 8 * kGopFrames * period_cycles();  // 8 GOP times
+  source.generate(static_cast<Cycle>(window), flits);
+  const double measured_bps =
+      static_cast<double>(flits.size()) * 4096.0 /
+      tb().cycles_to_seconds(window);
+  // Flit quantisation rounds every frame up, so measured >= trace mean.
+  EXPECT_NEAR(measured_bps / trace.mean_bps(), 1.0, 0.06);
+}
+
+TEST(VbrSource, PhaseShiftsBoundaries) {
+  const MpegTrace trace = small_trace();
+  VbrSource source(0, trace, InjectionModel::kSmoothRate, tb(),
+                   trace.peak_bps(), /*phase=*/500.0);
+  EXPECT_NEAR(source.frame_boundary(0), 500.0, 1e-9);
+  EXPECT_NEAR(source.frame_boundary(2), 500.0 + 2 * period_cycles(), 1e-6);
+  EXPECT_GE(source.next_emission(), 500u);
+}
+
+TEST(VbrSource, InjectionModelNames) {
+  EXPECT_STREQ(to_string(InjectionModel::kBackToBack), "BB");
+  EXPECT_STREQ(to_string(InjectionModel::kSmoothRate), "SR");
+}
+
+TEST(VbrSourceDeath, RejectsPeakBelowTraceRequirement) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const MpegTrace trace = small_trace();
+  EXPECT_DEATH(VbrSource(0, trace, InjectionModel::kBackToBack, tb(),
+                         trace.peak_bps() * 0.5),
+               "largest frame");
+}
+
+TEST(VbrSourceDeath, RejectsPhaseBeyondPeriod) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const MpegTrace trace = small_trace();
+  EXPECT_DEATH(VbrSource(0, trace, InjectionModel::kSmoothRate, tb(),
+                         trace.peak_bps(), 2 * period_cycles()),
+               "phase");
+}
+
+}  // namespace
+}  // namespace mmr

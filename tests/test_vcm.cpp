@@ -1,0 +1,153 @@
+#include "mmr/router/vcm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace mmr {
+namespace {
+
+Flit make_flit(ConnectionId connection, std::uint64_t seq) {
+  Flit flit;
+  flit.connection = connection;
+  flit.seq = seq;
+  return flit;
+}
+
+TEST(Vcm, StartsEmpty) {
+  VirtualChannelMemory vcm(8, 2);
+  EXPECT_EQ(vcm.vcs(), 8u);
+  EXPECT_EQ(vcm.capacity_per_vc(), 2u);
+  EXPECT_EQ(vcm.total_flits(), 0u);
+  EXPECT_TRUE(vcm.occupied_vcs().empty());
+  for (std::uint32_t vc = 0; vc < 8; ++vc) {
+    EXPECT_TRUE(vcm.empty(vc));
+    EXPECT_TRUE(vcm.can_accept(vc));
+    EXPECT_EQ(vcm.occupancy(vc), 0u);
+  }
+  vcm.check_invariants();
+}
+
+TEST(Vcm, FifoOrderPerVc) {
+  VirtualChannelMemory vcm(4, 4);
+  vcm.push(2, make_flit(9, 0), 10);
+  vcm.push(2, make_flit(9, 1), 11);
+  vcm.push(2, make_flit(9, 2), 12);
+  EXPECT_EQ(vcm.head(2).seq, 0u);
+  EXPECT_EQ(vcm.pop(2).seq, 0u);
+  EXPECT_EQ(vcm.pop(2).seq, 1u);
+  EXPECT_EQ(vcm.pop(2).seq, 2u);
+  EXPECT_TRUE(vcm.empty(2));
+  vcm.check_invariants();
+}
+
+TEST(Vcm, HeadArrivalTracksQueueEpoch) {
+  VirtualChannelMemory vcm(4, 4);
+  vcm.push(1, make_flit(0, 0), 100);
+  vcm.push(1, make_flit(0, 1), 120);
+  EXPECT_EQ(vcm.head_arrival(1), 100u);
+  (void)vcm.pop(1);
+  EXPECT_EQ(vcm.head_arrival(1), 120u);
+}
+
+TEST(Vcm, CapacityEnforced) {
+  VirtualChannelMemory vcm(4, 2);
+  vcm.push(0, make_flit(0, 0), 0);
+  EXPECT_TRUE(vcm.can_accept(0));
+  vcm.push(0, make_flit(0, 1), 1);
+  EXPECT_FALSE(vcm.can_accept(0));
+  EXPECT_TRUE(vcm.can_accept(1));  // other VCs unaffected
+}
+
+TEST(VcmDeath, OverflowAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  VirtualChannelMemory vcm(2, 1);
+  vcm.push(0, make_flit(0, 0), 0);
+  EXPECT_DEATH(vcm.push(0, make_flit(0, 1), 1), "credit");
+}
+
+TEST(VcmDeath, PopEmptyAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  VirtualChannelMemory vcm(2, 1);
+  EXPECT_DEATH((void)vcm.pop(0), "empty");
+}
+
+TEST(Vcm, OccupiedListTracksMembership) {
+  VirtualChannelMemory vcm(8, 2);
+  vcm.push(3, make_flit(0, 0), 0);
+  vcm.push(5, make_flit(1, 0), 0);
+  vcm.push(3, make_flit(0, 1), 1);
+  auto occupied = vcm.occupied_vcs();
+  std::sort(occupied.begin(), occupied.end());
+  EXPECT_EQ(occupied, (std::vector<std::uint32_t>{3, 5}));
+  (void)vcm.pop(3);
+  (void)vcm.pop(3);  // VC 3 now empty
+  occupied = vcm.occupied_vcs();
+  EXPECT_EQ(occupied, (std::vector<std::uint32_t>{5}));
+  vcm.check_invariants();
+}
+
+TEST(Vcm, OccupiedListSurvivesInterleavedChurn) {
+  VirtualChannelMemory vcm(16, 2);
+  // Exercise the swap-remove bookkeeping hard.
+  for (std::uint32_t round = 0; round < 50; ++round) {
+    for (std::uint32_t vc = 0; vc < 16; vc += 2) {
+      if (vcm.can_accept(vc)) vcm.push(vc, make_flit(vc, round), round);
+    }
+    for (std::uint32_t vc = 0; vc < 16; vc += 3) {
+      if (!vcm.empty(vc)) (void)vcm.pop(vc);
+    }
+    vcm.check_invariants();
+  }
+}
+
+TEST(Vcm, TotalFlitsAggregates) {
+  VirtualChannelMemory vcm(4, 4);
+  vcm.push(0, make_flit(0, 0), 0);
+  vcm.push(1, make_flit(1, 0), 0);
+  vcm.push(1, make_flit(1, 1), 0);
+  EXPECT_EQ(vcm.total_flits(), 3u);
+  (void)vcm.pop(1);
+  EXPECT_EQ(vcm.total_flits(), 2u);
+}
+
+TEST(Vcm, BankOccupancySumsToTotal) {
+  VirtualChannelMemory vcm(8, 4, /*banks=*/4);
+  for (std::uint32_t vc = 0; vc < 8; ++vc) {
+    vcm.push(vc, make_flit(vc, 0), 0);
+    vcm.push(vc, make_flit(vc, 1), 0);
+  }
+  std::uint64_t banked = 0;
+  for (std::uint32_t used : vcm.bank_occupancy()) banked += used;
+  EXPECT_EQ(banked, vcm.total_flits());
+  vcm.check_invariants();
+}
+
+TEST(Vcm, InterleaveSpreadsAcrossBanks) {
+  VirtualChannelMemory vcm(16, 4, /*banks=*/4);
+  // Steady pushes rotate (vc + push_count) across banks: no bank starves.
+  for (std::uint32_t vc = 0; vc < 16; ++vc) {
+    for (std::uint32_t i = 0; i < 4; ++i) vcm.push(vc, make_flit(vc, i), i);
+  }
+  for (std::uint32_t used : vcm.bank_occupancy()) {
+    EXPECT_EQ(used, 16u);  // 64 flits over 4 banks, perfectly even
+  }
+}
+
+TEST(Vcm, PopReturnsTheStoredFlit) {
+  VirtualChannelMemory vcm(2, 2);
+  Flit flit = make_flit(42, 7);
+  flit.frame = 3;
+  flit.last_of_frame = true;
+  flit.generated_at = 1234;
+  vcm.push(1, flit, 2000);
+  const Flit popped = vcm.pop(1);
+  EXPECT_EQ(popped.connection, 42u);
+  EXPECT_EQ(popped.seq, 7u);
+  EXPECT_EQ(popped.frame, 3u);
+  EXPECT_TRUE(popped.last_of_frame);
+  EXPECT_EQ(popped.generated_at, 1234u);
+}
+
+}  // namespace
+}  // namespace mmr
