@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arbiter_micro.dir/arbiter_micro.cpp.o"
+  "CMakeFiles/arbiter_micro.dir/arbiter_micro.cpp.o.d"
+  "arbiter_micro"
+  "arbiter_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arbiter_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

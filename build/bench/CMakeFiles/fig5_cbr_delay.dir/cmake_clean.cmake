@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_cbr_delay.dir/fig5_cbr_delay.cpp.o"
+  "CMakeFiles/fig5_cbr_delay.dir/fig5_cbr_delay.cpp.o.d"
+  "fig5_cbr_delay"
+  "fig5_cbr_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_cbr_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

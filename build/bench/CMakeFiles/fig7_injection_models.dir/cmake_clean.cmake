@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_injection_models.dir/fig7_injection_models.cpp.o"
+  "CMakeFiles/fig7_injection_models.dir/fig7_injection_models.cpp.o.d"
+  "fig7_injection_models"
+  "fig7_injection_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_injection_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

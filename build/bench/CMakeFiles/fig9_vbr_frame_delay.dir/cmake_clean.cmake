@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_vbr_frame_delay.dir/fig9_vbr_frame_delay.cpp.o"
+  "CMakeFiles/fig9_vbr_frame_delay.dir/fig9_vbr_frame_delay.cpp.o.d"
+  "fig9_vbr_frame_delay"
+  "fig9_vbr_frame_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_vbr_frame_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

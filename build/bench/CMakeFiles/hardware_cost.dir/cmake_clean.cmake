@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hardware_cost.dir/hardware_cost.cpp.o"
+  "CMakeFiles/hardware_cost.dir/hardware_cost.cpp.o.d"
+  "hardware_cost"
+  "hardware_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hardware_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jitter_vbr.dir/jitter_vbr.cpp.o"
+  "CMakeFiles/jitter_vbr.dir/jitter_vbr.cpp.o.d"
+  "jitter_vbr"
+  "jitter_vbr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jitter_vbr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

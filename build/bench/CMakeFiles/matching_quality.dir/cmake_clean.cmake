@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matching_quality.dir/matching_quality.cpp.o"
+  "CMakeFiles/matching_quality.dir/matching_quality.cpp.o.d"
+  "matching_quality"
+  "matching_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matching_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

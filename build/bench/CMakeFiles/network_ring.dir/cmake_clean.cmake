@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_ring.dir/network_ring.cpp.o"
+  "CMakeFiles/network_ring.dir/network_ring.cpp.o.d"
+  "network_ring"
+  "network_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

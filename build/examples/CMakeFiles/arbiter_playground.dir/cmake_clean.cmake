@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arbiter_playground.dir/arbiter_playground.cpp.o"
+  "CMakeFiles/arbiter_playground.dir/arbiter_playground.cpp.o.d"
+  "arbiter_playground"
+  "arbiter_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arbiter_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

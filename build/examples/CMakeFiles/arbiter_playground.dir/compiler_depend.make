@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for arbiter_playground.
+# This may be replaced when dependencies are built.

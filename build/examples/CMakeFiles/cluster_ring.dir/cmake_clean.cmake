@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_ring.dir/cluster_ring.cpp.o"
+  "CMakeFiles/cluster_ring.dir/cluster_ring.cpp.o.d"
+  "cluster_ring"
+  "cluster_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mmr/arbiter/candidate.cpp" "src/CMakeFiles/mmr_arbiter.dir/mmr/arbiter/candidate.cpp.o" "gcc" "src/CMakeFiles/mmr_arbiter.dir/mmr/arbiter/candidate.cpp.o.d"
+  "/root/repo/src/mmr/arbiter/candidate_order.cpp" "src/CMakeFiles/mmr_arbiter.dir/mmr/arbiter/candidate_order.cpp.o" "gcc" "src/CMakeFiles/mmr_arbiter.dir/mmr/arbiter/candidate_order.cpp.o.d"
+  "/root/repo/src/mmr/arbiter/factory.cpp" "src/CMakeFiles/mmr_arbiter.dir/mmr/arbiter/factory.cpp.o" "gcc" "src/CMakeFiles/mmr_arbiter.dir/mmr/arbiter/factory.cpp.o.d"
+  "/root/repo/src/mmr/arbiter/greedy_priority.cpp" "src/CMakeFiles/mmr_arbiter.dir/mmr/arbiter/greedy_priority.cpp.o" "gcc" "src/CMakeFiles/mmr_arbiter.dir/mmr/arbiter/greedy_priority.cpp.o.d"
+  "/root/repo/src/mmr/arbiter/hardware_model.cpp" "src/CMakeFiles/mmr_arbiter.dir/mmr/arbiter/hardware_model.cpp.o" "gcc" "src/CMakeFiles/mmr_arbiter.dir/mmr/arbiter/hardware_model.cpp.o.d"
+  "/root/repo/src/mmr/arbiter/islip.cpp" "src/CMakeFiles/mmr_arbiter.dir/mmr/arbiter/islip.cpp.o" "gcc" "src/CMakeFiles/mmr_arbiter.dir/mmr/arbiter/islip.cpp.o.d"
+  "/root/repo/src/mmr/arbiter/matching.cpp" "src/CMakeFiles/mmr_arbiter.dir/mmr/arbiter/matching.cpp.o" "gcc" "src/CMakeFiles/mmr_arbiter.dir/mmr/arbiter/matching.cpp.o.d"
+  "/root/repo/src/mmr/arbiter/maxmatch.cpp" "src/CMakeFiles/mmr_arbiter.dir/mmr/arbiter/maxmatch.cpp.o" "gcc" "src/CMakeFiles/mmr_arbiter.dir/mmr/arbiter/maxmatch.cpp.o.d"
+  "/root/repo/src/mmr/arbiter/pim.cpp" "src/CMakeFiles/mmr_arbiter.dir/mmr/arbiter/pim.cpp.o" "gcc" "src/CMakeFiles/mmr_arbiter.dir/mmr/arbiter/pim.cpp.o.d"
+  "/root/repo/src/mmr/arbiter/verify.cpp" "src/CMakeFiles/mmr_arbiter.dir/mmr/arbiter/verify.cpp.o" "gcc" "src/CMakeFiles/mmr_arbiter.dir/mmr/arbiter/verify.cpp.o.d"
+  "/root/repo/src/mmr/arbiter/wavefront.cpp" "src/CMakeFiles/mmr_arbiter.dir/mmr/arbiter/wavefront.cpp.o" "gcc" "src/CMakeFiles/mmr_arbiter.dir/mmr/arbiter/wavefront.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mmr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmr_arbiter.dir/mmr/arbiter/candidate.cpp.o"
+  "CMakeFiles/mmr_arbiter.dir/mmr/arbiter/candidate.cpp.o.d"
+  "CMakeFiles/mmr_arbiter.dir/mmr/arbiter/candidate_order.cpp.o"
+  "CMakeFiles/mmr_arbiter.dir/mmr/arbiter/candidate_order.cpp.o.d"
+  "CMakeFiles/mmr_arbiter.dir/mmr/arbiter/factory.cpp.o"
+  "CMakeFiles/mmr_arbiter.dir/mmr/arbiter/factory.cpp.o.d"
+  "CMakeFiles/mmr_arbiter.dir/mmr/arbiter/greedy_priority.cpp.o"
+  "CMakeFiles/mmr_arbiter.dir/mmr/arbiter/greedy_priority.cpp.o.d"
+  "CMakeFiles/mmr_arbiter.dir/mmr/arbiter/hardware_model.cpp.o"
+  "CMakeFiles/mmr_arbiter.dir/mmr/arbiter/hardware_model.cpp.o.d"
+  "CMakeFiles/mmr_arbiter.dir/mmr/arbiter/islip.cpp.o"
+  "CMakeFiles/mmr_arbiter.dir/mmr/arbiter/islip.cpp.o.d"
+  "CMakeFiles/mmr_arbiter.dir/mmr/arbiter/matching.cpp.o"
+  "CMakeFiles/mmr_arbiter.dir/mmr/arbiter/matching.cpp.o.d"
+  "CMakeFiles/mmr_arbiter.dir/mmr/arbiter/maxmatch.cpp.o"
+  "CMakeFiles/mmr_arbiter.dir/mmr/arbiter/maxmatch.cpp.o.d"
+  "CMakeFiles/mmr_arbiter.dir/mmr/arbiter/pim.cpp.o"
+  "CMakeFiles/mmr_arbiter.dir/mmr/arbiter/pim.cpp.o.d"
+  "CMakeFiles/mmr_arbiter.dir/mmr/arbiter/verify.cpp.o"
+  "CMakeFiles/mmr_arbiter.dir/mmr/arbiter/verify.cpp.o.d"
+  "CMakeFiles/mmr_arbiter.dir/mmr/arbiter/wavefront.cpp.o"
+  "CMakeFiles/mmr_arbiter.dir/mmr/arbiter/wavefront.cpp.o.d"
+  "libmmr_arbiter.a"
+  "libmmr_arbiter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmr_arbiter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmr_core.dir/mmr/core/experiment.cpp.o"
+  "CMakeFiles/mmr_core.dir/mmr/core/experiment.cpp.o.d"
+  "CMakeFiles/mmr_core.dir/mmr/core/fairness.cpp.o"
+  "CMakeFiles/mmr_core.dir/mmr/core/fairness.cpp.o.d"
+  "CMakeFiles/mmr_core.dir/mmr/core/metrics.cpp.o"
+  "CMakeFiles/mmr_core.dir/mmr/core/metrics.cpp.o.d"
+  "CMakeFiles/mmr_core.dir/mmr/core/report.cpp.o"
+  "CMakeFiles/mmr_core.dir/mmr/core/report.cpp.o.d"
+  "CMakeFiles/mmr_core.dir/mmr/core/simulation.cpp.o"
+  "CMakeFiles/mmr_core.dir/mmr/core/simulation.cpp.o.d"
+  "libmmr_core.a"
+  "libmmr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmr_network.dir/mmr/network/network.cpp.o"
+  "CMakeFiles/mmr_network.dir/mmr/network/network.cpp.o.d"
+  "CMakeFiles/mmr_network.dir/mmr/network/routing.cpp.o"
+  "CMakeFiles/mmr_network.dir/mmr/network/routing.cpp.o.d"
+  "CMakeFiles/mmr_network.dir/mmr/network/topology.cpp.o"
+  "CMakeFiles/mmr_network.dir/mmr/network/topology.cpp.o.d"
+  "libmmr_network.a"
+  "libmmr_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmr_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mmr/qos/admission.cpp" "src/CMakeFiles/mmr_qos.dir/mmr/qos/admission.cpp.o" "gcc" "src/CMakeFiles/mmr_qos.dir/mmr/qos/admission.cpp.o.d"
+  "/root/repo/src/mmr/qos/connection.cpp" "src/CMakeFiles/mmr_qos.dir/mmr/qos/connection.cpp.o" "gcc" "src/CMakeFiles/mmr_qos.dir/mmr/qos/connection.cpp.o.d"
+  "/root/repo/src/mmr/qos/priority.cpp" "src/CMakeFiles/mmr_qos.dir/mmr/qos/priority.cpp.o" "gcc" "src/CMakeFiles/mmr_qos.dir/mmr/qos/priority.cpp.o.d"
+  "/root/repo/src/mmr/qos/rounds.cpp" "src/CMakeFiles/mmr_qos.dir/mmr/qos/rounds.cpp.o" "gcc" "src/CMakeFiles/mmr_qos.dir/mmr/qos/rounds.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mmr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmr_qos.dir/mmr/qos/admission.cpp.o"
+  "CMakeFiles/mmr_qos.dir/mmr/qos/admission.cpp.o.d"
+  "CMakeFiles/mmr_qos.dir/mmr/qos/connection.cpp.o"
+  "CMakeFiles/mmr_qos.dir/mmr/qos/connection.cpp.o.d"
+  "CMakeFiles/mmr_qos.dir/mmr/qos/priority.cpp.o"
+  "CMakeFiles/mmr_qos.dir/mmr/qos/priority.cpp.o.d"
+  "CMakeFiles/mmr_qos.dir/mmr/qos/rounds.cpp.o"
+  "CMakeFiles/mmr_qos.dir/mmr/qos/rounds.cpp.o.d"
+  "libmmr_qos.a"
+  "libmmr_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmr_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

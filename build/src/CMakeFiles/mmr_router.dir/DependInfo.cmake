@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mmr/router/credits.cpp" "src/CMakeFiles/mmr_router.dir/mmr/router/credits.cpp.o" "gcc" "src/CMakeFiles/mmr_router.dir/mmr/router/credits.cpp.o.d"
+  "/root/repo/src/mmr/router/crossbar.cpp" "src/CMakeFiles/mmr_router.dir/mmr/router/crossbar.cpp.o" "gcc" "src/CMakeFiles/mmr_router.dir/mmr/router/crossbar.cpp.o.d"
+  "/root/repo/src/mmr/router/link.cpp" "src/CMakeFiles/mmr_router.dir/mmr/router/link.cpp.o" "gcc" "src/CMakeFiles/mmr_router.dir/mmr/router/link.cpp.o.d"
+  "/root/repo/src/mmr/router/link_scheduler.cpp" "src/CMakeFiles/mmr_router.dir/mmr/router/link_scheduler.cpp.o" "gcc" "src/CMakeFiles/mmr_router.dir/mmr/router/link_scheduler.cpp.o.d"
+  "/root/repo/src/mmr/router/nic.cpp" "src/CMakeFiles/mmr_router.dir/mmr/router/nic.cpp.o" "gcc" "src/CMakeFiles/mmr_router.dir/mmr/router/nic.cpp.o.d"
+  "/root/repo/src/mmr/router/router.cpp" "src/CMakeFiles/mmr_router.dir/mmr/router/router.cpp.o" "gcc" "src/CMakeFiles/mmr_router.dir/mmr/router/router.cpp.o.d"
+  "/root/repo/src/mmr/router/vcm.cpp" "src/CMakeFiles/mmr_router.dir/mmr/router/vcm.cpp.o" "gcc" "src/CMakeFiles/mmr_router.dir/mmr/router/vcm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mmr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmr_arbiter.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmr_qos.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmr_traffic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmr_router.dir/mmr/router/credits.cpp.o"
+  "CMakeFiles/mmr_router.dir/mmr/router/credits.cpp.o.d"
+  "CMakeFiles/mmr_router.dir/mmr/router/crossbar.cpp.o"
+  "CMakeFiles/mmr_router.dir/mmr/router/crossbar.cpp.o.d"
+  "CMakeFiles/mmr_router.dir/mmr/router/link.cpp.o"
+  "CMakeFiles/mmr_router.dir/mmr/router/link.cpp.o.d"
+  "CMakeFiles/mmr_router.dir/mmr/router/link_scheduler.cpp.o"
+  "CMakeFiles/mmr_router.dir/mmr/router/link_scheduler.cpp.o.d"
+  "CMakeFiles/mmr_router.dir/mmr/router/nic.cpp.o"
+  "CMakeFiles/mmr_router.dir/mmr/router/nic.cpp.o.d"
+  "CMakeFiles/mmr_router.dir/mmr/router/router.cpp.o"
+  "CMakeFiles/mmr_router.dir/mmr/router/router.cpp.o.d"
+  "CMakeFiles/mmr_router.dir/mmr/router/vcm.cpp.o"
+  "CMakeFiles/mmr_router.dir/mmr/router/vcm.cpp.o.d"
+  "libmmr_router.a"
+  "libmmr_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmr_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

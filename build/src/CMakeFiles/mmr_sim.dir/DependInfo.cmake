@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mmr/sim/config.cpp" "src/CMakeFiles/mmr_sim.dir/mmr/sim/config.cpp.o" "gcc" "src/CMakeFiles/mmr_sim.dir/mmr/sim/config.cpp.o.d"
+  "/root/repo/src/mmr/sim/csv.cpp" "src/CMakeFiles/mmr_sim.dir/mmr/sim/csv.cpp.o" "gcc" "src/CMakeFiles/mmr_sim.dir/mmr/sim/csv.cpp.o.d"
+  "/root/repo/src/mmr/sim/histogram.cpp" "src/CMakeFiles/mmr_sim.dir/mmr/sim/histogram.cpp.o" "gcc" "src/CMakeFiles/mmr_sim.dir/mmr/sim/histogram.cpp.o.d"
+  "/root/repo/src/mmr/sim/log.cpp" "src/CMakeFiles/mmr_sim.dir/mmr/sim/log.cpp.o" "gcc" "src/CMakeFiles/mmr_sim.dir/mmr/sim/log.cpp.o.d"
+  "/root/repo/src/mmr/sim/rng.cpp" "src/CMakeFiles/mmr_sim.dir/mmr/sim/rng.cpp.o" "gcc" "src/CMakeFiles/mmr_sim.dir/mmr/sim/rng.cpp.o.d"
+  "/root/repo/src/mmr/sim/stats.cpp" "src/CMakeFiles/mmr_sim.dir/mmr/sim/stats.cpp.o" "gcc" "src/CMakeFiles/mmr_sim.dir/mmr/sim/stats.cpp.o.d"
+  "/root/repo/src/mmr/sim/table.cpp" "src/CMakeFiles/mmr_sim.dir/mmr/sim/table.cpp.o" "gcc" "src/CMakeFiles/mmr_sim.dir/mmr/sim/table.cpp.o.d"
+  "/root/repo/src/mmr/sim/thread_pool.cpp" "src/CMakeFiles/mmr_sim.dir/mmr/sim/thread_pool.cpp.o" "gcc" "src/CMakeFiles/mmr_sim.dir/mmr/sim/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

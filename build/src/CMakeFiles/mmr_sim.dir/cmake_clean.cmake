@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmr_sim.dir/mmr/sim/config.cpp.o"
+  "CMakeFiles/mmr_sim.dir/mmr/sim/config.cpp.o.d"
+  "CMakeFiles/mmr_sim.dir/mmr/sim/csv.cpp.o"
+  "CMakeFiles/mmr_sim.dir/mmr/sim/csv.cpp.o.d"
+  "CMakeFiles/mmr_sim.dir/mmr/sim/histogram.cpp.o"
+  "CMakeFiles/mmr_sim.dir/mmr/sim/histogram.cpp.o.d"
+  "CMakeFiles/mmr_sim.dir/mmr/sim/log.cpp.o"
+  "CMakeFiles/mmr_sim.dir/mmr/sim/log.cpp.o.d"
+  "CMakeFiles/mmr_sim.dir/mmr/sim/rng.cpp.o"
+  "CMakeFiles/mmr_sim.dir/mmr/sim/rng.cpp.o.d"
+  "CMakeFiles/mmr_sim.dir/mmr/sim/stats.cpp.o"
+  "CMakeFiles/mmr_sim.dir/mmr/sim/stats.cpp.o.d"
+  "CMakeFiles/mmr_sim.dir/mmr/sim/table.cpp.o"
+  "CMakeFiles/mmr_sim.dir/mmr/sim/table.cpp.o.d"
+  "CMakeFiles/mmr_sim.dir/mmr/sim/thread_pool.cpp.o"
+  "CMakeFiles/mmr_sim.dir/mmr/sim/thread_pool.cpp.o.d"
+  "libmmr_sim.a"
+  "libmmr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

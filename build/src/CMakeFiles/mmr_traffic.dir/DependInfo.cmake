@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mmr/traffic/besteffort.cpp" "src/CMakeFiles/mmr_traffic.dir/mmr/traffic/besteffort.cpp.o" "gcc" "src/CMakeFiles/mmr_traffic.dir/mmr/traffic/besteffort.cpp.o.d"
+  "/root/repo/src/mmr/traffic/cbr.cpp" "src/CMakeFiles/mmr_traffic.dir/mmr/traffic/cbr.cpp.o" "gcc" "src/CMakeFiles/mmr_traffic.dir/mmr/traffic/cbr.cpp.o.d"
+  "/root/repo/src/mmr/traffic/flit.cpp" "src/CMakeFiles/mmr_traffic.dir/mmr/traffic/flit.cpp.o" "gcc" "src/CMakeFiles/mmr_traffic.dir/mmr/traffic/flit.cpp.o.d"
+  "/root/repo/src/mmr/traffic/mix.cpp" "src/CMakeFiles/mmr_traffic.dir/mmr/traffic/mix.cpp.o" "gcc" "src/CMakeFiles/mmr_traffic.dir/mmr/traffic/mix.cpp.o.d"
+  "/root/repo/src/mmr/traffic/mpeg.cpp" "src/CMakeFiles/mmr_traffic.dir/mmr/traffic/mpeg.cpp.o" "gcc" "src/CMakeFiles/mmr_traffic.dir/mmr/traffic/mpeg.cpp.o.d"
+  "/root/repo/src/mmr/traffic/trace_io.cpp" "src/CMakeFiles/mmr_traffic.dir/mmr/traffic/trace_io.cpp.o" "gcc" "src/CMakeFiles/mmr_traffic.dir/mmr/traffic/trace_io.cpp.o.d"
+  "/root/repo/src/mmr/traffic/vbr.cpp" "src/CMakeFiles/mmr_traffic.dir/mmr/traffic/vbr.cpp.o" "gcc" "src/CMakeFiles/mmr_traffic.dir/mmr/traffic/vbr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mmr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmr_qos.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

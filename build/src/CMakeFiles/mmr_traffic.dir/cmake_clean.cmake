@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmr_traffic.dir/mmr/traffic/besteffort.cpp.o"
+  "CMakeFiles/mmr_traffic.dir/mmr/traffic/besteffort.cpp.o.d"
+  "CMakeFiles/mmr_traffic.dir/mmr/traffic/cbr.cpp.o"
+  "CMakeFiles/mmr_traffic.dir/mmr/traffic/cbr.cpp.o.d"
+  "CMakeFiles/mmr_traffic.dir/mmr/traffic/flit.cpp.o"
+  "CMakeFiles/mmr_traffic.dir/mmr/traffic/flit.cpp.o.d"
+  "CMakeFiles/mmr_traffic.dir/mmr/traffic/mix.cpp.o"
+  "CMakeFiles/mmr_traffic.dir/mmr/traffic/mix.cpp.o.d"
+  "CMakeFiles/mmr_traffic.dir/mmr/traffic/mpeg.cpp.o"
+  "CMakeFiles/mmr_traffic.dir/mmr/traffic/mpeg.cpp.o.d"
+  "CMakeFiles/mmr_traffic.dir/mmr/traffic/trace_io.cpp.o"
+  "CMakeFiles/mmr_traffic.dir/mmr/traffic/trace_io.cpp.o.d"
+  "CMakeFiles/mmr_traffic.dir/mmr/traffic/vbr.cpp.o"
+  "CMakeFiles/mmr_traffic.dir/mmr/traffic/vbr.cpp.o.d"
+  "libmmr_traffic.a"
+  "libmmr_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmr_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

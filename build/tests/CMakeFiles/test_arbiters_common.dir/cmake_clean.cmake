@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arbiters_common.dir/test_arbiters_common.cpp.o"
+  "CMakeFiles/test_arbiters_common.dir/test_arbiters_common.cpp.o.d"
+  "test_arbiters_common"
+  "test_arbiters_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arbiters_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

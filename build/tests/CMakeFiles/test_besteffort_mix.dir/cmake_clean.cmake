@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_besteffort_mix.dir/test_besteffort_mix.cpp.o"
+  "CMakeFiles/test_besteffort_mix.dir/test_besteffort_mix.cpp.o.d"
+  "test_besteffort_mix"
+  "test_besteffort_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_besteffort_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_candidate.dir/test_candidate.cpp.o"
+  "CMakeFiles/test_candidate.dir/test_candidate.cpp.o.d"
+  "test_candidate"
+  "test_candidate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_candidate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cbr.dir/test_cbr.cpp.o"
+  "CMakeFiles/test_cbr.dir/test_cbr.cpp.o.d"
+  "test_cbr"
+  "test_cbr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cbr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coa.dir/test_coa.cpp.o"
+  "CMakeFiles/test_coa.dir/test_coa.cpp.o.d"
+  "test_coa"
+  "test_coa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_credits_link.dir/test_credits_link.cpp.o"
+  "CMakeFiles/test_credits_link.dir/test_credits_link.cpp.o.d"
+  "test_credits_link"
+  "test_credits_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_credits_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

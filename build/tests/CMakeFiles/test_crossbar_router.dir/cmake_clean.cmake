@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crossbar_router.dir/test_crossbar_router.cpp.o"
+  "CMakeFiles/test_crossbar_router.dir/test_crossbar_router.cpp.o.d"
+  "test_crossbar_router"
+  "test_crossbar_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crossbar_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_experiment_report.dir/test_experiment_report.cpp.o"
+  "CMakeFiles/test_experiment_report.dir/test_experiment_report.cpp.o.d"
+  "test_experiment_report"
+  "test_experiment_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_experiment_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

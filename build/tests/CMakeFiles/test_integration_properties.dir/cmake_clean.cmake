@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_properties.dir/test_integration_properties.cpp.o"
+  "CMakeFiles/test_integration_properties.dir/test_integration_properties.cpp.o.d"
+  "test_integration_properties"
+  "test_integration_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

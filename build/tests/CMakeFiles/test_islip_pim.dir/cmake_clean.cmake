@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_islip_pim.dir/test_islip_pim.cpp.o"
+  "CMakeFiles/test_islip_pim.dir/test_islip_pim.cpp.o.d"
+  "test_islip_pim"
+  "test_islip_pim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_islip_pim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_link_scheduler.dir/test_link_scheduler.cpp.o"
+  "CMakeFiles/test_link_scheduler.dir/test_link_scheduler.cpp.o.d"
+  "test_link_scheduler"
+  "test_link_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_link_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

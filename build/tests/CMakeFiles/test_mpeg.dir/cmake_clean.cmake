@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpeg.dir/test_mpeg.cpp.o"
+  "CMakeFiles/test_mpeg.dir/test_mpeg.cpp.o.d"
+  "test_mpeg"
+  "test_mpeg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpeg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

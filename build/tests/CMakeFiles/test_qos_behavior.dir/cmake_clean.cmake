@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qos_behavior.dir/test_qos_behavior.cpp.o"
+  "CMakeFiles/test_qos_behavior.dir/test_qos_behavior.cpp.o.d"
+  "test_qos_behavior"
+  "test_qos_behavior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qos_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

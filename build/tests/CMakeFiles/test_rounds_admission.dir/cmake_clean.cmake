@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rounds_admission.dir/test_rounds_admission.cpp.o"
+  "CMakeFiles/test_rounds_admission.dir/test_rounds_admission.cpp.o.d"
+  "test_rounds_admission"
+  "test_rounds_admission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rounds_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

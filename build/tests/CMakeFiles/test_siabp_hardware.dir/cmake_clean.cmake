@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_siabp_hardware.dir/test_siabp_hardware.cpp.o"
+  "CMakeFiles/test_siabp_hardware.dir/test_siabp_hardware.cpp.o.d"
+  "test_siabp_hardware"
+  "test_siabp_hardware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_siabp_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

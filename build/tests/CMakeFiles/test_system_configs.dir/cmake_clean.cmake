@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_system_configs.dir/test_system_configs.cpp.o"
+  "CMakeFiles/test_system_configs.dir/test_system_configs.cpp.o.d"
+  "test_system_configs"
+  "test_system_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_system_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vbr.dir/test_vbr.cpp.o"
+  "CMakeFiles/test_vbr.dir/test_vbr.cpp.o.d"
+  "test_vbr"
+  "test_vbr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vbr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vcm.dir/test_vcm.cpp.o"
+  "CMakeFiles/test_vcm.dir/test_vcm.cpp.o.d"
+  "test_vcm"
+  "test_vcm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
