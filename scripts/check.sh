@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full local gate: plain build + tests, then the whole suite again under
+# AddressSanitizer + UndefinedBehaviorSanitizer.
+# Usage: scripts/check.sh [jobs]
+set -euo pipefail
+
+JOBS="${1:-$(nproc)}"
+cd "$(dirname "$0")/.."
+
+echo "=== plain build (warnings as errors) ==="
+cmake -B build -S . -DMMR_WERROR=ON
+cmake --build build -j "${JOBS}"
+ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+echo
+echo "=== sanitized build (address,undefined) ==="
+cmake -B build-asan -S . -DMMR_WERROR=ON -DSANITIZE=address,undefined
+cmake --build build-asan -j "${JOBS}"
+ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
+  ctest --test-dir build-asan --output-on-failure -j "${JOBS}"
+
+echo
+echo "all checks passed"

@@ -71,6 +71,29 @@ SimulationMetrics merge_runs(const std::vector<SimulationMetrics>& runs) {
   return merged;
 }
 
+namespace {
+
+double ratio(std::uint64_t num, std::uint64_t den) {
+  return den == 0 ? 0.0
+                  : static_cast<double>(num) / static_cast<double>(den);
+}
+
+}  // namespace
+
+double DegradationMetrics::violation_rate_during_fault() const {
+  return ratio(qos_violations_during_fault, delivered_during_fault);
+}
+
+double DegradationMetrics::violation_rate_outside_fault() const {
+  return ratio(qos_violations_outside_fault, delivered_outside_fault);
+}
+
+double survival_rate(const ClassMetrics& cls) {
+  return cls.flits_generated == 0
+             ? 1.0
+             : ratio(cls.flits_delivered, cls.flits_generated);
+}
+
 const ClassMetrics* SimulationMetrics::find_class(
     const std::string& label) const {
   for (const ClassMetrics& c : per_class) {

@@ -27,6 +27,48 @@ struct ClassMetrics {
   LogHistogram flit_delay_hist{0.1, 1.15};
 };
 
+/// Graceful-degradation accounting produced by fault-injection runs (see
+/// mmr/fault/).  All-zero when no fault plan is active.
+struct DegradationMetrics {
+  bool enabled = false;  ///< a fault plan was installed
+
+  // Flit losses, by cause.
+  std::uint64_t flits_dropped = 0;    ///< vanished on a faulty link
+  std::uint64_t flits_corrupted = 0;  ///< failed CRC at the receiving router
+  std::uint64_t flits_flushed = 0;    ///< discarded by connection teardown
+  std::uint64_t source_flits_discarded = 0;  ///< generated while disconnected
+
+  // Credit-loop damage and repair.
+  std::uint64_t credits_lost = 0;      ///< credit-return messages lost
+  std::uint64_t credits_restored = 0;  ///< re-created by the resync watchdog
+  std::uint64_t resync_events = 0;     ///< watchdog interventions
+
+  // Connection lifecycle under faults.
+  std::uint64_t teardowns = 0;     ///< connections torn off a failed link
+  std::uint64_t reroutes = 0;      ///< immediately re-admitted elsewhere
+  std::uint64_t readmissions = 0;  ///< re-admitted after an outage
+  std::uint64_t connections_lost = 0;  ///< still disconnected at run end
+
+  /// Time from damage to repair: credit-leak age at restoration and
+  /// connection outage duration at re-admission.
+  StreamingStats recovery_latency_us;
+  LogHistogram recovery_latency_hist{0.1, 1.3};
+
+  // QoS impact: deliveries and deadline violations, split by whether any
+  // link was inside a down window at delivery time.
+  std::uint64_t delivered_during_fault = 0;
+  std::uint64_t delivered_outside_fault = 0;
+  std::uint64_t qos_violations_during_fault = 0;
+  std::uint64_t qos_violations_outside_fault = 0;
+
+  [[nodiscard]] double violation_rate_during_fault() const;
+  [[nodiscard]] double violation_rate_outside_fault() const;
+};
+
+/// Delivered fraction of generated flits for a class (1.0 when nothing was
+/// generated): the per-class survival rate fault benches report.
+[[nodiscard]] double survival_rate(const ClassMetrics& cls);
+
 struct SimulationMetrics {
   std::string arbiter;
   double flit_cycle_us = 0.0;

@@ -1,0 +1,76 @@
+#include "mmr/fault/fault_injector.hpp"
+
+#include <algorithm>
+
+#include "mmr/sim/assert.hpp"
+
+namespace mmr {
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint32_t channels)
+    : plan_(std::move(plan)), down_(channels, false) {
+  plan_.validate(channels);
+  rates_.reserve(channels);
+  rngs_.reserve(channels);
+  const Rng base(plan_.seed, 0xFA17u);
+  for (std::uint32_t channel = 0; channel < channels; ++channel) {
+    rates_.push_back(plan_.rates_for(channel));
+    rngs_.push_back(base.fork(channel));
+  }
+  events_.reserve(plan_.down_windows.size() * 2);
+  for (const LinkDownWindow& window : plan_.down_windows) {
+    events_.push_back({window.down_at, window.channel, true});
+    events_.push_back({window.up_at, window.channel, false});
+  }
+  std::sort(events_.begin(), events_.end(), [](const Event& a, const Event& b) {
+    if (a.at != b.at) return a.at < b.at;
+    if (a.channel != b.channel) return a.channel < b.channel;
+    return !a.down && b.down;  // an up-edge precedes a same-cycle down-edge
+  });
+}
+
+void FaultInjector::advance_to(Cycle now, std::vector<std::uint32_t>& went_down,
+                               std::vector<std::uint32_t>& came_up) {
+  MMR_ASSERT_MSG(last_advance_ == kNever || now > last_advance_,
+                 "advance_to must be called with increasing time");
+  last_advance_ = now;
+  while (next_event_ < events_.size() && events_[next_event_].at <= now) {
+    const Event& event = events_[next_event_++];
+    if (event.down) {
+      MMR_ASSERT_MSG(!down_[event.channel],
+                     "overlapping down windows on one channel");
+      down_[event.channel] = true;
+      ++down_count_;
+      went_down.push_back(event.channel);
+    } else {
+      MMR_ASSERT(down_[event.channel]);
+      down_[event.channel] = false;
+      --down_count_;
+      came_up.push_back(event.channel);
+    }
+  }
+}
+
+bool FaultInjector::is_down(std::uint32_t channel) const {
+  MMR_ASSERT(channel < down_.size());
+  return down_[channel];
+}
+
+bool FaultInjector::drop_flit(std::uint32_t channel) {
+  MMR_ASSERT(channel < rates_.size());
+  const double p = rates_[channel].drop_probability;
+  return p > 0.0 && rngs_[channel].chance(p);
+}
+
+bool FaultInjector::corrupt_flit(std::uint32_t channel) {
+  MMR_ASSERT(channel < rates_.size());
+  const double p = rates_[channel].corrupt_probability;
+  return p > 0.0 && rngs_[channel].chance(p);
+}
+
+bool FaultInjector::lose_credit(std::uint32_t channel) {
+  MMR_ASSERT(channel < rates_.size());
+  const double p = rates_[channel].credit_loss_probability;
+  return p > 0.0 && rngs_[channel].chance(p);
+}
+
+}  // namespace mmr

@@ -1,0 +1,61 @@
+// Executes a FaultPlan against a set of directed channels.  The injector is
+// purely a policy object: the network layer asks it, per cycle and per
+// event, whether a fault fires, and applies the consequences itself (flit
+// loss, credit leakage, teardown).  Each channel owns an independent RNG
+// stream derived from the plan seed, so fault draws are reproducible and
+// never perturb the workload's own random streams.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mmr/fault/fault_plan.hpp"
+#include "mmr/sim/rng.hpp"
+#include "mmr/sim/time.hpp"
+
+namespace mmr {
+
+class FaultInjector {
+ public:
+  FaultInjector(FaultPlan plan, std::uint32_t channels);
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] std::uint32_t channels() const {
+    return static_cast<std::uint32_t>(rates_.size());
+  }
+
+  /// Advances the outage schedule to `now` (call once per cycle with
+  /// strictly increasing time).  Appends the channels whose windows begin
+  /// (`went_down`) or end (`came_up`) at or before `now`.
+  void advance_to(Cycle now, std::vector<std::uint32_t>& went_down,
+                  std::vector<std::uint32_t>& came_up);
+
+  /// Outage state as of the last advance_to().
+  [[nodiscard]] bool is_down(std::uint32_t channel) const;
+  [[nodiscard]] bool any_down() const { return down_count_ > 0; }
+  [[nodiscard]] std::uint32_t down_count() const { return down_count_; }
+
+  // Stochastic per-event draws; each advances only its channel's stream and
+  // only when the corresponding probability is positive.
+  [[nodiscard]] bool drop_flit(std::uint32_t channel);
+  [[nodiscard]] bool corrupt_flit(std::uint32_t channel);
+  [[nodiscard]] bool lose_credit(std::uint32_t channel);
+
+ private:
+  struct Event {
+    Cycle at;
+    std::uint32_t channel;
+    bool down;  ///< true = window begins, false = window ends
+  };
+
+  FaultPlan plan_;
+  std::vector<ChannelFaultRates> rates_;  ///< resolved per channel
+  std::vector<Rng> rngs_;                 ///< one stream per channel
+  std::vector<Event> events_;             ///< time-sorted outage transitions
+  std::size_t next_event_ = 0;
+  std::vector<bool> down_;
+  std::uint32_t down_count_ = 0;
+  Cycle last_advance_ = kNever;  ///< kNever = never advanced
+};
+
+}  // namespace mmr

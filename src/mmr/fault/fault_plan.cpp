@@ -1,0 +1,166 @@
+#include "mmr/fault/fault_plan.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "mmr/sim/assert.hpp"
+
+namespace mmr {
+
+bool FaultPlan::empty() const {
+  if (!down_windows.empty()) return false;
+  if (default_rates.any()) return false;
+  for (const auto& [channel, rates] : channel_rates) {
+    (void)channel;
+    if (rates.any()) return false;
+  }
+  return true;
+}
+
+ChannelFaultRates FaultPlan::rates_for(std::uint32_t channel) const {
+  ChannelFaultRates rates = default_rates;
+  for (const auto& [ch, override_rates] : channel_rates) {
+    if (ch == channel) rates = override_rates;
+  }
+  return rates;
+}
+
+namespace {
+
+void validate_rates(const ChannelFaultRates& rates) {
+  auto probability = [](double p) { return p >= 0.0 && p <= 1.0; };
+  MMR_ASSERT_MSG(probability(rates.drop_probability),
+                 "drop probability must be in [0, 1]");
+  MMR_ASSERT_MSG(probability(rates.corrupt_probability),
+                 "corrupt probability must be in [0, 1]");
+  MMR_ASSERT_MSG(probability(rates.credit_loss_probability),
+                 "credit-loss probability must be in [0, 1]");
+}
+
+}  // namespace
+
+void FaultPlan::validate(std::uint32_t channels) const {
+  validate_rates(default_rates);
+  for (const auto& [channel, rates] : channel_rates) {
+    MMR_ASSERT_MSG(channel < channels, "rate override on unknown channel");
+    validate_rates(rates);
+  }
+  // Windows: in range, non-empty, non-overlapping per channel.
+  std::map<std::uint32_t, std::vector<LinkDownWindow>> per_channel;
+  for (const LinkDownWindow& w : down_windows) {
+    MMR_ASSERT_MSG(w.channel < channels, "down window on unknown channel");
+    MMR_ASSERT_MSG(w.down_at < w.up_at, "down window must have down_at < up_at");
+    per_channel[w.channel].push_back(w);
+  }
+  for (auto& [channel, windows] : per_channel) {
+    (void)channel;
+    std::sort(windows.begin(), windows.end(),
+              [](const LinkDownWindow& a, const LinkDownWindow& b) {
+                return a.down_at < b.down_at;
+              });
+    for (std::size_t i = 0; i + 1 < windows.size(); ++i) {
+      MMR_ASSERT_MSG(windows[i].up_at <= windows[i + 1].down_at,
+                     "down windows on one channel must not overlap");
+    }
+  }
+  MMR_ASSERT_MSG(resync_period >= 1, "resync period must be >= 1 cycle");
+  MMR_ASSERT_MSG(qos_deadline_cycles > 0.0, "QoS deadline must be positive");
+}
+
+namespace {
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::istringstream in(text);
+  std::string part;
+  while (std::getline(in, part, sep)) parts.push_back(part);
+  return parts;
+}
+
+double parse_probability(const std::string& value, const std::string& token) {
+  char* end = nullptr;
+  const double p = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0' || p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("fault spec: bad probability in '" + token +
+                                "'");
+  }
+  return p;
+}
+
+std::uint64_t parse_number(const std::string& value, const std::string& token) {
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    throw std::invalid_argument("fault spec: bad number in '" + token + "'");
+  }
+  return n;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  for (const std::string& token : split(spec, ',')) {
+    if (token.empty()) continue;
+    const std::vector<std::string> parts = split(token, ':');
+    const std::string& key = parts.front();
+    const auto args = parts.size() - 1;
+    if (key == "drop" && args == 1) {
+      plan.default_rates.drop_probability = parse_probability(parts[1], token);
+    } else if (key == "corrupt" && args == 1) {
+      plan.default_rates.corrupt_probability =
+          parse_probability(parts[1], token);
+    } else if (key == "credit_loss" && args == 1) {
+      plan.default_rates.credit_loss_probability =
+          parse_probability(parts[1], token);
+    } else if (key == "down" && args == 3) {
+      LinkDownWindow window;
+      window.channel = static_cast<std::uint32_t>(parse_number(parts[1], token));
+      window.down_at = parse_number(parts[2], token);
+      window.up_at = parse_number(parts[3], token);
+      plan.down_windows.push_back(window);
+    } else if (key == "resync_period" && args == 1) {
+      plan.resync_period = parse_number(parts[1], token);
+    } else if (key == "resync_timeout" && args == 1) {
+      plan.resync_timeout = parse_number(parts[1], token);
+    } else if (key == "deadline" && args == 1) {
+      plan.qos_deadline_cycles =
+          static_cast<double>(parse_number(parts[1], token));
+    } else if (key == "seed" && args == 1) {
+      plan.seed = parse_number(parts[1], token);
+    } else {
+      throw std::invalid_argument(
+          "fault spec: unknown token '" + token +
+          "'; expected drop:P, corrupt:P, credit_loss:P, down:CH:FROM:TO, "
+          "resync_period:N, resync_timeout:N, deadline:N or seed:N");
+    }
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::random_windows(std::uint32_t channels, std::uint32_t count,
+                                    Cycle horizon_begin, Cycle horizon_end,
+                                    Cycle min_len, Cycle max_len, Rng& rng) {
+  MMR_ASSERT(channels > 0);
+  MMR_ASSERT(min_len >= 1 && min_len <= max_len);
+  MMR_ASSERT(horizon_begin + max_len < horizon_end);
+  FaultPlan plan;
+  // Per-channel cursor keeps windows on one channel disjoint by placing them
+  // in increasing time order.
+  std::vector<Cycle> cursor(channels, horizon_begin);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto channel = static_cast<std::uint32_t>(rng.uniform(channels));
+    const Cycle len = min_len + rng.uniform(max_len - min_len + 1);
+    if (cursor[channel] + len >= horizon_end) continue;  // channel is full
+    const Cycle slack = horizon_end - cursor[channel] - len;
+    const Cycle start = cursor[channel] + rng.uniform(slack);
+    plan.down_windows.push_back({channel, start, start + len});
+    cursor[channel] = start + len;
+  }
+  return plan;
+}
+
+}  // namespace mmr

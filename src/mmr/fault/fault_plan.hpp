@@ -1,0 +1,101 @@
+// Fault plans: a deterministic, configuration-driven schedule of the ways an
+// inter-router channel can misbehave.  The network layer was built so that
+// "flits are never dropped anywhere"; a FaultPlan describes how to break
+// that on purpose — link-down windows, per-link flit drop / corruption
+// probabilities, and credit-loss probabilities — so that the simulator can
+// measure how gracefully the scheduling algorithms degrade and recover.
+//
+// An all-zero (empty()) plan is a strict no-op: the network simulation does
+// not even instantiate the fault machinery, so results stay bit-identical
+// to a fault-free build.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mmr/sim/rng.hpp"
+#include "mmr/sim/time.hpp"
+
+namespace mmr {
+
+/// One scheduled outage of a directed inter-router channel: the link is
+/// unusable during [down_at, up_at).  Flits in flight when the link goes
+/// down are lost (their credits leak until the resync watchdog heals them);
+/// connections routed over the link are torn down and re-admitted elsewhere.
+struct LinkDownWindow {
+  std::uint32_t channel = 0;
+  Cycle down_at = 0;
+  Cycle up_at = 0;
+};
+
+/// Stochastic per-channel fault rates, drawn per event from the injector's
+/// per-channel RNG stream (deterministic for a fixed plan seed).
+struct ChannelFaultRates {
+  double drop_probability = 0.0;     ///< flit vanishes on the wire
+  double corrupt_probability = 0.0;  ///< flit fails CRC at the receiver
+  double credit_loss_probability = 0.0;  ///< returning credit vanishes
+
+  [[nodiscard]] bool any() const {
+    return drop_probability > 0.0 || corrupt_probability > 0.0 ||
+           credit_loss_probability > 0.0;
+  }
+};
+
+struct FaultPlan {
+  /// Scheduled outages (need not be sorted; windows on one channel must not
+  /// overlap).
+  std::vector<LinkDownWindow> down_windows;
+
+  /// Rates applied to every channel unless overridden.
+  ChannelFaultRates default_rates;
+  /// Per-channel overrides (channel, rates); later entries win.
+  std::vector<std::pair<std::uint32_t, ChannelFaultRates>> channel_rates;
+
+  /// Seed of the injector's per-channel RNG streams (independent from the
+  /// simulation seed so fault draws never perturb workload generation).
+  std::uint64_t seed = 0xFA017u;
+
+  // Recovery knobs -----------------------------------------------------------
+  /// The credit-resync watchdog audits credit conservation on every channel
+  /// once per `resync_period` cycles...
+  Cycle resync_period = 1024;
+  /// ...and restores counters once a deficit has persisted this long.
+  Cycle resync_timeout = 4096;
+
+  /// A delivered flit whose end-to-end delay exceeds this many flit cycles
+  /// counts as a QoS violation (tallied separately inside and outside fault
+  /// windows).
+  double qos_deadline_cycles = 250.0;
+
+  /// True when the plan cannot produce any fault event — the network layer
+  /// then skips the fault machinery entirely.
+  [[nodiscard]] bool empty() const;
+
+  /// Rates effective on `channel` after overrides.
+  [[nodiscard]] ChannelFaultRates rates_for(std::uint32_t channel) const;
+
+  /// Aborts with a readable message on nonsense (probabilities outside
+  /// [0, 1], inverted or overlapping windows, channel out of range...).
+  void validate(std::uint32_t channels) const;
+
+  /// Parses a compact textual spec, e.g.
+  ///   "drop:1e-3,corrupt:5e-4,credit_loss:1e-3,down:0:30000:45000,
+  ///    resync_period:512,resync_timeout:2048,deadline:250,seed:7"
+  /// Tokens are comma-separated; `down` may repeat.  Throws
+  /// std::invalid_argument on unknown or malformed tokens.
+  [[nodiscard]] static FaultPlan parse(const std::string& spec);
+
+  /// RNG-driven schedule: `count` non-overlapping outage windows of length
+  /// [min_len, max_len] placed uniformly on random channels within
+  /// [horizon_begin, horizon_end).
+  [[nodiscard]] static FaultPlan random_windows(std::uint32_t channels,
+                                                std::uint32_t count,
+                                                Cycle horizon_begin,
+                                                Cycle horizon_end,
+                                                Cycle min_len, Cycle max_len,
+                                                Rng& rng);
+};
+
+}  // namespace mmr

@@ -227,14 +227,10 @@ MmrNetworkSimulation::MmrNetworkSimulation(SimConfig config,
   const NetworkTopology& topology = workload_.topology;
   MMR_ASSERT(topology.ports_per_router() == config_.ports);
 
-  const RoundAccounting rounds(config_.flit_cycles_per_round(),
-                               config_.time_base());
-
   // Per-router connection tables: one entry per hop, added in (connection,
   // hop) order so that ConnectionTable's VC assignment reproduces the
   // reservation made by the workload builder.
-  std::vector<ConnectionTable> tables(
-      topology.routers(), ConnectionTable(config_.ports));
+  tables_.assign(topology.routers(), ConnectionTable(config_.ports));
   // (router, input, vc) -> routing info.
   next_hop_.assign(topology.routers(),
                    std::vector<std::vector<NextHop>>(
@@ -297,19 +293,9 @@ MmrNetworkSimulation::MmrNetworkSimulation(SimConfig config,
   for (const NetworkConnection& connection : workload_.connections) {
     for (std::size_t h = 0; h < connection.path.size(); ++h) {
       const Hop& hop = connection.path[h];
-      ConnectionDescriptor descriptor;
-      descriptor.traffic_class = connection.traffic_class;
-      descriptor.input_link = hop.in_port;
-      descriptor.output_link = hop.out_port;
-      descriptor.mean_bandwidth_bps = connection.mean_bandwidth_bps;
-      descriptor.peak_bandwidth_bps = connection.peak_bandwidth_bps;
-      descriptor.slots_per_round =
-          rounds.slots_for_bandwidth(connection.mean_bandwidth_bps);
-      descriptor.peak_slots_per_round =
-          rounds.slots_for_bandwidth(connection.peak_bandwidth_bps);
-      const ConnectionId local_id =
-          tables[hop.router].add(descriptor, config_.vcs_per_link);
-      MMR_ASSERT_MSG(tables[hop.router].get(local_id).vc == hop.vc,
+      const ConnectionId local_id = tables_[hop.router].add(
+          hop_descriptor(connection, hop), config_.vcs_per_link);
+      MMR_ASSERT_MSG(tables_[hop.router].get(local_id).vc == hop.vc,
                      "table VC assignment must match the reservation");
 
       NextHop& next = next_hop_[hop.router][hop.in_port][hop.vc];
@@ -330,17 +316,20 @@ MmrNetworkSimulation::MmrNetworkSimulation(SimConfig config,
     }
   }
 
-  // Routers, each with a downstream-credit eligibility gate.
+  // Routers, each with a downstream-credit eligibility gate.  The gate also
+  // refuses to offer VCs whose next channel is inside an outage window —
+  // the null check keeps fault-free runs on the exact original code path.
   routers_.reserve(topology.routers());
   const Rng rng(config_.seed, 0x4E7);
   for (std::uint32_t r = 0; r < topology.routers(); ++r) {
-    routers_.emplace_back(config_, tables[r], rng.fork(r));
+    routers_.emplace_back(config_, tables_[r], rng.fork(r));
   }
   for (std::uint32_t r = 0; r < topology.routers(); ++r) {
     routers_[r].set_eligibility(
         [this, r](std::uint32_t input, std::uint32_t vc) {
           const NextHop& next = next_hop_[r][input][vc];
           if (next.local) return true;
+          if (fault_ && fault_->injector.is_down(next.channel)) return false;
           return channels_[next.channel].credits.has_credit(
               next.downstream_vc);
         });
@@ -371,6 +360,74 @@ MmrNetworkSimulation::MmrNetworkSimulation(SimConfig config,
     const Cycle next = workload_.sources[i]->next_emission();
     if (next != kNever) heap_.emplace(next, i);
   }
+
+  if (!config_.fault_spec.empty()) {
+    set_fault_plan(FaultPlan::parse(config_.fault_spec));
+  }
+}
+
+ConnectionDescriptor MmrNetworkSimulation::hop_descriptor(
+    const NetworkConnection& connection, const Hop& hop) const {
+  const RoundAccounting rounds(config_.flit_cycles_per_round(),
+                               config_.time_base());
+  ConnectionDescriptor descriptor;
+  descriptor.traffic_class = connection.traffic_class;
+  descriptor.input_link = hop.in_port;
+  descriptor.output_link = hop.out_port;
+  descriptor.mean_bandwidth_bps = connection.mean_bandwidth_bps;
+  descriptor.peak_bandwidth_bps = connection.peak_bandwidth_bps;
+  descriptor.slots_per_round =
+      rounds.slots_for_bandwidth(connection.mean_bandwidth_bps);
+  descriptor.peak_slots_per_round =
+      rounds.slots_for_bandwidth(connection.peak_bandwidth_bps);
+  return descriptor;
+}
+
+std::int32_t MmrNetworkSimulation::channel_at(std::uint32_t router,
+                                              std::uint32_t out_port) const {
+  MMR_ASSERT(router < routers_.size() && out_port < config_.ports);
+  return channel_of_output_[static_cast<std::size_t>(router) * config_.ports +
+                            out_port];
+}
+
+void MmrNetworkSimulation::set_fault_plan(FaultPlan plan) {
+  MMR_ASSERT_MSG(!ran_ && now_ == 0,
+                 "the fault plan must be installed before the first step");
+  plan.validate(channel_count());
+  if (plan.empty()) {
+    fault_.reset();  // strict no-op: not even the machinery exists
+    return;
+  }
+
+  fault_ = std::make_unique<FaultRuntime>(std::move(plan), channel_count());
+  FaultRuntime& f = *fault_;
+  f.metrics.enabled = true;
+
+  // Mirror every hop's bandwidth reservation into per-router admission
+  // controllers so teardown can release it and re-admission can re-check it.
+  // Initial workloads are built by load targeting, not admission control, so
+  // a hop may legitimately exceed the budgets; those hops simply hold no
+  // reservation.
+  const RoundAccounting rounds(config_.flit_cycles_per_round(),
+                               config_.time_base());
+  f.admission.assign(routers_.size(),
+                     AdmissionController(config_.ports, rounds,
+                                         config_.concurrency_factor));
+  f.state.assign(workload_.connections.size(), FaultRuntime::ConnState::kActive);
+  f.dropped_at.assign(workload_.connections.size(), 0);
+  f.hop_admitted.resize(workload_.connections.size());
+  for (std::size_t c = 0; c < workload_.connections.size(); ++c) {
+    const NetworkConnection& connection = workload_.connections[c];
+    f.hop_admitted[c].assign(connection.path.size(), false);
+    for (std::size_t h = 0; h < connection.path.size(); ++h) {
+      ConnectionDescriptor descriptor =
+          hop_descriptor(connection, connection.path[h]);
+      f.hop_admitted[c][h] =
+          f.admission[connection.path[h].router].try_admit(descriptor);
+    }
+  }
+  f.leak_since.assign(channels_.size(),
+                      std::vector<Cycle>(config_.vcs_per_link, kNever));
 }
 
 const MmrRouter& MmrNetworkSimulation::router(std::uint32_t index) const {
@@ -406,18 +463,282 @@ void MmrNetworkSimulation::deliver(const MmrRouter::Departure& departure,
     ++frames_completed_;
     frame_delay_us_.add(delay_us);
   }
+  if (fault_) {
+    const bool violated =
+        static_cast<double>(delivered_at - flit.generated_at) >
+        fault_->injector.plan().qos_deadline_cycles;
+    if (fault_->injector.any_down()) {
+      ++fault_->metrics.delivered_during_fault;
+      if (violated) ++fault_->metrics.qos_violations_during_fault;
+    } else {
+      ++fault_->metrics.delivered_outside_fault;
+      if (violated) ++fault_->metrics.qos_violations_outside_fault;
+    }
+  }
+}
+
+void MmrNetworkSimulation::apply_fault_transitions(Cycle now) {
+  FaultRuntime& f = *fault_;
+  f.went_down.clear();
+  f.came_up.clear();
+  f.injector.advance_to(now, f.went_down, f.came_up);
+
+  for (const std::uint32_t ch : f.went_down) {
+    // Flits on the wire are lost outright; their consumed downstream credits
+    // leak until the resync watchdog notices the deficit.
+    f.metrics.flits_dropped += channels_[ch].pipe.drain_all();
+  }
+  if (!f.went_down.empty()) {
+    for (std::uint32_t c = 0;
+         c < static_cast<std::uint32_t>(workload_.connections.size()); ++c) {
+      if (f.state[c] != FaultRuntime::ConnState::kActive) continue;
+      const std::vector<Hop>& path = workload_.connections[c].path;
+      bool crosses_down_link = false;
+      for (std::size_t h = 0; h + 1 < path.size(); ++h) {
+        const std::int32_t ch = channel_at(path[h].router, path[h].out_port);
+        MMR_ASSERT(ch != -1);
+        if (f.injector.is_down(static_cast<std::uint32_t>(ch))) {
+          crosses_down_link = true;
+          break;
+        }
+      }
+      if (!crosses_down_link) continue;
+      ++f.metrics.teardowns;
+      tear_down(c, now);
+      if (try_readmit(c)) {
+        ++f.metrics.reroutes;
+      } else {
+        f.state[c] = FaultRuntime::ConnState::kDropped;
+        f.dropped_at[c] = now;
+      }
+    }
+  }
+  if (!f.came_up.empty()) {
+    for (std::uint32_t c = 0;
+         c < static_cast<std::uint32_t>(workload_.connections.size()); ++c) {
+      if (f.state[c] != FaultRuntime::ConnState::kDropped) continue;
+      if (!try_readmit(c)) continue;
+      ++f.metrics.readmissions;
+      const double outage_us = config_.time_base().cycles_to_us(
+          static_cast<double>(now - f.dropped_at[c]));
+      f.metrics.recovery_latency_us.add(outage_us);
+      f.metrics.recovery_latency_hist.add(outage_us);
+    }
+  }
+}
+
+void MmrNetworkSimulation::tear_down(std::uint32_t connection, Cycle now) {
+  FaultRuntime& f = *fault_;
+  const NetworkConnection& c = workload_.connections[connection];
+  const std::vector<Hop>& path = c.path;
+
+  // Every flushed flit's credit is settled synchronously, so only genuine
+  // wire losses are left for the resync watchdog to repair.
+  const Hop& first = path.front();
+  const std::int32_t nic =
+      nic_of_input_[static_cast<std::size_t>(first.router) * config_.ports +
+                    first.in_port];
+  MMR_ASSERT(nic != -1);
+  Nic& source_nic = *nics_[static_cast<std::size_t>(nic)];
+  const std::uint32_t on_nic_link =
+      nic_links_[static_cast<std::size_t>(nic)].drain_vc(first.vc);
+  f.metrics.flits_flushed += on_nic_link;
+  for (std::uint32_t i = 0; i < on_nic_link; ++i) {
+    source_nic.return_credit(first.vc, now);
+  }
+
+  for (std::size_t h = 0; h < path.size(); ++h) {
+    const Hop& hop = path[h];
+    const std::uint32_t in_vcm =
+        routers_[hop.router].drain_vc(hop.in_port, hop.vc);
+    f.metrics.flits_flushed += in_vcm;
+    for (std::uint32_t i = 0; i < in_vcm; ++i) {
+      if (h == 0) {
+        source_nic.return_credit(hop.vc, now);
+      } else {
+        const std::int32_t up =
+            upstream_channel_[static_cast<std::size_t>(hop.router) *
+                                  config_.ports +
+                              hop.in_port];
+        MMR_ASSERT(up != -1);
+        channels_[static_cast<std::size_t>(up)].credits.release(hop.vc, now);
+      }
+    }
+    if (h + 1 < path.size()) {
+      const std::int32_t ch = channel_at(hop.router, hop.out_port);
+      MMR_ASSERT(ch != -1);
+      Channel& channel = channels_[static_cast<std::size_t>(ch)];
+      const std::uint32_t on_wire = channel.pipe.drain_vc(path[h + 1].vc);
+      f.metrics.flits_flushed += on_wire;
+      for (std::uint32_t i = 0; i < on_wire; ++i) {
+        channel.credits.release(path[h + 1].vc, now);
+      }
+    }
+    if (f.hop_admitted[connection][h]) {
+      f.admission[hop.router].release(hop_descriptor(c, hop));
+      f.hop_admitted[connection][h] = false;
+    }
+  }
+}
+
+bool MmrNetworkSimulation::try_readmit(std::uint32_t connection) {
+  FaultRuntime& f = *fault_;
+  NetworkConnection& c = workload_.connections[connection];
+  const Hop old_first = c.path.front();
+
+  const LinkFilter blocked = [this](std::uint32_t router,
+                                    std::uint32_t out_port) {
+    const std::int32_t ch = channel_at(router, out_port);
+    return ch != -1 &&
+           fault_->injector.is_down(static_cast<std::uint32_t>(ch));
+  };
+  std::vector<Hop> path = compute_path_avoiding(
+      workload_.topology, old_first.router, old_first.in_port,
+      c.last_hop().router, c.last_hop().out_port, blocked);
+  if (path.empty()) return false;  // no usable route around the outage
+
+  // A setup probe needs a fresh VC on every traversed input link (freed VCs
+  // are not recycled — a simplification that costs VC space, not
+  // correctness, and mirrors how the tables assign VCs in admission order).
+  for (const Hop& hop : path) {
+    if (tables_[hop.router].on_input_link(hop.in_port).size() >=
+        config_.vcs_per_link) {
+      return false;
+    }
+  }
+
+  // All-or-nothing bandwidth admission along the new path.
+  std::vector<ConnectionDescriptor> admitted(path.size());
+  for (std::size_t h = 0; h < path.size(); ++h) {
+    admitted[h] = hop_descriptor(c, path[h]);
+    if (!f.admission[path[h].router].try_admit(admitted[h])) {
+      for (std::size_t r = 0; r < h; ++r) {
+        f.admission[path[r].router].release(admitted[r]);
+      }
+      return false;
+    }
+  }
+
+  // Install: table entries, link-scheduler bindings, routing maps.
+  for (std::size_t h = 0; h < path.size(); ++h) {
+    Hop& hop = path[h];
+    const ConnectionId local_id =
+        tables_[hop.router].add(admitted[h], config_.vcs_per_link);
+    hop.vc = tables_[hop.router].get(local_id).vc;
+  }
+  const RoundAccounting rounds(config_.flit_cycles_per_round(),
+                               config_.time_base());
+  for (std::size_t h = 0; h < path.size(); ++h) {
+    const Hop& hop = path[h];
+    QosParams qos;
+    qos.slots_per_round =
+        std::max<std::uint32_t>(1, admitted[h].slots_per_round);
+    qos.iat_router_cycles =
+        rounds.iat_router_cycles(std::max(c.mean_bandwidth_bps, 1.0));
+    routers_[hop.router].install_vc(hop.in_port, hop.vc, hop.out_port, qos);
+
+    NextHop& next = next_hop_[hop.router][hop.in_port][hop.vc];
+    hop_index_[hop.router][hop.in_port][hop.vc] =
+        static_cast<std::uint32_t>(h);
+    if (h + 1 < path.size()) {
+      const std::int32_t ch = channel_at(hop.router, hop.out_port);
+      MMR_ASSERT(ch != -1);
+      next.local = false;
+      next.channel = static_cast<std::uint32_t>(ch);
+      next.downstream_vc = path[h + 1].vc;
+    } else {
+      next.local = true;
+    }
+  }
+
+  // Flits still in host memory follow the connection to its new first-hop
+  // VC (the source endpoint itself never moves).
+  if (path.front().vc != old_first.vc) {
+    const std::int32_t nic =
+        nic_of_input_[static_cast<std::size_t>(old_first.router) *
+                          config_.ports +
+                      old_first.in_port];
+    MMR_ASSERT(nic != -1);
+    nics_[static_cast<std::size_t>(nic)]->move_queue(old_first.vc,
+                                                     path.front().vc);
+  }
+
+  f.hop_admitted[connection].assign(path.size(), true);
+  f.state[connection] = FaultRuntime::ConnState::kActive;
+  c.path = std::move(path);
+  return true;
+}
+
+void MmrNetworkSimulation::credit_resync(Cycle now) {
+  FaultRuntime& f = *fault_;
+  const FaultPlan& plan = f.injector.plan();
+  if (now % plan.resync_period != 0) return;
+
+  for (std::size_t ci = 0; ci < channels_.size(); ++ci) {
+    Channel& channel = channels_[ci];
+    const VirtualChannelMemory& vcm =
+        routers_[channel.to.router].vcm(channel.to.port);
+    for (std::uint32_t vc = 0; vc < config_.vcs_per_link; ++vc) {
+      // Conservation audit: every buffer slot is either an available
+      // credit, a credit travelling back, a flit on the wire, or a flit in
+      // the downstream VCM.  Anything missing leaked through a fault.
+      const std::uint32_t accounted =
+          channel.credits.credits(vc) + channel.credits.pending_for(vc) +
+          channel.pipe.in_flight_on_vc(vc) + vcm.occupancy(vc);
+      const std::uint32_t capacity = channel.credits.capacity_per_vc();
+      MMR_ASSERT_MSG(accounted <= capacity,
+                     "credit audit found a surplus: accounting bug");
+      Cycle& since = f.leak_since[ci][vc];
+      if (accounted == capacity) {
+        since = kNever;
+        continue;
+      }
+      if (since == kNever) {
+        since = now;
+        continue;
+      }
+      if (now - since < plan.resync_timeout) continue;
+      const std::uint32_t missing = capacity - accounted;
+      channel.credits.restore(vc, missing);
+      f.metrics.credits_restored += missing;
+      ++f.metrics.resync_events;
+      const double leak_age_us =
+          config_.time_base().cycles_to_us(static_cast<double>(now - since));
+      f.metrics.recovery_latency_us.add(leak_age_us);
+      f.metrics.recovery_latency_hist.add(leak_age_us);
+      since = kNever;
+    }
+  }
 }
 
 void MmrNetworkSimulation::step_one() {
   const Cycle now = now_;
   const bool measure = now >= warmup_;
 
+  // 0. Outage schedule: link transitions, teardowns, re-admissions.
+  if (fault_) apply_fault_transitions(now);
+
   // 1. Channel housekeeping: returned credits land, in-flight flits arrive.
-  for (Channel& channel : channels_) {
+  for (std::size_t ci = 0; ci < channels_.size(); ++ci) {
+    Channel& channel = channels_[ci];
     channel.credits.tick(now);
     arrival_buffer_.clear();
     channel.pipe.pop_due(now, arrival_buffer_);
     for (const LinkTransfer& transfer : arrival_buffer_) {
+      if (fault_) {
+        // Both outcomes discard the flit at the receiving router (a corrupt
+        // flit fails its CRC there); the consumed downstream credit leaks
+        // until the resync watchdog repairs it.
+        const auto ch = static_cast<std::uint32_t>(ci);
+        if (fault_->injector.drop_flit(ch)) {
+          ++fault_->metrics.flits_dropped;
+          continue;
+        }
+        if (fault_->injector.corrupt_flit(ch)) {
+          ++fault_->metrics.flits_corrupted;
+          continue;
+        }
+      }
       routers_[channel.to.router].accept(channel.to.port, transfer.vc,
                                          transfer.flit, now);
     }
@@ -448,11 +769,19 @@ void MmrNetworkSimulation::step_one() {
                                            first.in_port];
     MMR_ASSERT(nic != -1);
     for (const Flit& flit : flit_buffer_) {
-      nics_[static_cast<std::size_t>(nic)]->deposit(first.vc, flit);
       if (flit.generated_at >= warmup_) {
         ++generated_;
         ++classes_[class_of_connection_[flit.connection]].flits_generated;
       }
+      if (fault_ &&
+          fault_->state[index] == FaultRuntime::ConnState::kDropped) {
+        // The source keeps producing (and counts against survival) while
+        // the connection waits for re-admission, but nothing is queued: the
+        // application has nowhere to send.
+        ++fault_->metrics.source_flits_discarded;
+        continue;
+      }
+      nics_[static_cast<std::size_t>(nic)]->deposit(first.vc, flit);
     }
     const Cycle next = source.next_emission();
     if (next != kNever) {
@@ -487,8 +816,13 @@ void MmrNetworkSimulation::step_one() {
                                                       config_.ports +
                                                   departure.input];
         MMR_ASSERT(up != -1);
-        channels_[static_cast<std::size_t>(up)].credits.release(departure.vc,
-                                                                now);
+        if (fault_ &&
+            fault_->injector.lose_credit(static_cast<std::uint32_t>(up))) {
+          ++fault_->metrics.credits_lost;  // the watchdog will restore it
+        } else {
+          channels_[static_cast<std::size_t>(up)].credits.release(
+              departure.vc, now);
+        }
       }
       // Forward or deliver.
       const NextHop& next = next_hop_[r][departure.input][departure.vc];
@@ -505,6 +839,9 @@ void MmrNetworkSimulation::step_one() {
       }
     }
   }
+
+  // 5. Credit-resync watchdog (periodic conservation audit).
+  if (fault_) credit_resync(now);
 
   if ((now + 1) % (1 << 16) == 0) check_invariants();
   ++now_;
@@ -538,6 +875,14 @@ NetworkMetrics MmrNetworkSimulation::run() {
   }
   metrics.frames_completed = frames_completed_;
   metrics.frame_delay_us = frame_delay_us_;
+  if (fault_) {
+    for (const FaultRuntime::ConnState state : fault_->state) {
+      if (state == FaultRuntime::ConnState::kDropped) {
+        ++fault_->metrics.connections_lost;
+      }
+    }
+    metrics.degradation = fault_->metrics;
+  }
   return metrics;
 }
 

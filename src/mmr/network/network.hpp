@@ -12,8 +12,10 @@
 #include <vector>
 
 #include "mmr/core/metrics.hpp"
+#include "mmr/fault/fault_injector.hpp"
 #include "mmr/network/routing.hpp"
 #include "mmr/network/topology.hpp"
+#include "mmr/qos/admission.hpp"
 #include "mmr/router/nic.hpp"
 #include "mmr/router/router.hpp"
 #include "mmr/sim/config.hpp"
@@ -80,6 +82,9 @@ struct NetworkMetrics {
   std::uint64_t frames_completed = 0;
   StreamingStats frame_delay_us;
 
+  /// Fault-injection accounting; all-zero unless a fault plan was installed.
+  DegradationMetrics degradation;
+
   [[nodiscard]] bool saturated(double deficit_tolerance = 0.995,
                                double delay_threshold_cycles = 500.0) const {
     if (static_cast<double>(flits_delivered) <
@@ -109,6 +114,21 @@ class MmrNetworkSimulation {
   [[nodiscard]] const MmrRouter& router(std::uint32_t index) const;
   [[nodiscard]] std::uint64_t backlog() const;
 
+  /// Installs a fault plan (must happen before the first step; overrides any
+  /// plan parsed from SimConfig::fault_spec).  An empty plan is a strict
+  /// no-op: no fault machinery is instantiated and results stay
+  /// bit-identical to a run that never called this.
+  void set_fault_plan(FaultPlan plan);
+
+  /// Directed inter-router channels (fault-plan targets are indexed by
+  /// channel).  channel_at() maps (router, out_port) to its channel index,
+  /// or -1 for local output ports.
+  [[nodiscard]] std::uint32_t channel_count() const {
+    return static_cast<std::uint32_t>(channels_.size());
+  }
+  [[nodiscard]] std::int32_t channel_at(std::uint32_t router,
+                                        std::uint32_t out_port) const;
+
   void check_invariants() const;
 
  private:
@@ -135,14 +155,58 @@ class MmrNetworkSimulation {
           credits(vcs, buffer_flits, credit_latency) {}
   };
 
+  /// Everything the fault subsystem needs at runtime.  Only allocated when a
+  /// non-empty plan is installed; every fault code path in the simulation is
+  /// guarded by `if (fault_)`, so a null pointer means zero behavioural
+  /// difference from a fault-free build.
+  struct FaultRuntime {
+    enum class ConnState : std::uint8_t {
+      kActive,   ///< connection has an installed path
+      kDropped,  ///< torn down, waiting for a link to come back up
+    };
+
+    FaultRuntime(FaultPlan plan, std::uint32_t channels)
+        : injector(std::move(plan), channels) {}
+
+    FaultInjector injector;
+    std::vector<AdmissionController> admission;  ///< per router
+    std::vector<ConnState> state;                ///< per connection
+    std::vector<Cycle> dropped_at;               ///< per connection
+    /// Per connection, per hop: whether the hop holds a reservation in
+    /// `admission` (initial workloads can exceed the admission budgets).
+    std::vector<std::vector<bool>> hop_admitted;
+    /// Per channel, per VC: when a credit deficit was first observed by the
+    /// resync watchdog (kNever = currently balanced).
+    std::vector<std::vector<Cycle>> leak_since;
+    DegradationMetrics metrics;
+    std::vector<std::uint32_t> went_down;  ///< advance_to() scratch
+    std::vector<std::uint32_t> came_up;
+  };
+
   void deliver(const MmrRouter::Departure& departure, std::uint32_t hops,
                Cycle delivered_at);
+
+  /// Descriptor for one hop of a connection, slots filled exactly as the
+  /// constructor's setup walk fills them (release() must subtract what
+  /// try_admit() added).
+  [[nodiscard]] ConnectionDescriptor hop_descriptor(
+      const NetworkConnection& connection, const Hop& hop) const;
+
+  // Fault handling (all no-ops / unreachable when fault_ is null).
+  void apply_fault_transitions(Cycle now);
+  void tear_down(std::uint32_t connection, Cycle now);
+  [[nodiscard]] bool try_readmit(std::uint32_t connection);
+  void credit_resync(Cycle now);
 
   SimConfig config_;
   NetworkWorkload workload_;
 
   std::vector<MmrRouter> routers_;
   std::vector<Channel> channels_;
+  /// Per-router connection tables; kept after construction so re-admission
+  /// can register replacement paths.
+  std::vector<ConnectionTable> tables_;
+  std::unique_ptr<FaultRuntime> fault_;  ///< null = fault-free run
   /// (router, out_port) -> channel index or -1 (local).
   std::vector<std::int32_t> channel_of_output_;
   /// NICs on local input ports; -1 elsewhere.

@@ -17,7 +17,8 @@ struct Reach {
   std::uint32_t via_in_port = 0;
 };
 
-std::vector<Reach> bfs(const NetworkTopology& topology, std::uint32_t src) {
+std::vector<Reach> bfs(const NetworkTopology& topology, std::uint32_t src,
+                       const LinkFilter& blocked) {
   std::vector<Reach> reach(topology.routers());
   reach[src].distance = 0;
   std::queue<std::uint32_t> queue;
@@ -28,6 +29,7 @@ std::vector<Reach> bfs(const NetworkTopology& topology, std::uint32_t src) {
     for (std::uint32_t port = 0; port < topology.ports_per_router(); ++port) {
       const auto next = topology.downstream(router, port);
       if (!next.has_value()) continue;
+      if (blocked && blocked(router, port)) continue;
       Reach& r = reach[next->router];
       if (r.distance != kUnreached) continue;
       r.distance = reach[router].distance + 1;
@@ -42,18 +44,19 @@ std::vector<Reach> bfs(const NetworkTopology& topology, std::uint32_t src) {
 
 }  // namespace
 
-std::vector<Hop> compute_path(const NetworkTopology& topology,
-                              std::uint32_t src_router, std::uint32_t src_port,
-                              std::uint32_t dst_router,
-                              std::uint32_t dst_port) {
+std::vector<Hop> compute_path_avoiding(const NetworkTopology& topology,
+                                       std::uint32_t src_router,
+                                       std::uint32_t src_port,
+                                       std::uint32_t dst_router,
+                                       std::uint32_t dst_port,
+                                       const LinkFilter& blocked) {
   MMR_ASSERT_MSG(topology.input_is_local(src_router, src_port),
                  "source must inject on a local input port");
   MMR_ASSERT_MSG(topology.output_is_local(dst_router, dst_port),
                  "destination must eject on a local output port");
 
-  const std::vector<Reach> reach = bfs(topology, src_router);
-  MMR_ASSERT_MSG(reach[dst_router].distance != kUnreached,
-                 "destination router unreachable");
+  const std::vector<Reach> reach = bfs(topology, src_router, blocked);
+  if (reach[dst_router].distance == kUnreached) return {};
 
   // Reconstruct the router sequence backwards.
   std::vector<Hop> path(reach[dst_router].distance + 1);
@@ -74,9 +77,19 @@ std::vector<Hop> compute_path(const NetworkTopology& topology,
   return path;
 }
 
+std::vector<Hop> compute_path(const NetworkTopology& topology,
+                              std::uint32_t src_router, std::uint32_t src_port,
+                              std::uint32_t dst_router,
+                              std::uint32_t dst_port) {
+  std::vector<Hop> path = compute_path_avoiding(
+      topology, src_router, src_port, dst_router, dst_port, nullptr);
+  MMR_ASSERT_MSG(!path.empty(), "destination router unreachable");
+  return path;
+}
+
 std::uint32_t path_length(const NetworkTopology& topology,
                           std::uint32_t src_router, std::uint32_t dst_router) {
-  const std::vector<Reach> reach = bfs(topology, src_router);
+  const std::vector<Reach> reach = bfs(topology, src_router, nullptr);
   MMR_ASSERT(reach[dst_router].distance != kUnreached);
   return reach[dst_router].distance + 1;
 }

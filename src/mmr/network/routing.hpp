@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "mmr/network/topology.hpp"
@@ -32,6 +33,20 @@ struct Hop {
                                             std::uint32_t src_port,
                                             std::uint32_t dst_router,
                                             std::uint32_t dst_port);
+
+/// Predicate marking an inter-router link as unusable for routing (true =
+/// (router, out_port) must be avoided — e.g. the channel is down).
+using LinkFilter = std::function<bool(std::uint32_t router,
+                                      std::uint32_t out_port)>;
+
+/// Like compute_path, but routes around links the filter blocks, falling
+/// back to the next shortest usable path.  Returns an empty vector when no
+/// usable path exists (instead of aborting) so the caller can drop the
+/// connection gracefully.  A null filter blocks nothing.
+[[nodiscard]] std::vector<Hop> compute_path_avoiding(
+    const NetworkTopology& topology, std::uint32_t src_router,
+    std::uint32_t src_port, std::uint32_t dst_router, std::uint32_t dst_port,
+    const LinkFilter& blocked);
 
 /// Router-level hop distance (number of routers traversed).
 [[nodiscard]] std::uint32_t path_length(const NetworkTopology& topology,

@@ -41,6 +41,22 @@ void CreditManager::tick(Cycle now) {
   }
 }
 
+std::uint32_t CreditManager::pending_for(std::uint32_t vc) const {
+  MMR_ASSERT(vc < vcs());
+  std::uint32_t count = 0;
+  for (const PendingReturn& p : pending_) {
+    if (p.vc == vc) ++count;
+  }
+  return count;
+}
+
+void CreditManager::restore(std::uint32_t vc, std::uint32_t count) {
+  MMR_ASSERT(vc < vcs());
+  MMR_ASSERT_MSG(credits_[vc] + pending_for(vc) + count <= credits_per_vc_,
+                 "restore would exceed the per-VC credit budget");
+  credits_[vc] += count;
+}
+
 void CreditManager::check_invariants() const {
   // Conservation: credits held + credits travelling back never exceed the
   // per-VC budget (the remainder are slots occupied in the router).

@@ -40,6 +40,19 @@ class CreditManager {
     return static_cast<std::uint32_t>(pending_.size());
   }
 
+  /// Credits of `vc` currently travelling back (subset of in_flight()).
+  [[nodiscard]] std::uint32_t pending_for(std::uint32_t vc) const;
+
+  [[nodiscard]] std::uint32_t capacity_per_vc() const {
+    return credits_per_vc_;
+  }
+
+  /// Fault recovery: re-creates `count` credits that leaked (their flits
+  /// were lost on a faulty link, so no release() will ever arrive).  The
+  /// caller — the credit-resync watchdog — is responsible for having audited
+  /// that the credits are genuinely unaccounted for.
+  void restore(std::uint32_t vc, std::uint32_t count);
+
   void check_invariants() const;
 
  private:

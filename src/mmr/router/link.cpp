@@ -1,5 +1,8 @@
 #include "mmr/router/link.hpp"
 
+#include <algorithm>
+#include <cstdio>
+
 #include "mmr/sim/assert.hpp"
 
 namespace mmr {
@@ -7,8 +10,15 @@ namespace mmr {
 LinkPipeline::LinkPipeline(Cycle latency) : latency_(latency) {}
 
 void LinkPipeline::push(const LinkTransfer& transfer, Cycle now) {
-  MMR_ASSERT_MSG(last_push_ == kNever || now > last_push_,
-                 "a link carries at most one flit per cycle");
+  if (!(last_push_ == kNever || now > last_push_)) [[unlikely]] {
+    char msg[128];
+    std::snprintf(msg, sizeof msg,
+                  "a link carries at most one flit per cycle: cycle %llu "
+                  "pushed again after a push at cycle %llu",
+                  static_cast<unsigned long long>(now),
+                  static_cast<unsigned long long>(last_push_));
+    detail::assert_fail("now > last_push_", __FILE__, __LINE__, msg);
+  }
   MMR_ASSERT(in_flight_.empty() || in_flight_.back().arrives <= now + latency_);
   last_push_ = now;
   in_flight_.push_back({now + latency_, transfer});
@@ -16,10 +26,41 @@ void LinkPipeline::push(const LinkTransfer& transfer, Cycle now) {
 }
 
 void LinkPipeline::pop_due(Cycle now, std::vector<LinkTransfer>& out) {
+  if (now < last_pop_) [[unlikely]] {
+    char msg[128];
+    std::snprintf(msg, sizeof msg,
+                  "pop_due times must not decrease: cycle %llu after a pop "
+                  "at cycle %llu",
+                  static_cast<unsigned long long>(now),
+                  static_cast<unsigned long long>(last_pop_));
+    detail::assert_fail("now >= last_pop_", __FILE__, __LINE__, msg);
+  }
+  last_pop_ = now;
   while (!in_flight_.empty() && in_flight_.front().arrives <= now) {
     out.push_back(in_flight_.front().transfer);
     in_flight_.pop_front();
   }
+}
+
+std::uint32_t LinkPipeline::in_flight_on_vc(std::uint32_t vc) const {
+  std::uint32_t count = 0;
+  for (const InFlight& f : in_flight_) {
+    if (f.transfer.vc == vc) ++count;
+  }
+  return count;
+}
+
+std::uint32_t LinkPipeline::drain_vc(std::uint32_t vc) {
+  const std::size_t before = in_flight_.size();
+  std::erase_if(in_flight_,
+                [vc](const InFlight& f) { return f.transfer.vc == vc; });
+  return static_cast<std::uint32_t>(before - in_flight_.size());
+}
+
+std::uint32_t LinkPipeline::drain_all() {
+  const auto count = static_cast<std::uint32_t>(in_flight_.size());
+  in_flight_.clear();
+  return count;
 }
 
 }  // namespace mmr

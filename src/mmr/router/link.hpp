@@ -34,6 +34,15 @@ class LinkPipeline {
   /// Total flits ever carried (for utilization accounting).
   [[nodiscard]] std::uint64_t carried() const { return carried_; }
 
+  /// In-flight transfers tagged with `vc` (fault audits).
+  [[nodiscard]] std::uint32_t in_flight_on_vc(std::uint32_t vc) const;
+
+  /// Fault handling: removes every in-flight transfer tagged with `vc`
+  /// (connection teardown) or all of them (the link went down).  Returns
+  /// how many were removed.
+  std::uint32_t drain_vc(std::uint32_t vc);
+  std::uint32_t drain_all();
+
  private:
   struct InFlight {
     Cycle arrives;
@@ -42,6 +51,7 @@ class LinkPipeline {
 
   Cycle latency_;
   Cycle last_push_ = kNever;  ///< enforces one push per cycle
+  Cycle last_pop_ = 0;        ///< enforces non-decreasing pop_due() times
   std::deque<InFlight> in_flight_;
   std::uint64_t carried_ = 0;
 };

@@ -22,6 +22,13 @@ LinkScheduler::LinkScheduler(std::uint32_t input_port, std::uint32_t levels,
   MMR_ASSERT(output_of_vc_.size() == qos_of_vc_.size());
 }
 
+void LinkScheduler::set_vc(std::uint32_t vc, std::uint32_t output,
+                           QosParams qos) {
+  MMR_ASSERT(vc < output_of_vc_.size());
+  output_of_vc_[vc] = output;
+  qos_of_vc_[vc] = qos;
+}
+
 Priority LinkScheduler::head_priority(const VirtualChannelMemory& vcm,
                                       std::uint32_t vc, Cycle now) const {
   MMR_ASSERT(vc < qos_of_vc_.size());

@@ -35,6 +35,10 @@ class LinkScheduler {
   [[nodiscard]] Priority head_priority(const VirtualChannelMemory& vcm,
                                        std::uint32_t vc, Cycle now) const;
 
+  /// Rebinds `vc` to a new connection (fault recovery: a torn-down
+  /// connection is re-admitted on a fresh VC of its rerouted path).
+  void set_vc(std::uint32_t vc, std::uint32_t output, QosParams qos);
+
   [[nodiscard]] std::uint32_t levels() const { return levels_; }
 
  private:

@@ -37,6 +37,16 @@ std::optional<LinkTransfer> Nic::select_and_send(Cycle now) {
   return std::nullopt;
 }
 
+void Nic::move_queue(std::uint32_t from_vc, std::uint32_t to_vc) {
+  MMR_ASSERT(from_vc < vcs());
+  MMR_ASSERT(to_vc < vcs());
+  if (from_vc == to_vc || queues_[from_vc].empty()) return;
+  if (queues_[to_vc].empty()) ++nonempty_;
+  for (const Flit& flit : queues_[from_vc]) queues_[to_vc].push_back(flit);
+  queues_[from_vc].clear();
+  --nonempty_;
+}
+
 std::size_t Nic::queued(std::uint32_t vc) const {
   MMR_ASSERT(vc < vcs());
   return queues_[vc].size();

@@ -40,6 +40,11 @@ class Nic {
   /// the flit to put on the link, or nothing if no connection is eligible.
   [[nodiscard]] std::optional<LinkTransfer> select_and_send(Cycle now);
 
+  /// Fault recovery: moves every queued flit of `from_vc` to the back of
+  /// `to_vc`'s queue (the connection was re-admitted on a different VC of a
+  /// rerouted path; flits still in host memory follow it).
+  void move_queue(std::uint32_t from_vc, std::uint32_t to_vc);
+
   [[nodiscard]] std::size_t queued(std::uint32_t vc) const;
   [[nodiscard]] std::uint64_t total_queued() const { return total_queued_; }
   [[nodiscard]] std::uint64_t total_sent() const { return total_sent_; }

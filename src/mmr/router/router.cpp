@@ -95,6 +95,24 @@ void MmrRouter::step(Cycle now, bool measure,
   }
 }
 
+void MmrRouter::install_vc(std::uint32_t input, std::uint32_t vc,
+                           std::uint32_t output, QosParams qos) {
+  MMR_ASSERT(input < ports_);
+  MMR_ASSERT(output < ports_);
+  link_schedulers_[input].set_vc(vc, output, qos);
+}
+
+std::uint32_t MmrRouter::drain_vc(std::uint32_t input, std::uint32_t vc) {
+  MMR_ASSERT(input < ports_);
+  std::uint32_t count = 0;
+  while (!vcms_[input].empty(vc)) {
+    (void)vcms_[input].pop(vc);
+    ++count;
+  }
+  drained_ += count;
+  return count;
+}
+
 const VirtualChannelMemory& MmrRouter::vcm(std::uint32_t input) const {
   MMR_ASSERT(input < ports_);
   return vcms_[input];

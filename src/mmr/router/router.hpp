@@ -51,14 +51,26 @@ class MmrRouter {
   /// cycle; `measure` gates crossbar statistics (warmup exclusion).
   void step(Cycle now, bool measure, std::vector<Departure>& departures);
 
+  /// Fault recovery: binds (input, vc) to a re-admitted connection's output
+  /// port and QoS constants (the runtime equivalent of the setup-time
+  /// ConnectionTable walk in the constructor).
+  void install_vc(std::uint32_t input, std::uint32_t vc, std::uint32_t output,
+                  QosParams qos);
+
+  /// Fault teardown: discards every flit buffered on (input, vc).  Returns
+  /// how many were discarded; the caller settles the upstream credits.
+  std::uint32_t drain_vc(std::uint32_t input, std::uint32_t vc);
+
   [[nodiscard]] const Crossbar& crossbar() const { return crossbar_; }
   [[nodiscard]] const VirtualChannelMemory& vcm(std::uint32_t input) const;
   [[nodiscard]] const SwitchArbiter& arbiter() const { return *arbiter_; }
   [[nodiscard]] std::uint64_t flits_accepted() const { return accepted_; }
   [[nodiscard]] std::uint64_t flits_departed() const { return departed_; }
+  /// Flits discarded by fault teardown (drain_vc).
+  [[nodiscard]] std::uint64_t flits_drained() const { return drained_; }
   /// Flits currently buffered inside the router.
   [[nodiscard]] std::uint64_t flits_buffered() const {
-    return accepted_ - departed_;
+    return accepted_ - departed_ - drained_;
   }
 
   void check_invariants() const;
@@ -73,6 +85,7 @@ class MmrRouter {
   CandidateSet candidates_;
   std::uint64_t accepted_ = 0;
   std::uint64_t departed_ = 0;
+  std::uint64_t drained_ = 0;
 };
 
 }  // namespace mmr

@@ -67,7 +67,7 @@ std::uint64_t parse_u64(std::string_view v, const std::string& key) {
 constexpr const char* kValidKeys =
     "ports, vcs, link_bps, flit_bits, phit_bits, buffer_flits, levels, "
     "link_latency, credit_latency, round_multiple, concurrency_factor, "
-    "priority, arbiter, seed, warmup, measure";
+    "priority, arbiter, seed, warmup, measure, fault";
 
 }  // namespace
 
@@ -114,6 +114,8 @@ std::vector<std::string> apply_overrides(
       config.warmup_cycles = parse_u64(value, key);
     } else if (key == "measure") {
       config.measure_cycles = parse_u64(value, key);
+    } else if (key == "fault") {
+      config.fault_spec = value;
     } else {
       throw std::invalid_argument("unknown config key '" + key +
                                   "'; valid keys: " + kValidKeys);

@@ -53,6 +53,12 @@ struct SimConfig {
   Cycle warmup_cycles = 20'000;    ///< statistics discarded
   Cycle measure_cycles = 200'000;  ///< statistics collected
 
+  // --- fault injection (multi-router networks) ------------------------------
+  /// Textual FaultPlan spec (see mmr/fault/fault_plan.hpp), parsed by the
+  /// network simulation.  Empty = no fault machinery at all; results are
+  /// bit-identical to a fault-free build.
+  std::string fault_spec;
+
   // --- derived ------------------------------------------------------------
   [[nodiscard]] TimeBase time_base() const {
     return TimeBase(link_bandwidth_bps, flit_bits, phit_bits);

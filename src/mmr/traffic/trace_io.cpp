@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "mmr/sim/log.hpp"
+
 namespace mmr {
 
 namespace {
@@ -100,6 +102,20 @@ MpegTrace load_trace(const std::string& path, const std::string& name) {
     return read_trace_csv(in, name);
   }
   return read_trace_lines(in, name);
+}
+
+std::optional<MpegTrace> try_load_trace(const std::string& path,
+                                        const std::string& name,
+                                        std::string* diagnostic) {
+  try {
+    return load_trace(path, name);
+  } catch (const std::exception& error) {
+    const std::string message =
+        "skipping trace '" + path + "': " + error.what();
+    log_error(message);
+    if (diagnostic != nullptr) *diagnostic = message;
+    return std::nullopt;
+  }
 }
 
 }  // namespace mmr

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 
 #include "mmr/traffic/mpeg.hpp"
@@ -30,5 +31,14 @@ void write_trace_csv(std::ostream& out, const MpegTrace& trace);
 void save_trace_csv(const std::string& path, const MpegTrace& trace);
 [[nodiscard]] MpegTrace load_trace(const std::string& path,
                                    const std::string& name);
+
+/// Recoverable variant of load_trace for batch loaders: a missing,
+/// malformed or truncated trace yields std::nullopt instead of terminating
+/// the caller.  The diagnostic is logged (log_error) and, when `diagnostic`
+/// is non-null, also stored there so callers can report which file of a
+/// batch was skipped and why.
+[[nodiscard]] std::optional<MpegTrace> try_load_trace(
+    const std::string& path, const std::string& name,
+    std::string* diagnostic = nullptr);
 
 }  // namespace mmr

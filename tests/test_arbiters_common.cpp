@@ -33,7 +33,7 @@ TEST_P(ArbiterProperty, SingleCandidateIsGranted) {
   auto arbiter = make();
   CandidateSet set(ports(), 4);
   Candidate c;
-  c.input = 1 % static_cast<std::uint16_t>(ports());
+  c.input = static_cast<std::uint16_t>(1 % ports());
   c.output = static_cast<std::uint16_t>(ports() - 1);
   c.level = 0;
   c.priority = 5;

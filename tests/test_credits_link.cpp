@@ -119,6 +119,30 @@ TEST(LinkPipelineDeath, OnePushPerCycleEnforced) {
   EXPECT_DEATH(link.push(LinkTransfer{}, 4), "one flit per cycle");
 }
 
+TEST(LinkPipelineDeath, DoublePushMessageNamesBothCycles) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  LinkPipeline link(1);
+  link.push(LinkTransfer{}, 42);
+  // The contract violation message must say which cycle pushed and which
+  // earlier push it collided with.
+  EXPECT_DEATH(link.push(LinkTransfer{}, 42),
+               "cycle 42 pushed again after a push at cycle 42");
+  LinkPipeline rewind(1);
+  rewind.push(LinkTransfer{}, 7);
+  EXPECT_DEATH(rewind.push(LinkTransfer{}, 3),
+               "cycle 3 pushed again after a push at cycle 7");
+}
+
+TEST(LinkPipelineDeath, PopDueTimesMustNotDecrease) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  LinkPipeline link(1);
+  std::vector<LinkTransfer> out;
+  link.pop_due(9, out);
+  EXPECT_DEATH(link.pop_due(5, out),
+               "pop_due times must not decrease: cycle 5 after a pop at "
+               "cycle 9");
+}
+
 TEST(LinkPipeline, InFlightCountsPending) {
   LinkPipeline link(5);
   link.push(LinkTransfer{}, 0);
@@ -127,6 +151,54 @@ TEST(LinkPipeline, InFlightCountsPending) {
   std::vector<LinkTransfer> out;
   link.pop_due(5, out);
   EXPECT_EQ(link.in_flight(), 1u);
+}
+
+TEST(LinkPipeline, DrainByVcRemovesOnlyThatVc) {
+  LinkPipeline link(10);
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    LinkTransfer transfer;
+    transfer.vc = i % 2;
+    link.push(transfer, i);
+  }
+  EXPECT_EQ(link.in_flight_on_vc(0), 3u);
+  EXPECT_EQ(link.in_flight_on_vc(1), 3u);
+  EXPECT_EQ(link.drain_vc(0), 3u);
+  EXPECT_EQ(link.in_flight_on_vc(0), 0u);
+  EXPECT_EQ(link.in_flight_on_vc(1), 3u);
+  EXPECT_EQ(link.drain_all(), 3u);
+  EXPECT_EQ(link.in_flight(), 0u);
+}
+
+TEST(Credits, PendingForTracksPerVcReturns) {
+  CreditManager credits(2, 3, 4);
+  credits.consume(0);
+  credits.consume(0);
+  credits.consume(1);
+  credits.release(0, 1);
+  credits.release(1, 1);
+  credits.release(0, 2);
+  EXPECT_EQ(credits.pending_for(0), 2u);
+  EXPECT_EQ(credits.pending_for(1), 1u);
+  credits.tick(10);
+  EXPECT_EQ(credits.pending_for(0), 0u);
+  EXPECT_EQ(credits.pending_for(1), 0u);
+}
+
+TEST(Credits, RestoreRecreatesLeakedCredits) {
+  CreditManager credits(1, 2, 1);
+  credits.consume(0);
+  credits.consume(0);  // both flits will be "lost": no release ever arrives
+  EXPECT_EQ(credits.credits(0), 0u);
+  credits.restore(0, 2);
+  EXPECT_EQ(credits.credits(0), 2u);
+  credits.check_invariants();
+}
+
+TEST(CreditsDeath, RestoreBeyondCapacityAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  CreditManager credits(1, 2, 1);
+  credits.consume(0);
+  EXPECT_DEATH(credits.restore(0, 2), "");
 }
 
 }  // namespace

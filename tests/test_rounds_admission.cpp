@@ -178,6 +178,39 @@ TEST_F(AdmissionTest, ReleaseRestoresBudgets) {
   EXPECT_EQ(cac.input_peak_slots(1), 0u);
 }
 
+TEST_F(AdmissionTest, ReleaseReadmitCyclesReturnToBaselineExactly) {
+  // Fault recovery tears connections down and re-admits them elsewhere, so
+  // repeated release / try_admit cycles must never drift the budgets.
+  AdmissionController cac = make();
+  ConnectionDescriptor keeper = vbr(0, 3, 100e6, 600e6);
+  ASSERT_TRUE(cac.try_admit(keeper));
+  const std::uint32_t base_in_mean = cac.input_mean_slots(0);
+  const std::uint32_t base_in_peak = cac.input_peak_slots(0);
+  const std::uint32_t base_out_mean = cac.output_mean_slots(3);
+
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    ConnectionDescriptor cbr_conn = cbr(0, 1, 55e6);
+    ConnectionDescriptor vbr_conn = vbr(0, 3, 100e6, 600e6);
+    ASSERT_TRUE(cac.try_admit(cbr_conn));
+    ASSERT_TRUE(cac.try_admit(vbr_conn));
+    cac.release(vbr_conn);
+    cac.release(cbr_conn);
+    ASSERT_EQ(cac.input_mean_slots(0), base_in_mean) << cycle;
+    ASSERT_EQ(cac.input_peak_slots(0), base_in_peak) << cycle;
+    ASSERT_EQ(cac.output_mean_slots(1), 0u) << cycle;
+    ASSERT_EQ(cac.output_mean_slots(3), base_out_mean) << cycle;
+  }
+
+  // After the churn, a link that was repeatedly filled still has its full
+  // capacity: the round can be packed to the brim exactly once more.
+  for (int i = 0; i < 42; ++i) {
+    ConnectionDescriptor c = cbr(1, static_cast<std::uint32_t>(i % 4), 55e6);
+    ASSERT_TRUE(cac.try_admit(c)) << i;
+  }
+  ConnectionDescriptor overflow = cbr(1, 0, 55e6);
+  EXPECT_FALSE(cac.try_admit(overflow));
+}
+
 TEST_F(AdmissionTest, MaxMeanUtilizationTracksBusiestLink) {
   AdmissionController cac = make();
   EXPECT_DOUBLE_EQ(cac.max_mean_utilization(), 0.0);

@@ -78,6 +78,51 @@ TEST(TraceIo, MissingFileThrows) {
                std::runtime_error);
 }
 
+TEST(TraceIo, TryLoadReturnsTraceOnSuccess) {
+  const MpegTrace original = sample_trace();
+  const std::string path = ::testing::TempDir() + "/mmr_try_load.csv";
+  save_trace_csv(path, original);
+  std::string diagnostic = "untouched";
+  const std::optional<MpegTrace> loaded =
+      try_load_trace(path, "Hook", &diagnostic);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->frame_bits, original.frame_bits);
+  EXPECT_EQ(diagnostic, "untouched");  // no error, no diagnostic
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, TryLoadRecoversFromMissingFile) {
+  std::string diagnostic;
+  const std::optional<MpegTrace> loaded =
+      try_load_trace("/nonexistent/trace.csv", "x", &diagnostic);
+  EXPECT_FALSE(loaded.has_value());
+  EXPECT_NE(diagnostic.find("/nonexistent/trace.csv"), std::string::npos);
+  EXPECT_NE(diagnostic.find("cannot read"), std::string::npos);
+}
+
+TEST(TraceIo, TryLoadRecoversFromMalformedAndTruncatedTraces) {
+  const std::string path = ::testing::TempDir() + "/mmr_bad_trace.txt";
+  {
+    std::ofstream out(path);
+    out << "123\nnot-a-number\n";  // malformed second record
+  }
+  std::string diagnostic;
+  EXPECT_FALSE(try_load_trace(path, "bad", &diagnostic).has_value());
+  EXPECT_NE(diagnostic.find("bad frame size"), std::string::npos);
+  EXPECT_NE(diagnostic.find("line 2"), std::string::npos);
+
+  {
+    std::ofstream out(path);
+    out << "# a trace that was truncated before any frame\n";
+  }
+  EXPECT_FALSE(try_load_trace(path, "empty", &diagnostic).has_value());
+  EXPECT_NE(diagnostic.find("no frames"), std::string::npos);
+
+  // The null-diagnostic form is also fine.
+  EXPECT_FALSE(try_load_trace(path, "empty").has_value());
+  std::remove(path.c_str());
+}
+
 TEST(TraceIo, LoadedTraceDrivesAVbrSource) {
   const MpegTrace original = sample_trace();
   std::stringstream buffer;
