@@ -10,6 +10,7 @@
 #include "mmr/arbiter/maxmatch.hpp"
 #include "mmr/arbiter/verify.hpp"
 #include "mmr/sim/rng.hpp"
+#include "mmr/sim/stats.hpp"
 #include "mmr/sim/table.hpp"
 
 namespace {
@@ -50,7 +51,8 @@ int main(int argc, char** argv) {
   std::cout << "==== Matching quality: mean matching size / maximum matching "
                "====\n"
             << trials << " random candidate sets per cell; 4 candidate "
-               "levels; request density 0.9 per level\n\n";
+               "levels; request density 0.9 per level\n"
+            << "cells are mean +/- sample stddev of the per-trial ratio\n\n";
 
   const std::vector<std::uint32_t> port_counts = {4, 8, 16};
   std::vector<std::string> header = {"arbiter"};
@@ -63,8 +65,7 @@ int main(int argc, char** argv) {
     for (std::uint32_t ports : port_counts) {
       Rng workload_rng(0x5EED, ports);  // same ensembles for every arbiter
       auto arbiter = make_arbiter(name, ports, Rng(0x5EED, 0xA1));
-      double ratio_sum = 0.0;
-      std::uint32_t counted = 0;
+      StreamingStats ratio;
       MaxMatchArbiter oracle(ports);
       for (std::uint32_t t = 0; t < trials; ++t) {
         const CandidateSet set =
@@ -79,11 +80,13 @@ int main(int argc, char** argv) {
         }
         const Matching best = oracle.arbitrate(set);
         if (best.size() == 0) continue;
-        ratio_sum += static_cast<double>(matching.size()) /
-                     static_cast<double>(best.size());
-        ++counted;
+        ratio.add(static_cast<double>(matching.size()) /
+                  static_cast<double>(best.size()));
       }
-      row.push_back(AsciiTable::num(ratio_sum / counted, 4));
+      // The trials sample an infinite ensemble, so spread uses the sample
+      // (n-1) convention.
+      row.push_back(AsciiTable::num(ratio.mean(), 4) + " +/- " +
+                    AsciiTable::num(ratio.sample_stddev(), 3));
     }
     table.add_row(std::move(row));
   }

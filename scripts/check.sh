@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Full local gate: plain build + tests, then the whole suite again under
-# AddressSanitizer + UndefinedBehaviorSanitizer.
+# Full local gate: plain build + tier-1 tests, the differential arbiter
+# audit (tier-2), then the whole suite again under AddressSanitizer +
+# UndefinedBehaviorSanitizer.
 # Usage: scripts/check.sh [jobs]
 set -euo pipefail
 
@@ -10,7 +11,11 @@ cd "$(dirname "$0")/.."
 echo "=== plain build (warnings as errors) ==="
 cmake -B build -S . -DMMR_WERROR=ON
 cmake --build build -j "${JOBS}"
-ctest --test-dir build --output-on-failure -j "${JOBS}"
+ctest --test-dir build --output-on-failure -j "${JOBS}" -LE tier2
+
+echo
+echo "=== arbiter audit (tier-2: all arbiters x 200 seeds) ==="
+ctest --test-dir build --output-on-failure -j "${JOBS}" -L tier2
 
 echo
 echo "=== sanitized build (address,undefined) ==="

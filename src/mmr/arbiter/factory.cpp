@@ -1,5 +1,7 @@
 #include "mmr/arbiter/factory.hpp"
 
+#include <bit>
+#include <map>
 #include <stdexcept>
 
 #include "mmr/arbiter/candidate_order.hpp"
@@ -42,6 +44,43 @@ const std::vector<std::string>& arbiter_names() {
       "coa", "coa-np", "wfa", "wwfa", "islip",
       "islip1", "pim", "pim1", "greedy", "maxmatch"};
   return names;
+}
+
+const ArbiterTraits& arbiter_traits(const std::string& name) {
+  // COA loops until every remaining request is blocked and greedy scans all
+  // candidates, so both are maximal; both grant within an output strictly by
+  // priority.  The wavefront sweeps visit every crosspoint while row/column
+  // freedom only decreases, so they are maximal too.  iSLIP/PIM terminate
+  // either converged (maximal) or after their iteration budget, gaining at
+  // least one match per iteration.  Rotation fairness: iSLIP's
+  // grant/accept-pointer desynchronisation and WWFA's rotating diagonal;
+  // plain WFA is intentionally corner-biased (that is the paper's point).
+  static const std::map<std::string, ArbiterTraits> traits = {
+      {"coa", {.maximal = true, .priority_ordered = true}},
+      {"coa-np", {.maximal = true}},
+      {"wfa", {.maximal = true}},
+      {"wwfa", {.maximal = true, .rotation_fair = true}},
+      {"islip", {.iteration_bounded = true, .rotation_fair = true}},
+      {"islip1", {.iteration_bounded = true}},
+      {"pim", {.iteration_bounded = true}},
+      {"pim1", {.iteration_bounded = true}},
+      {"greedy", {.maximal = true, .priority_ordered = true}},
+      {"maxmatch", {.maximal = true, .exact_maximum = true}},
+  };
+  const auto it = traits.find(name);
+  if (it == traits.end()) {
+    throw std::invalid_argument("no traits for unknown arbiter '" + name +
+                                "'");
+  }
+  return it->second;
+}
+
+std::uint32_t arbiter_iterations(const std::string& name,
+                                 std::uint32_t ports) {
+  // Mirrors the iteration defaults the constructors above apply.
+  if (name == "islip1" || name == "pim1") return 1;
+  if (name == "islip" || name == "pim") return std::bit_width(ports) + 1u;
+  return 0;
 }
 
 }  // namespace mmr

@@ -23,6 +23,15 @@ class IslipArbiter final : public SwitchArbiter {
 
   [[nodiscard]] std::uint32_t iterations() const { return iterations_; }
 
+  /// Rotating pointers (exposed for tests and the audit harness; standard
+  /// iSLIP only moves them on first-iteration accepts).
+  [[nodiscard]] std::uint32_t grant_pointer(std::uint32_t output) const {
+    return grant_ptr_[output];
+  }
+  [[nodiscard]] std::uint32_t accept_pointer(std::uint32_t input) const {
+    return accept_ptr_[input];
+  }
+
  private:
   std::uint32_t ports_;
   std::uint32_t iterations_;

@@ -1,0 +1,95 @@
+#include "mmr/audit/generator.hpp"
+
+#include <algorithm>
+
+#include "mmr/sim/assert.hpp"
+
+namespace mmr::audit {
+
+const std::vector<LoadProfile>& all_profiles() {
+  static const std::vector<LoadProfile> profiles = {
+      LoadProfile::kUniform, LoadProfile::kSkewed, LoadProfile::kHotspot,
+      LoadProfile::kDuplicate};
+  return profiles;
+}
+
+const char* profile_name(LoadProfile profile) {
+  switch (profile) {
+    case LoadProfile::kUniform: return "uniform";
+    case LoadProfile::kSkewed: return "skewed";
+    case LoadProfile::kHotspot: return "hotspot";
+    case LoadProfile::kDuplicate: return "duplicate";
+  }
+  return "?";
+}
+
+std::vector<Candidate> generate_step(Rng& rng, const GeneratorOptions& opt) {
+  MMR_ASSERT(opt.ports >= 1 && opt.levels >= 1);
+  MMR_ASSERT(opt.fill > 0.0 && opt.fill <= 1.0);
+  const std::uint32_t ports = opt.ports;
+
+  // Hot outputs for the hotspot profile (one or two, seed-dependent).
+  const std::uint32_t hot_a = static_cast<std::uint32_t>(rng.uniform(ports));
+  const std::uint32_t hot_b = static_cast<std::uint32_t>(rng.uniform(ports));
+
+  std::vector<Candidate> step;
+  for (std::uint32_t input = 0; input < ports; ++input) {
+    double fill = opt.fill;
+    if (opt.profile == LoadProfile::kSkewed) {
+      // First quarter of the inputs run hot, the rest mostly idle.
+      fill = input < std::max(1u, ports / 4) ? 0.95 : 0.15;
+    }
+    // Repeated-output target for the duplicate profile, per input.
+    const std::uint32_t repeat_out =
+        static_cast<std::uint32_t>(rng.uniform(ports));
+    // Priorities must be non-increasing with level (CandidateSet contract);
+    // walk a saturating counter downward.
+    Priority priority = 1000 + rng.uniform(1000);
+    for (std::uint32_t level = 0; level < opt.levels; ++level) {
+      if (!rng.chance(fill)) break;  // keeps levels contiguous from 0
+      Candidate c;
+      c.input = static_cast<std::uint16_t>(input);
+      c.level = static_cast<std::uint8_t>(level);
+      c.vc = level;  // one VC per level is enough for arbitration purposes
+      c.priority = priority;
+      switch (opt.profile) {
+        case LoadProfile::kHotspot:
+          c.output = static_cast<std::uint16_t>(
+              rng.chance(0.85) ? (rng.chance(0.5) ? hot_a : hot_b)
+                               : rng.uniform(ports));
+          break;
+        case LoadProfile::kDuplicate:
+          // Mostly re-request the same output at successive levels; this is
+          // what a deep VC backlog behind one route looks like.
+          c.output = static_cast<std::uint16_t>(
+              rng.chance(0.7) ? repeat_out : rng.uniform(ports));
+          break;
+        default:
+          c.output = static_cast<std::uint16_t>(rng.uniform(ports));
+          break;
+      }
+      step.push_back(c);
+      if (priority > 0) priority -= rng.uniform(std::min<Priority>(priority, 64) + 1);
+    }
+  }
+  return step;
+}
+
+CaseSpec generate_case(const std::string& arbiter, std::uint64_t seed,
+                       std::uint32_t steps, const GeneratorOptions& opt) {
+  CaseSpec spec;
+  spec.arbiter = arbiter;
+  spec.seed = seed;
+  spec.ports = opt.ports;
+  spec.levels = opt.levels;
+  // Fork stream 1 for the candidate stream so the arbiter's own rng (stream
+  // 0, seeded with `seed` directly by the harness) stays independent.
+  Rng rng(seed, /*stream=*/1);
+  spec.steps.reserve(steps);
+  for (std::uint32_t s = 0; s < steps; ++s)
+    spec.steps.push_back(generate_step(rng, opt));
+  spec.normalize();
+  return spec;
+}
+
+}  // namespace mmr::audit

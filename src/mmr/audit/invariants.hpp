@@ -1,0 +1,47 @@
+// Per-step matching invariants for the differential audit harness.  Each
+// check asserts only what ArbiterTraits documents for the arbiter under
+// test, with MaxMatchArbiter's Hopcroft-Karp size as the oracle, so a
+// reported violation is always an implementation bug (or a wrong trait
+// claim — equally worth catching).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mmr/arbiter/candidate.hpp"
+#include "mmr/arbiter/factory.hpp"
+#include "mmr/arbiter/matching.hpp"
+
+namespace mmr::audit {
+
+struct Violation {
+  std::string kind;    ///< "validity", "maximality", "exact-maximum",
+                       ///< "iteration-bound", "priority-order",
+                       ///< "rotation-fairness"
+  std::size_t step;    ///< step index within the driving sequence
+  std::string detail;  ///< human-readable description
+};
+
+/// Checks one arbitration result against the arbiter's documented traits:
+/// structural validity always; maximality / exact-maximum vs the
+/// Hopcroft-Karp oracle; the `is_maximal || size >= iterations` bound for
+/// iterative schemes; and COA/greedy priority ordering (no granted
+/// candidate beats a strictly higher-priority candidate for the same output
+/// whose input went entirely unmatched).
+std::vector<Violation> check_step(const CandidateSet& candidates,
+                                  const Matching& matching,
+                                  const ArbiterTraits& traits,
+                                  std::uint32_t iterations, std::size_t step);
+
+/// Maximum matching size of the request graph (Hopcroft-Karp oracle).
+std::uint32_t oracle_max_matching(const CandidateSet& candidates);
+
+/// Windowed pointer-rotation fairness (traits.rotation_fair): drives the
+/// arbiter with a persistent full request matrix for `8 * ports` warm-up
+/// cycles, then requires every matching in the next `ports` cycles to be
+/// perfect and the window to serve each (input, output) pair exactly once.
+/// The arbiter's pointer state is consumed; pass a fresh instance.
+std::vector<Violation> check_rotation_fairness(SwitchArbiter& arbiter,
+                                               std::uint32_t ports);
+
+}  // namespace mmr::audit

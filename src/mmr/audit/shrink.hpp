@@ -1,0 +1,27 @@
+// Delta-debugging shrinker for failing audit cases.  Greedily drops whole
+// steps, then individual candidates, re-normalizing and replaying from a
+// fresh arbiter after every removal, until no single removal preserves the
+// failure.  The result is the minimal-by-one-removal spec that still
+// violates — small enough to read, and checked in as a regression corpus.
+#pragma once
+
+#include <functional>
+
+#include "mmr/audit/spec.hpp"
+
+namespace mmr::audit {
+
+/// Returns true when the candidate spec still exhibits the failure (replayed
+/// from a fresh arbiter; stateful pointer history is part of the spec).
+using FailurePredicate = std::function<bool(const CaseSpec&)>;
+
+struct ShrinkResult {
+  CaseSpec spec;
+  std::size_t trials = 0;  ///< predicate evaluations spent shrinking
+};
+
+/// `still_fails(spec)` must be true on entry; the returned spec satisfies it
+/// too and is a 1-minimal subset of the input's steps/candidates.
+ShrinkResult shrink_case(CaseSpec spec, const FailurePredicate& still_fails);
+
+}  // namespace mmr::audit

@@ -1,0 +1,104 @@
+#include "mmr/audit/sim_auditor.hpp"
+
+#include <algorithm>
+
+#include "mmr/sim/assert.hpp"
+
+namespace mmr::audit {
+
+std::uint32_t credit_accounted_slots(const CreditManager& credits,
+                                     const LinkPipeline& pipe,
+                                     const VirtualChannelMemory& vcm,
+                                     std::uint32_t vc) {
+  return credits.credits(vc) + credits.pending_for(vc) +
+         pipe.in_flight_on_vc(vc) + vcm.occupancy(vc);
+}
+
+SimAuditor::SimAuditor(const SimConfig& config)
+    : ports_(config.ports),
+      vcs_(config.vcs_per_link),
+      period_(config.audit_every),
+      tails_(static_cast<std::size_t>(config.ports) * config.vcs_per_link),
+      input_used_(config.ports, 0),
+      output_used_(config.ports, 0) {
+  MMR_ASSERT(period_ >= 1);
+}
+
+void SimAuditor::on_cycle(Cycle now, const MmrRouter& router,
+                          const std::vector<Nic>& nics,
+                          const std::vector<LinkPipeline>& links,
+                          const std::vector<MmrRouter::Departure>& departures) {
+  ++cycles_;
+
+  // The crossbar forwards at most one flit per input and per output port
+  // per scheduling cycle.
+  std::fill(input_used_.begin(), input_used_.end(), std::uint8_t{0});
+  std::fill(output_used_.begin(), output_used_.end(), std::uint8_t{0});
+  for (const MmrRouter::Departure& d : departures) {
+    MMR_ASSERT(d.input < ports_ && d.output < ports_ && d.vc < vcs_);
+    MMR_ASSERT_MSG(!input_used_[d.input],
+                   "audit: two departures from one input in one cycle");
+    MMR_ASSERT_MSG(!output_used_[d.output],
+                   "audit: two departures onto one output in one cycle");
+    input_used_[d.input] = 1;
+    output_used_[d.output] = 1;
+
+    // Per-VC FIFO order: within a VC, one connection's flits depart in
+    // strictly increasing sequence order and never after flits generated
+    // in this cycle's future.  A connection change on the VC (fault-layer
+    // re-admission) legitimately restarts the stream.
+    MMR_ASSERT_MSG(d.flit.generated_at <= now,
+                   "audit: flit departed before it was generated");
+    VcTail& tail = tails_[static_cast<std::size_t>(d.input) * vcs_ + d.vc];
+    if (tail.connection == d.flit.connection) {
+      MMR_ASSERT_MSG(d.flit.seq > tail.seq,
+                     "audit: per-VC FIFO order broken (sequence regressed)");
+    }
+    tail.connection = d.flit.connection;
+    tail.seq = d.flit.seq;
+  }
+
+  // Departed-count reconciliation: the router's lifetime counter must
+  // advance by exactly the departures it reported this cycle.
+  departed_seen_ += departures.size();
+  MMR_ASSERT_MSG(router.flits_departed() == departed_seen_,
+                 "audit: router departed-count disagrees with the "
+                 "departures it reported");
+
+  if (now % period_ == 0) {
+    sweep(router, nics, links);
+    ++sweeps_;
+  }
+}
+
+void SimAuditor::sweep(const MmrRouter& router, const std::vector<Nic>& nics,
+                       const std::vector<LinkPipeline>& links) const {
+  MMR_ASSERT(nics.size() == ports_ && links.size() == ports_);
+  std::uint64_t buffered = 0;
+  for (std::uint32_t port = 0; port < ports_; ++port) {
+    const Nic& nic = nics[port];
+    const VirtualChannelMemory& vcm = router.vcm(port);
+    const std::uint32_t capacity = nic.credits().capacity_per_vc();
+    std::uint64_t queued = 0;
+    for (std::uint32_t vc = 0; vc < vcs_; ++vc) {
+      // Credit conservation: every VC buffer slot is an available credit, a
+      // credit travelling back, a flit on the wire, or a buffered flit.
+      // The single-router engine has no faults, so equality is exact.
+      MMR_ASSERT_MSG(credit_accounted_slots(nic.credits(), links[port], vcm,
+                                            vc) == capacity,
+                     "audit: credit conservation violated");
+      buffered += vcm.occupancy(vc);
+      queued += nic.queued(vc);
+    }
+    // NIC bandwidth accounting: everything deposited either left on the
+    // link or is still queued.
+    MMR_ASSERT_MSG(nic.total_queued() == nic.total_sent() + queued,
+                   "audit: NIC deposited/sent/queued accounting broken");
+  }
+  // Router bandwidth accounting: lifetime accepted - departed - drained
+  // must equal what the VCMs hold right now.
+  MMR_ASSERT_MSG(router.flits_buffered() == buffered,
+                 "audit: router flit accounting disagrees with VCM contents");
+}
+
+}  // namespace mmr::audit

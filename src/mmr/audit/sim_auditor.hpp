@@ -1,0 +1,71 @@
+// Simulation-level invariant auditor (opt-in via the `audit=` SimConfig
+// override).  Piggybacks on the router tick: cheap departure-stream checks
+// every cycle (per-VC FIFO order, one flit per port, departed-count
+// reconciliation) and a full credit-conservation + bandwidth-accounting
+// sweep every `audit_every` cycles — the same conservation law the fault
+// layer's credit-resync watchdog enforces, factored into
+// credit_accounted_slots() so both use one definition.  Violations abort
+// via MMR_ASSERT like every other contract check in the engine.
+//
+// This file lives in mmr/audit but is compiled into mmr_core (see
+// src/CMakeLists.txt): the auditor needs the router/NIC/link types, and
+// mmr_audit proper must stay a pure arbiter-layer library.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mmr/router/credits.hpp"
+#include "mmr/router/link.hpp"
+#include "mmr/router/nic.hpp"
+#include "mmr/router/router.hpp"
+#include "mmr/router/vcm.hpp"
+#include "mmr/sim/config.hpp"
+
+namespace mmr::audit {
+
+/// Buffer slots of (channel, vc) that are accounted for: available credits,
+/// credits travelling back, flits on the wire, flits in the downstream VCM.
+/// Conservation demands this equals CreditManager::capacity_per_vc(); the
+/// fault layer's resync watchdog treats a persistent deficit as a leak.
+[[nodiscard]] std::uint32_t credit_accounted_slots(
+    const CreditManager& credits, const LinkPipeline& pipe,
+    const VirtualChannelMemory& vcm, std::uint32_t vc);
+
+class SimAuditor {
+ public:
+  /// `config.audit_every` sets the sweep period (the caller only constructs
+  /// the auditor when it is >= 1).
+  explicit SimAuditor(const SimConfig& config);
+
+  /// Called at the end of every MmrSimulation::step_one with that cycle's
+  /// departures.  Aborts (MMR_ASSERT) on any invariant violation.
+  void on_cycle(Cycle now, const MmrRouter& router,
+                const std::vector<Nic>& nics,
+                const std::vector<LinkPipeline>& links,
+                const std::vector<MmrRouter::Departure>& departures);
+
+  [[nodiscard]] std::uint64_t cycles_audited() const { return cycles_; }
+  [[nodiscard]] std::uint64_t sweeps() const { return sweeps_; }
+
+ private:
+  struct VcTail {
+    ConnectionId connection = kInvalidConnection;
+    std::uint64_t seq = 0;
+  };
+
+  void sweep(const MmrRouter& router, const std::vector<Nic>& nics,
+             const std::vector<LinkPipeline>& links) const;
+
+  std::uint32_t ports_;
+  std::uint32_t vcs_;
+  std::uint32_t period_;
+  std::vector<VcTail> tails_;  ///< (input * vcs + vc) -> last departure
+  std::uint64_t departed_seen_ = 0;
+  std::uint64_t cycles_ = 0;
+  std::uint64_t sweeps_ = 0;
+  std::vector<std::uint8_t> input_used_;   ///< per-cycle scratch
+  std::vector<std::uint8_t> output_used_;  ///< per-cycle scratch
+};
+
+}  // namespace mmr::audit

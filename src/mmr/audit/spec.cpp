@@ -1,0 +1,129 @@
+#include "mmr/audit/spec.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "mmr/sim/assert.hpp"
+
+namespace mmr::audit {
+
+void CaseSpec::normalize() {
+  std::uint32_t max_levels = 1;
+  for (std::vector<Candidate>& step : steps) {
+    // Stable-sort by (input, level) so each input's candidates keep their
+    // link-scheduler rank order, then relabel levels contiguously.
+    std::stable_sort(step.begin(), step.end(),
+                     [](const Candidate& a, const Candidate& b) {
+                       if (a.input != b.input) return a.input < b.input;
+                       return a.level < b.level;
+                     });
+    std::uint32_t current_input = ports;  // sentinel: no input yet
+    std::uint8_t next_level = 0;
+    for (Candidate& c : step) {
+      if (c.input != current_input) {
+        current_input = c.input;
+        next_level = 0;
+      }
+      c.level = next_level++;
+      max_levels = std::max<std::uint32_t>(max_levels, next_level);
+    }
+  }
+  levels = std::max(levels, max_levels);
+}
+
+CandidateSet CaseSpec::set_for_step(std::size_t step) const {
+  MMR_ASSERT(step < steps.size());
+  CandidateSet set(ports, levels);
+  for (const Candidate& c : steps[step]) set.add(c);
+  return set;
+}
+
+std::size_t CaseSpec::total_candidates() const {
+  std::size_t total = 0;
+  for (const std::vector<Candidate>& step : steps) total += step.size();
+  return total;
+}
+
+std::string to_text(const CaseSpec& spec) {
+  std::ostringstream out;
+  out << "arbiter " << spec.arbiter << '\n';
+  out << "seed " << spec.seed << '\n';
+  out << "ports " << spec.ports << '\n';
+  out << "levels " << spec.levels << '\n';
+  for (const std::vector<Candidate>& step : spec.steps) {
+    out << "step\n";
+    for (const Candidate& c : step) {
+      out << "c " << c.input << ' ' << c.output << ' '
+          << static_cast<std::uint32_t>(c.level) << ' ' << c.vc << ' '
+          << c.priority << '\n';
+    }
+  }
+  out << "end\n";
+  return out.str();
+}
+
+CaseSpec parse_case(const std::string& text) {
+  CaseSpec spec;
+  spec.steps.clear();
+  std::istringstream in(text);
+  std::string line;
+  bool saw_end = false;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto comment = line.find('#');
+    if (comment != std::string::npos) line.resize(comment);
+    std::istringstream fields(line);
+    std::string tag;
+    if (!(fields >> tag)) continue;  // blank line
+    auto want = [&](auto& value) {
+      if (!(fields >> value)) {
+        throw std::invalid_argument("case spec line " +
+                                    std::to_string(line_no) +
+                                    ": missing value after '" + tag + "'");
+      }
+    };
+    if (tag == "arbiter") {
+      want(spec.arbiter);
+    } else if (tag == "seed") {
+      want(spec.seed);
+    } else if (tag == "ports") {
+      want(spec.ports);
+    } else if (tag == "levels") {
+      want(spec.levels);
+    } else if (tag == "step") {
+      spec.steps.emplace_back();
+    } else if (tag == "c") {
+      if (spec.steps.empty()) {
+        throw std::invalid_argument("case spec line " +
+                                    std::to_string(line_no) +
+                                    ": candidate before first 'step'");
+      }
+      std::uint32_t input = 0, output = 0, level = 0;
+      Candidate c;
+      want(input);
+      want(output);
+      want(level);
+      want(c.vc);
+      want(c.priority);
+      c.input = static_cast<std::uint16_t>(input);
+      c.output = static_cast<std::uint16_t>(output);
+      c.level = static_cast<std::uint8_t>(level);
+      spec.steps.back().push_back(c);
+    } else if (tag == "end") {
+      saw_end = true;
+      break;
+    } else {
+      throw std::invalid_argument("case spec line " + std::to_string(line_no) +
+                                  ": unknown tag '" + tag + "'");
+    }
+  }
+  if (!saw_end)
+    throw std::invalid_argument("case spec is missing the 'end' line");
+  if (spec.ports == 0 || spec.levels == 0)
+    throw std::invalid_argument("case spec needs ports >= 1 and levels >= 1");
+  return spec;
+}
+
+}  // namespace mmr::audit

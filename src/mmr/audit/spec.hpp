@@ -1,0 +1,50 @@
+// Replayable differential-audit cases.  A CaseSpec pins everything a
+// failure needs to reproduce: the arbiter (by factory name), its Rng seed,
+// the geometry, and the exact candidate sequence it was driven with.  Specs
+// round-trip through a line-oriented text form so shrunk failures can be
+// checked in as regression corpora and replayed byte-identically.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mmr/arbiter/candidate.hpp"
+
+namespace mmr::audit {
+
+struct CaseSpec {
+  std::string arbiter = "coa";
+  std::uint64_t seed = 0;  ///< seed of the arbiter's private Rng
+  std::uint32_t ports = 4;
+  std::uint32_t levels = 1;
+  /// One candidate list per arbitration step, in drive order.  Stateful
+  /// arbiters (rotating pointers) see the steps in sequence from a fresh
+  /// instance, so a violation at step k reproduces exactly.
+  std::vector<std::vector<Candidate>> steps;
+
+  /// Re-labels each step's levels per input to contiguous 0..k-1 (preserving
+  /// candidate order) and raises `levels` if needed — the shrinker drops
+  /// candidates freely and relies on this to keep steps CandidateSet-legal.
+  void normalize();
+
+  /// Builds the CandidateSet for one step (spec must be normalized).
+  [[nodiscard]] CandidateSet set_for_step(std::size_t step) const;
+
+  [[nodiscard]] std::size_t total_candidates() const;
+};
+
+/// Text round-trip.  Format (one token per line element, '#' comments):
+///   arbiter coa
+///   seed 42
+///   ports 4
+///   levels 2
+///   step
+///   c <input> <output> <level> <vc> <priority>
+///   ...
+///   end
+[[nodiscard]] std::string to_text(const CaseSpec& spec);
+
+/// Parses to_text() output; throws std::invalid_argument on malformed input.
+[[nodiscard]] CaseSpec parse_case(const std::string& text);
+
+}  // namespace mmr::audit

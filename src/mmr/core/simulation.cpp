@@ -1,5 +1,6 @@
 #include "mmr/core/simulation.hpp"
 
+#include "mmr/audit/sim_auditor.hpp"
 #include "mmr/sim/assert.hpp"
 #include "mmr/sim/log.hpp"
 
@@ -33,7 +34,12 @@ MmrSimulation::MmrSimulation(SimConfig config, Workload workload)
     const Cycle next = workload_.sources[i]->next_emission();
     if (next != kNever) heap_.emplace(next, i);
   }
+
+  if (config_.audit_every > 0)
+    auditor_ = std::make_unique<audit::SimAuditor>(config_);
 }
+
+MmrSimulation::~MmrSimulation() = default;
 
 const Nic& MmrSimulation::nic(std::uint32_t link) const {
   MMR_ASSERT(link < nics_.size());
@@ -97,6 +103,9 @@ void MmrSimulation::step_one() {
     nics_[departure.input].return_credit(departure.vc, now);
     if (observer_) observer_(departure, now + 1);
   }
+
+  if (auditor_)
+    auditor_->on_cycle(now, router_, nics_, input_links_, departure_buffer_);
 
   if ((now + 1) % kInvariantCheckPeriod == 0) check_invariants();
   ++now_;

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <queue>
 #include <vector>
 
@@ -17,9 +18,14 @@
 
 namespace mmr {
 
+namespace audit {
+class SimAuditor;
+}  // namespace audit
+
 class MmrSimulation {
  public:
   MmrSimulation(SimConfig config, Workload workload);
+  ~MmrSimulation();  ///< out-of-line for the SimAuditor forward declaration
 
   /// Runs warmup_cycles + measure_cycles and returns the metrics.  May only
   /// be called once per instance.
@@ -47,6 +53,11 @@ class MmrSimulation {
 
   [[nodiscard]] SimulationMetrics finalize() const;
 
+  /// The runtime invariant auditor, or nullptr when `audit=0` (default).
+  [[nodiscard]] const audit::SimAuditor* auditor() const {
+    return auditor_.get();
+  }
+
   void check_invariants() const;
 
  private:
@@ -63,6 +74,7 @@ class MmrSimulation {
   std::priority_queue<Emission, std::vector<Emission>, std::greater<>> heap_;
 
   DepartureObserver observer_;
+  std::unique_ptr<audit::SimAuditor> auditor_;  ///< set when audit_every > 0
   Cycle now_ = 0;
   bool ran_ = false;
   std::vector<Flit> flit_buffer_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mmr/audit/sim_auditor.hpp"
 #include "mmr/qos/rounds.hpp"
 #include "mmr/sim/log.hpp"
 
@@ -682,9 +683,8 @@ void MmrNetworkSimulation::credit_resync(Cycle now) {
       // Conservation audit: every buffer slot is either an available
       // credit, a credit travelling back, a flit on the wire, or a flit in
       // the downstream VCM.  Anything missing leaked through a fault.
-      const std::uint32_t accounted =
-          channel.credits.credits(vc) + channel.credits.pending_for(vc) +
-          channel.pipe.in_flight_on_vc(vc) + vcm.occupancy(vc);
+      const std::uint32_t accounted = audit::credit_accounted_slots(
+          channel.credits, channel.pipe, vcm, vc);
       const std::uint32_t capacity = channel.credits.capacity_per_vc();
       MMR_ASSERT_MSG(accounted <= capacity,
                      "credit audit found a surplus: accounting bug");

@@ -1,6 +1,7 @@
 #include "mmr/sim/config.hpp"
 
 #include <charconv>
+#include <cmath>
 #include <stdexcept>
 #include <string_view>
 
@@ -30,7 +31,8 @@ PriorityScheme priority_scheme_from_string(const std::string& s) {
 void SimConfig::validate() const {
   MMR_ASSERT_MSG(ports >= 2 && ports <= 1024, "ports out of range");
   MMR_ASSERT_MSG(vcs_per_link >= 1, "need at least one VC per link");
-  MMR_ASSERT_MSG(link_bandwidth_bps > 0.0, "link bandwidth must be positive");
+  MMR_ASSERT_MSG(std::isfinite(link_bandwidth_bps) && link_bandwidth_bps > 0.0,
+                 "link bandwidth must be finite and positive");
   MMR_ASSERT_MSG(flit_bits > 0 && phit_bits > 0, "flit/phit bits positive");
   MMR_ASSERT_MSG(flit_bits % phit_bits == 0,
                  "flit must be a whole number of phits");
@@ -39,12 +41,16 @@ void SimConfig::validate() const {
   MMR_ASSERT_MSG(candidate_levels <= vcs_per_link,
                  "more candidate levels than VCs is meaningless");
   MMR_ASSERT_MSG(round_multiple >= 1, "round must cover every VC");
-  MMR_ASSERT_MSG(concurrency_factor >= 1.0, "concurrency factor >= 1");
+  MMR_ASSERT_MSG(std::isfinite(concurrency_factor) && concurrency_factor >= 1.0,
+                 "concurrency factor must be finite and >= 1");
   MMR_ASSERT_MSG(measure_cycles > 0, "nothing to measure");
 }
 
 namespace {
 
+/// Parses a double, rejecting nan/inf (strtod accepts both spellings) — a
+/// config built from overrides must never carry a non-finite field into a
+/// simulation, where it would silently poison every derived quantity.
 double parse_double(std::string_view v, const std::string& key) {
   // std::from_chars(double) is not universally available; strtod suffices.
   const std::string tmp(v);
@@ -52,6 +58,9 @@ double parse_double(std::string_view v, const std::string& key) {
   const double x = std::strtod(tmp.c_str(), &end);
   if (end == tmp.c_str() || *end != '\0')
     throw std::invalid_argument("bad numeric value for " + key + ": " + tmp);
+  if (!std::isfinite(x))
+    throw std::invalid_argument("value for " + key +
+                                " must be finite, got: " + tmp);
   return x;
 }
 
@@ -67,7 +76,7 @@ std::uint64_t parse_u64(std::string_view v, const std::string& key) {
 constexpr const char* kValidKeys =
     "ports, vcs, link_bps, flit_bits, phit_bits, buffer_flits, levels, "
     "link_latency, credit_latency, round_multiple, concurrency_factor, "
-    "priority, arbiter, seed, warmup, measure, fault";
+    "priority, arbiter, seed, warmup, measure, fault, audit";
 
 }  // namespace
 
@@ -85,7 +94,10 @@ std::vector<std::string> apply_overrides(
     } else if (key == "vcs") {
       config.vcs_per_link = static_cast<std::uint32_t>(parse_u64(value, key));
     } else if (key == "link_bps") {
-      config.link_bandwidth_bps = parse_double(value, key);
+      const double bps = parse_double(value, key);
+      if (bps <= 0.0)
+        throw std::invalid_argument("link_bps must be positive, got: " + value);
+      config.link_bandwidth_bps = bps;
     } else if (key == "flit_bits") {
       config.flit_bits = static_cast<std::uint32_t>(parse_u64(value, key));
     } else if (key == "phit_bits") {
@@ -103,7 +115,11 @@ std::vector<std::string> apply_overrides(
     } else if (key == "round_multiple") {
       config.round_multiple = static_cast<std::uint32_t>(parse_u64(value, key));
     } else if (key == "concurrency_factor") {
-      config.concurrency_factor = parse_double(value, key);
+      const double factor = parse_double(value, key);
+      if (factor < 1.0)
+        throw std::invalid_argument("concurrency_factor must be >= 1, got: " +
+                                    value);
+      config.concurrency_factor = factor;
     } else if (key == "priority") {
       config.priority_scheme = priority_scheme_from_string(value);
     } else if (key == "arbiter") {
@@ -116,6 +132,8 @@ std::vector<std::string> apply_overrides(
       config.measure_cycles = parse_u64(value, key);
     } else if (key == "fault") {
       config.fault_spec = value;
+    } else if (key == "audit") {
+      config.audit_every = static_cast<std::uint32_t>(parse_u64(value, key));
     } else {
       throw std::invalid_argument("unknown config key '" + key +
                                   "'; valid keys: " + kValidKeys);

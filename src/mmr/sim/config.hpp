@@ -59,6 +59,13 @@ struct SimConfig {
   /// bit-identical to a fault-free build.
   std::string fault_spec;
 
+  // --- runtime invariant auditing (mmr/audit/sim_auditor.hpp) --------------
+  /// 0 = off.  N >= 1 attaches the simulation-level invariant auditor:
+  /// departure-stream checks (per-VC FIFO, crossbar bandwidth) run every
+  /// cycle and the full credit-conservation sweep every N cycles.  Auditing
+  /// never changes simulation results; violations abort with a message.
+  std::uint32_t audit_every = 0;
+
   // --- derived ------------------------------------------------------------
   [[nodiscard]] TimeBase time_base() const {
     return TimeBase(link_bandwidth_bps, flit_bits, phit_bits);

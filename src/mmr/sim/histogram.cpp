@@ -8,15 +8,21 @@
 
 namespace mmr {
 
-LogHistogram::LogHistogram(double min_value, double growth)
-    : min_value_(min_value), log_growth_(std::log(growth)) {
+LogHistogram::LogHistogram(double min_value, double growth,
+                           std::size_t max_buckets)
+    : min_value_(min_value),
+      log_growth_(std::log(growth)),
+      max_buckets_(max_buckets) {
   MMR_ASSERT(min_value > 0.0);
   MMR_ASSERT(growth > 1.0);
+  MMR_ASSERT(max_buckets >= 2);  // at least one regular + the overflow row
 }
 
 std::size_t LogHistogram::bucket_of(double x) const {
   if (x <= min_value_) return 0;
   const double b = std::log(x / min_value_) / log_growth_;
+  // Everything past the cap shares the last (overflow) bucket.
+  if (b >= static_cast<double>(max_buckets_ - 1)) return max_buckets_ - 1;
   return static_cast<std::size_t>(b) + 1;
 }
 
@@ -43,9 +49,14 @@ void LogHistogram::add(double x) {
   ++count_;
 }
 
+std::uint64_t LogHistogram::overflow_count() const {
+  return buckets_.size() == max_buckets_ ? buckets_.back() : 0;
+}
+
 void LogHistogram::merge(const LogHistogram& other) {
   MMR_ASSERT(min_value_ == other.min_value_);
   MMR_ASSERT(log_growth_ == other.log_growth_);
+  MMR_ASSERT(max_buckets_ == other.max_buckets_);
   if (other.count_ == 0) return;
   if (buckets_.size() < other.buckets_.size())
     buckets_.resize(other.buckets_.size(), 0);
@@ -76,9 +87,10 @@ double LogHistogram::quantile(double q) const {
   for (std::size_t b = 0; b < buckets_.size(); ++b) {
     seen += buckets_[b];
     if (seen > rank) {
-      // Geometric midpoint, clamped to the observed extremes.
+      // Geometric midpoint, clamped to the observed extremes.  The overflow
+      // bucket has no nominal upper edge; the observed maximum bounds it.
       const double lo = std::max(bucket_lo(b), min_);
-      const double hi = std::min(bucket_hi(b), max_);
+      const double hi = is_overflow(b) ? max_ : std::min(bucket_hi(b), max_);
       if (lo <= 0.0) return hi * 0.5;
       return std::sqrt(lo * hi);
     }
@@ -105,8 +117,9 @@ std::string LogHistogram::ascii(std::size_t max_rows) const {
   }
   for (std::size_t r = 0; r < rows.size(); ++r) {
     const std::size_t b = r * per_row;
+    const std::size_t last = std::min(nb, b + per_row) - 1;
     const double lo = bucket_lo(b);
-    const double hi = bucket_hi(std::min(nb, b + per_row) - 1);
+    const double hi = is_overflow(last) ? max_ : bucket_hi(last);
     const auto width = static_cast<std::size_t>(
         row_max == 0 ? 0 : (40.0 * static_cast<double>(rows[r]) /
                             static_cast<double>(row_max)));

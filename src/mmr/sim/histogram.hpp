@@ -12,8 +12,12 @@ namespace mmr {
 class LogHistogram {
  public:
   /// `min_value` is the resolution floor (values below land in bucket 0),
-  /// `growth` the geometric bucket ratio (> 1).
-  explicit LogHistogram(double min_value = 1.0, double growth = 1.05);
+  /// `growth` the geometric bucket ratio (> 1), `max_buckets` the storage
+  /// cap (>= 2): samples beyond bucket `max_buckets - 2` land in a single
+  /// unbounded overflow bucket, so one outlier cannot balloon memory.  The
+  /// default cap spans ~50 decades at the default growth.
+  explicit LogHistogram(double min_value = 1.0, double growth = 1.05,
+                        std::size_t max_buckets = 4096);
 
   void add(double x);
   void merge(const LogHistogram& other);
@@ -34,13 +38,21 @@ class LogHistogram {
   /// Multi-line ASCII rendering (for examples / debugging).
   [[nodiscard]] std::string ascii(std::size_t max_rows = 20) const;
 
+  /// Samples recorded in the overflow bucket (0 until an outlier exceeds
+  /// the bucket cap's range).
+  [[nodiscard]] std::uint64_t overflow_count() const;
+
  private:
   [[nodiscard]] std::size_t bucket_of(double x) const;
+  [[nodiscard]] bool is_overflow(std::size_t b) const {
+    return b + 1 == max_buckets_;
+  }
   [[nodiscard]] double bucket_lo(std::size_t b) const;
   [[nodiscard]] double bucket_hi(std::size_t b) const;
 
   double min_value_;
   double log_growth_;
+  std::size_t max_buckets_;
   std::vector<std::uint64_t> buckets_;
   std::uint64_t count_ = 0;
   double min_ = 0.0;

@@ -41,6 +41,14 @@ double StreamingStats::variance() const {
 
 double StreamingStats::stddev() const { return std::sqrt(variance()); }
 
+double StreamingStats::sample_variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double StreamingStats::sample_stddev() const {
+  return std::sqrt(sample_variance());
+}
+
 double StreamingStats::min() const { return n_ == 0 ? 0.0 : min_; }
 
 double StreamingStats::max() const { return n_ == 0 ? 0.0 : max_; }

@@ -9,6 +9,12 @@
 namespace mmr {
 
 /// Single-pass mean / variance / min / max accumulator (Welford).
+///
+/// Variance convention: `variance()` is the POPULATION variance m2/n — right
+/// when the samples ARE the whole population (every flit delay of a run).
+/// `sample_variance()` is the unbiased estimator m2/(n-1) — use it (and
+/// `sample_stddev()`) when the samples estimate a larger population, e.g.
+/// spreads or confidence intervals over repeated trials in benches.
 class StreamingStats {
  public:
   void add(double x);
@@ -18,8 +24,11 @@ class StreamingStats {
   [[nodiscard]] std::uint64_t count() const { return n_; }
   [[nodiscard]] bool empty() const { return n_ == 0; }
   [[nodiscard]] double mean() const;
-  [[nodiscard]] double variance() const;  ///< population variance
-  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double variance() const;  ///< population variance m2/n
+  [[nodiscard]] double stddev() const;    ///< sqrt of population variance
+  /// Unbiased sample variance m2/(n-1); 0 when fewer than two samples.
+  [[nodiscard]] double sample_variance() const;
+  [[nodiscard]] double sample_stddev() const;
   [[nodiscard]] double min() const;
   [[nodiscard]] double max() const;
   [[nodiscard]] double sum() const { return mean() * static_cast<double>(n_); }

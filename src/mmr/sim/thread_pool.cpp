@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <utility>
 
 #include "mmr/sim/assert.hpp"
 
@@ -38,8 +39,13 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::worker_loop() {
@@ -52,11 +58,24 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
+    // The in-flight count must drop even when the task throws, or
+    // wait_idle() deadlocks; the guard also hands the first exception to
+    // wait_idle() for rethrow.
+    struct TaskGuard {
+      ThreadPool& pool;
+      std::exception_ptr error;
+      ~TaskGuard() {
+        const std::lock_guard<std::mutex> lock(pool.mutex_);
+        if (error && !pool.first_error_) pool.first_error_ = error;
+        --pool.in_flight_;
+        if (pool.in_flight_ == 0) pool.all_done_.notify_all();
+      }
+    };
+    TaskGuard guard{*this, nullptr};
+    try {
+      task();
+    } catch (...) {
+      guard.error = std::current_exception();
     }
   }
 }
@@ -66,13 +85,19 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t threads,
   if (n == 0) return;
   ThreadPool pool(threads);
   std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
   const std::size_t lanes = std::min(n, pool.size());
   for (std::size_t lane = 0; lane < lanes; ++lane) {
     pool.submit([&] {
-      while (true) {
+      while (!failed.load(std::memory_order_relaxed)) {
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= n) return;
-        fn(i);
+        try {
+          fn(i);
+        } catch (...) {
+          failed.store(true, std::memory_order_relaxed);
+          throw;  // wait_idle() below rethrows the first of these
+        }
       }
     });
   }

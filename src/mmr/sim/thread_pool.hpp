@@ -6,6 +6,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -25,14 +26,19 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
-  /// Enqueues a task; tasks must not throw (simulation errors abort).
+  /// Enqueues a task.  A throwing task does not wedge the pool: the first
+  /// exception is captured and rethrown from the next wait_idle() call;
+  /// subsequent exceptions are swallowed.
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished, then rethrows the first
+  /// exception any task raised since the last wait_idle().
   void wait_idle();
 
   /// Runs `fn(i)` for i in [0, n) across the pool and waits for completion.
   /// Exact per-task work order is unspecified; use per-index output slots.
+  /// Rethrows the first exception `fn` raised (remaining indices may be
+  /// skipped once a worker has thrown).
   static void parallel_for(std::size_t n, std::size_t threads,
                            const std::function<void(std::size_t)>& fn);
 
@@ -46,6 +52,7 @@ class ThreadPool {
   std::condition_variable all_done_;
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
+  std::exception_ptr first_error_;  ///< first task exception, set once
 };
 
 }  // namespace mmr

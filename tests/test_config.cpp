@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <stdexcept>
 
 namespace mmr {
@@ -81,6 +82,46 @@ TEST(SimConfig, MalformedOverrideThrows) {
   EXPECT_THROW(apply_overrides(config, {"ports=abc"}), std::invalid_argument);
   EXPECT_THROW(apply_overrides(config, {"link_bps=xyz"}),
                std::invalid_argument);
+}
+
+// Regression: "link_bps=nan", "link_bps=inf" and negative rates used to
+// parse cleanly and only blow up (or silently poison time conversions)
+// deep inside a run.  They are rejected at parse time now.
+TEST(SimConfig, RejectsNonFiniteAndNonPositiveRates) {
+  SimConfig config;
+  for (const char* bad :
+       {"link_bps=nan", "link_bps=inf", "link_bps=-inf", "link_bps=-1e9",
+        "link_bps=0"}) {
+    EXPECT_THROW(apply_overrides(config, {bad}), std::invalid_argument)
+        << bad;
+  }
+  for (const char* bad :
+       {"concurrency_factor=nan", "concurrency_factor=inf",
+        "concurrency_factor=0.5", "concurrency_factor=-2"}) {
+    EXPECT_THROW(apply_overrides(config, {bad}), std::invalid_argument)
+        << bad;
+  }
+  // The rejected overrides left the config untouched and valid.
+  config.validate();
+}
+
+TEST(SimConfigDeath, ValidateRejectsNonFiniteFields) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  SimConfig config;
+  config.link_bandwidth_bps = std::numeric_limits<double>::infinity();
+  EXPECT_DEATH(config.validate(), "finite");
+  config = SimConfig{};
+  config.concurrency_factor = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_DEATH(config.validate(), "finite");
+}
+
+TEST(SimConfig, AuditOverrideEnablesTheAuditor) {
+  SimConfig config;
+  EXPECT_EQ(config.audit_every, 0u);
+  const auto applied = apply_overrides(config, {"audit=256"});
+  EXPECT_EQ(applied, std::vector<std::string>{"audit"});
+  EXPECT_EQ(config.audit_every, 256u);
+  config.validate();
 }
 
 TEST(SimConfig, PrioritySchemeRoundTrips) {

@@ -110,6 +110,71 @@ TEST(LogHistogram, AsciiRendersSomething) {
   EXPECT_LE(std::count(art.begin(), art.end(), '\n'), 11);
 }
 
+// Regression: the bucket index used to grow without bound with the sampled
+// value; a single huge outlier (or inf) could allocate gigabytes.  Buckets
+// are now capped and outliers share one overflow bucket.
+TEST(LogHistogram, OutliersLandInTheOverflowBucket) {
+  LogHistogram h(1.0, 2.0, /*max_buckets=*/8);
+  h.add(4.0);
+  EXPECT_EQ(h.overflow_count(), 0u);
+  // Bucket cap 8 with growth 2 covers up to 2^6; everything beyond shares
+  // the overflow bucket regardless of magnitude.
+  h.add(1e18);
+  h.add(1e300);
+  EXPECT_EQ(h.overflow_count(), 2u);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.max_seen(), 1e300);
+}
+
+TEST(LogHistogram, OverflowQuantileIsBoundedByMaxSeen) {
+  LogHistogram h(1.0, 2.0, /*max_buckets=*/4);
+  for (int i = 0; i < 10; ++i) h.add(1e12);
+  EXPECT_EQ(h.overflow_count(), 10u);
+  // The overflow bucket has no geometric midpoint; quantiles report the
+  // largest observed sample instead of an invented bound.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1e12);
+  EXPECT_DOUBLE_EQ(h.p99(), 1e12);
+}
+
+TEST(LogHistogram, QuantilesStayCorrectBelowTheCap) {
+  // Same data, capped and effectively-uncapped histograms: quantiles of
+  // in-range samples must agree exactly.
+  LogHistogram capped(1.0, 1.5, /*max_buckets=*/64);
+  LogHistogram wide(1.0, 1.5, /*max_buckets=*/4096);
+  Rng rng(7, 0);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.uniform_real(1.0, 1000.0);
+    capped.add(x);
+    wide.add(x);
+  }
+  EXPECT_EQ(capped.overflow_count(), 0u);
+  for (const double q : {0.1, 0.5, 0.9, 0.99})
+    EXPECT_DOUBLE_EQ(capped.quantile(q), wide.quantile(q)) << q;
+}
+
+TEST(LogHistogram, AsciiIncludesOverflowRow) {
+  LogHistogram h(1.0, 2.0, /*max_buckets=*/6);
+  h.add(2.0);
+  h.add(1e9);  // overflow
+  const std::string art = h.ascii();
+  EXPECT_FALSE(art.empty());
+  // The overflow row's upper edge is the max seen, not a bucket boundary,
+  // so the largest sample must appear as a rendered edge.
+  EXPECT_NE(art.find("1000000000.00"), std::string::npos) << art;
+}
+
+TEST(LogHistogram, MergePreservesOverflowCounts) {
+  LogHistogram a(1.0, 2.0, /*max_buckets=*/6);
+  LogHistogram b(1.0, 2.0, /*max_buckets=*/6);
+  a.add(1e9);
+  b.add(2e9);
+  b.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.overflow_count(), 2u);
+  EXPECT_DOUBLE_EQ(a.max_seen(), 2e9);
+}
+
 TEST(LogHistogram, P50P95P99Helpers) {
   LogHistogram h;
   for (int i = 1; i <= 1000; ++i) h.add(static_cast<double>(i));

@@ -41,6 +41,28 @@ TEST(StreamingStats, KnownMoments) {
   EXPECT_DOUBLE_EQ(s.sum(), 40.0);
 }
 
+// The documented convention: variance() is population (m2/n),
+// sample_variance() the unbiased estimator (m2/(n-1)).
+TEST(StreamingStats, SampleVarianceUsesBesselCorrection) {
+  StreamingStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);                    // m2 / 8
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 32.0 / 7.0);      // m2 / 7
+  EXPECT_DOUBLE_EQ(s.sample_stddev(), std::sqrt(32.0 / 7.0));
+  EXPECT_GT(s.sample_variance(), s.variance());
+}
+
+TEST(StreamingStats, SampleVarianceDegenerateCounts) {
+  StreamingStats s;
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 0.0);  // n = 0
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 0.0);  // n = 1: undefined -> 0
+  EXPECT_DOUBLE_EQ(s.sample_stddev(), 0.0);
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 1.0);
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 2.0);
+}
+
 TEST(StreamingStats, NegativeValues) {
   StreamingStats s;
   s.add(-5.0);

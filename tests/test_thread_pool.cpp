@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 namespace mmr {
@@ -82,6 +83,56 @@ TEST(ThreadPool, MoreItemsThanThreads) {
     counter.fetch_add(1);
   });
   EXPECT_EQ(counter.load(), 257);
+}
+
+// Regression: a throwing task used to skip the in-flight decrement, leaving
+// wait_idle() blocked forever (and the escaping exception terminated the
+// worker).  Now the exception is captured and rethrown from wait_idle.
+TEST(ThreadPool, ThrowingTaskIsRethrownFromWaitIdleWithoutDeadlock) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("task failed"); });
+  try {
+    pool.wait_idle();
+    FAIL() << "expected the task's exception";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "task failed");
+  }
+}
+
+TEST(ThreadPool, PoolStaysUsableAfterATaskThrows) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("first"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The error was consumed: later batches run and wait cleanly.
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 20; ++i)
+    pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPool, OnlyFirstOfManyExceptionsIsRethrown) {
+  ThreadPool pool(4);
+  for (int i = 0; i < 32; ++i) {
+    pool.submit([] { throw std::runtime_error("boom"); });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  pool.wait_idle();  // all other exceptions were swallowed, none linger
+}
+
+TEST(ThreadPool, ParallelForRethrowsTaskException) {
+  std::atomic<int> ran{0};
+  try {
+    ThreadPool::parallel_for(100, 4, [&ran](std::size_t i) {
+      ran.fetch_add(1);
+      if (i == 13) throw std::runtime_error("lane failed");
+    });
+    FAIL() << "expected the lane's exception";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "lane failed");
+  }
+  // Every lane observed the failure flag and stopped; no index ran twice.
+  EXPECT_LE(ran.load(), 100);
 }
 
 }  // namespace
