@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "mmr/core/simulation.hpp"
+#include "mmr/overload/spec.hpp"
 #include "mmr/sim/table.hpp"
 
 int main(int argc, char** argv) {
@@ -18,6 +19,11 @@ int main(int argc, char** argv) {
   std::vector<std::string> overrides(argv + 1, argv + argc);
   try {
     mmr::apply_overrides(config, overrides);
+    // Fail fast on bad specs (the simulation parses them at construction).
+    if (!config.police_spec.empty())
+      (void)mmr::overload::PoliceSpec::parse(config.police_spec);
+    if (!config.rogue_spec.empty())
+      (void)mmr::overload::RogueSpec::parse(config.rogue_spec);
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << '\n';
     return 1;

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Full local gate: plain build + tier-1 tests, the differential arbiter
-# audit (tier-2), then the whole suite again under AddressSanitizer +
-# UndefinedBehaviorSanitizer.
+# Full local gate: plain build + tier-1 tests, the tier-2 soaks
+# (differential arbiter audit + 200-seed overload-protection soak), then the
+# whole suite — mmr_overload included — again under AddressSanitizer +
+# UndefinedBehaviorSanitizer (SANITIZE applies tree-wide).
 # Usage: scripts/check.sh [jobs]
 set -euo pipefail
 
@@ -14,7 +15,7 @@ cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure -j "${JOBS}" -LE tier2
 
 echo
-echo "=== arbiter audit (tier-2: all arbiters x 200 seeds) ==="
+echo "=== tier-2 soaks (arbiter audit + overload protection, 200 seeds each) ==="
 ctest --test-dir build --output-on-failure -j "${JOBS}" -L tier2
 
 echo

@@ -62,6 +62,34 @@ SimulationMetrics merge_runs(const std::vector<SimulationMetrics>& runs) {
         std::fmax(merged.max_frame_jitter_us, run.max_frame_jitter_us);
     merged.backlog_flits += run.backlog_flits;
     merged.fairness_index = avg(merged.fairness_index, run.fairness_index);
+
+    MMR_ASSERT_MSG(run.overload.enabled == merged.overload.enabled &&
+                       run.overload.policy == merged.overload.policy,
+                   "can only merge runs with the same overload setup");
+    OverloadMetrics& o = merged.overload;
+    const OverloadMetrics& ro = run.overload;
+    o.rogue_connections += ro.rogue_connections;
+    o.noncompliant_connections += ro.noncompliant_connections;
+    for (std::size_t c = 0; c < 3; ++c) {
+      o.policed[c].conforming += ro.policed[c].conforming;
+      o.policed[c].dropped += ro.policed[c].dropped;
+      o.policed[c].demoted += ro.policed[c].demoted;
+      o.policed[c].shaped += ro.policed[c].shaped;
+      o.policed[c].penalty_overflow += ro.policed[c].penalty_overflow;
+      o.policed[c].shed += ro.policed[c].shed;
+    }
+    o.shape_delay_us.merge(ro.shape_delay_us);
+    o.watchdog_escalations += ro.watchdog_escalations;
+    o.watchdog_recoveries += ro.watchdog_recoveries;
+    o.watchdog_alarms += ro.watchdog_alarms;
+    for (std::size_t s = 0; s < 4; ++s)
+      o.cycles_in_stage[s] += ro.cycles_in_stage[s];
+    o.compliant_delivered += ro.compliant_delivered;
+    o.compliant_violations += ro.compliant_violations;
+    o.rogue_delivered += ro.rogue_delivered;
+    o.rogue_violations += ro.rogue_violations;
+    o.compliant_policed += ro.compliant_policed;
+    o.rogue_policed += ro.rogue_policed;
     // Per-connection vectors are not comparable across workload
     // realisations; only the pooled index survives a merge.
     merged.generated_per_connection.clear();
@@ -86,6 +114,23 @@ double DegradationMetrics::violation_rate_during_fault() const {
 
 double DegradationMetrics::violation_rate_outside_fault() const {
   return ratio(qos_violations_outside_fault, delivered_outside_fault);
+}
+
+double OverloadMetrics::compliant_violation_rate() const {
+  return ratio(compliant_violations, compliant_delivered);
+}
+
+double OverloadMetrics::rogue_violation_rate() const {
+  return ratio(rogue_violations, rogue_delivered);
+}
+
+double OverloadMetrics::degraded_fraction() const {
+  const std::uint64_t total = cycles_in_stage[0] + cycles_in_stage[1] +
+                              cycles_in_stage[2] + cycles_in_stage[3];
+  return total == 0
+             ? 0.0
+             : static_cast<double>(total - cycles_in_stage[0]) /
+                   static_cast<double>(total);
 }
 
 double survival_rate(const ClassMetrics& cls) {

@@ -69,6 +69,55 @@ struct DegradationMetrics {
 /// generated): the per-class survival rate fault benches report.
 [[nodiscard]] double survival_rate(const ClassMetrics& cls);
 
+/// Injection-policing tallies for one traffic class (mirrors
+/// overload::ClassTally; duplicated here so core/metrics stays free of the
+/// overload layer's headers).
+struct PolicedClassTally {
+  std::uint64_t conforming = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t demoted = 0;
+  std::uint64_t shaped = 0;
+  std::uint64_t penalty_overflow = 0;
+  std::uint64_t shed = 0;
+};
+
+/// Overload-protection accounting produced by runs with `police=` and/or
+/// `rogue=` set (see mmr/overload/).  All-zero / disabled otherwise.
+struct OverloadMetrics {
+  bool enabled = false;      ///< policer and/or rogue sources were active
+  std::string policy;        ///< "drop" | "shape" | "demote" | "off"
+  std::uint32_t rogue_connections = 0;
+  std::uint32_t noncompliant_connections = 0;  ///< ever exceeded contract
+
+  /// Policer verdicts, indexed by TrafficClass (CBR, VBR, BE).
+  PolicedClassTally policed[3];
+
+  /// Extra injection delay imposed on shaped flits (shape policy only).
+  StreamingStats shape_delay_us;
+
+  // Saturation-watchdog ladder.
+  std::uint64_t watchdog_escalations = 0;
+  std::uint64_t watchdog_recoveries = 0;
+  std::uint64_t watchdog_alarms = 0;
+  /// Cycles spent per stage: normal, shed-BE, clamp, alarm.
+  std::uint64_t cycles_in_stage[4] = {0, 0, 0, 0};
+
+  // QoS deliveries and deadline violations within the measurement window,
+  // split by whether the connection's source was rogue.
+  std::uint64_t compliant_delivered = 0;
+  std::uint64_t compliant_violations = 0;
+  std::uint64_t rogue_delivered = 0;
+  std::uint64_t rogue_violations = 0;
+  // Policed actions (drops + demotions + overflow), same split.
+  std::uint64_t compliant_policed = 0;
+  std::uint64_t rogue_policed = 0;
+
+  [[nodiscard]] double compliant_violation_rate() const;
+  [[nodiscard]] double rogue_violation_rate() const;
+  /// Fraction of the run spent above kNormal (0 when nothing ran).
+  [[nodiscard]] double degraded_fraction() const;
+};
+
 struct SimulationMetrics {
   std::string arbiter;
   double flit_cycle_us = 0.0;
@@ -99,6 +148,9 @@ struct SimulationMetrics {
   // End-of-run backlog (flits still in NICs + router): grows without bound
   // past saturation.
   std::uint64_t backlog_flits = 0;
+
+  // Overload protection (mmr/overload/); disabled unless police=/rogue= ran.
+  OverloadMetrics overload;
 
   // Fairness (Section 3's "efficient and fair resource scheduling"):
   // Jain's index over per-connection delivered/offered shares; 1.0 means

@@ -117,6 +117,81 @@ MetricExtractor frame_jitter_us() {
   };
 }
 
+MetricExtractor compliant_violation_pct() {
+  return [](const SimulationMetrics& m) {
+    return m.overload.enabled
+               ? m.overload.compliant_violation_rate() * 100.0
+               : std::numeric_limits<double>::quiet_NaN();
+  };
+}
+
+MetricExtractor rogue_violation_pct() {
+  return [](const SimulationMetrics& m) {
+    return m.overload.enabled
+               ? m.overload.rogue_violation_rate() * 100.0
+               : std::numeric_limits<double>::quiet_NaN();
+  };
+}
+
+AsciiTable overload_table(const SimulationMetrics& metrics) {
+  const OverloadMetrics& o = metrics.overload;
+  AsciiTable table({"class", "conforming", "dropped", "demoted", "shaped",
+                    "overflow", "shed"});
+  const char* labels[3] = {"CBR", "VBR", "BE"};
+  PolicedClassTally total;
+  for (std::size_t c = 0; c < 3; ++c) {
+    const PolicedClassTally& t = o.policed[c];
+    table.add_row({labels[c], std::to_string(t.conforming),
+                   std::to_string(t.dropped), std::to_string(t.demoted),
+                   std::to_string(t.shaped), std::to_string(t.penalty_overflow),
+                   std::to_string(t.shed)});
+    total.conforming += t.conforming;
+    total.dropped += t.dropped;
+    total.demoted += t.demoted;
+    total.shaped += t.shaped;
+    total.penalty_overflow += t.penalty_overflow;
+    total.shed += t.shed;
+  }
+  table.add_row({"total", std::to_string(total.conforming),
+                 std::to_string(total.dropped), std::to_string(total.demoted),
+                 std::to_string(total.shaped),
+                 std::to_string(total.penalty_overflow),
+                 std::to_string(total.shed)});
+  return table;
+}
+
+void print_overload_summary(std::ostream& out,
+                            const SimulationMetrics& metrics) {
+  const OverloadMetrics& o = metrics.overload;
+  if (!o.enabled) return;
+  out << "Overload protection: policy=" << o.policy << ", rogue connections="
+      << o.rogue_connections << ", noncompliant=" << o.noncompliant_connections
+      << "\n";
+  out << "  QoS deadline violations: compliant "
+      << AsciiTable::num(o.compliant_violation_rate() * 100.0, 2) << "% ("
+      << o.compliant_violations << "/" << o.compliant_delivered << "), rogue "
+      << AsciiTable::num(o.rogue_violation_rate() * 100.0, 2) << "% ("
+      << o.rogue_violations << "/" << o.rogue_delivered << ")\n";
+  out << "  Policed actions: compliant " << o.compliant_policed << ", rogue "
+      << o.rogue_policed << "\n";
+  if (!o.shape_delay_us.empty()) {
+    out << "  Shape delay: mean " << AsciiTable::num(o.shape_delay_us.mean(), 2)
+        << " us over " << o.shape_delay_us.count() << " flits\n";
+  }
+  const std::uint64_t total_cycles = o.cycles_in_stage[0] +
+                                     o.cycles_in_stage[1] +
+                                     o.cycles_in_stage[2] + o.cycles_in_stage[3];
+  if (total_cycles > 0) {
+    out << "  Watchdog: " << o.watchdog_escalations << " escalations, "
+        << o.watchdog_recoveries << " recoveries, " << o.watchdog_alarms
+        << " alarms; degraded "
+        << AsciiTable::num(o.degraded_fraction() * 100.0, 2)
+        << "% of the run (shed " << o.cycles_in_stage[1] << ", clamp "
+        << o.cycles_in_stage[2] << ", alarm " << o.cycles_in_stage[3]
+        << " cycles)\n";
+  }
+}
+
 void print_saturation_summary(std::ostream& out,
                               const std::vector<SweepPoint>& points,
                               const std::vector<std::string>& arbiters) {

@@ -1,6 +1,9 @@
 #include "mmr/core/simulation.hpp"
 
 #include "mmr/audit/sim_auditor.hpp"
+#include "mmr/overload/policer.hpp"
+#include "mmr/overload/rogue_apply.hpp"
+#include "mmr/overload/watchdog.hpp"
 #include "mmr/sim/assert.hpp"
 #include "mmr/sim/log.hpp"
 
@@ -21,6 +24,25 @@ MmrSimulation::MmrSimulation(SimConfig config, Workload workload)
           workload_.generated_load(config_.time_base())) {
   config_.validate();
   workload_.check_invariants();
+
+  // Rogue wrapping must precede the emission-heap build below so the heap
+  // indexes the wrapped sources.  Wrapping never changes mean_bps(), so the
+  // nominal load captured above stays the declared one.
+  if (!config_.rogue_spec.empty()) {
+    rogue_ids_ = overload::apply_rogue(
+        workload_, overload::RogueSpec::parse(config_.rogue_spec));
+    is_rogue_.assign(workload_.table.size(), 0);
+    for (const ConnectionId id : rogue_ids_) is_rogue_[id] = 1;
+  }
+  if (!config_.police_spec.empty()) {
+    const auto spec = overload::PoliceSpec::parse(config_.police_spec);
+    qos_deadline_cycles_ = spec.qos_deadline_cycles;
+    policer_ = std::make_unique<overload::InjectionPolicer>(workload_.table,
+                                                            config_, spec);
+    if (spec.wd_window > 0)
+      watchdog_ =
+          std::make_unique<overload::SaturationWatchdog>(spec, config_.ports);
+  }
 
   nics_.reserve(config_.ports);
   input_links_.reserve(config_.ports);
@@ -50,6 +72,7 @@ std::uint64_t MmrSimulation::backlog() const {
   std::uint64_t total = router_.flits_buffered();
   for (const Nic& n : nics_) total += n.total_queued() - n.total_sent();
   for (const LinkPipeline& link : input_links_) total += link.in_flight();
+  if (policer_) total += policer_->penalty_backlog();
   return total;
 }
 
@@ -76,13 +99,45 @@ void MmrSimulation::step_one() {
     const ConnectionDescriptor& descriptor =
         workload_.table.get(source.connection());
     for (const Flit& flit : flit_buffer_) {
-      nics_[descriptor.input_link].deposit(descriptor.vc, flit);
       collector_.on_generated(flit.connection, flit.generated_at);
+      if (policer_ == nullptr) {
+        nics_[descriptor.input_link].deposit(descriptor.vc, flit);
+        continue;
+      }
+      switch (policer_->police(flit, now)) {
+        case overload::Verdict::kPass:
+          nics_[descriptor.input_link].deposit(descriptor.vc, flit);
+          break;
+        case overload::Verdict::kDemoted: {
+          Flit demoted = flit;
+          demoted.demoted = true;
+          nics_[descriptor.input_link].deposit(descriptor.vc, demoted);
+          break;
+        }
+        case overload::Verdict::kShaped:   // held in the penalty queue
+        case overload::Verdict::kDropped:  // discarded at injection
+          break;
+      }
     }
     const Cycle next = source.next_emission();
     if (next != kNever) {
       MMR_ASSERT_MSG(next > now, "source failed to advance its clock");
       heap_.emplace(next, index);
+    }
+  }
+
+  // 2b. Shaped flits whose tokens have accrued enter their NIC now.
+  if (policer_) {
+    release_buffer_.clear();
+    policer_->release_due(now, release_buffer_);
+    for (const Flit& flit : release_buffer_) {
+      const ConnectionDescriptor& descriptor =
+          workload_.table.get(flit.connection);
+      nics_[descriptor.input_link].deposit(descriptor.vc, flit);
+      if (measure && flit.generated_at >= config_.warmup_cycles) {
+        shape_delay_us_.add(config_.time_base().cycles_to_us(
+            static_cast<double>(now - flit.generated_at)));
+      }
     }
   }
 
@@ -98,10 +153,35 @@ void MmrSimulation::step_one() {
   // switch and output link) and their credits head back to the NIC.
   departure_buffer_.clear();
   router_.step(now, measure, departure_buffer_);
+  const bool overload_active = policer_ != nullptr || !rogue_ids_.empty();
   for (const MmrRouter::Departure& departure : departure_buffer_) {
     collector_.on_delivered(departure, now + 1);
     nics_[departure.input].return_credit(departure.vc, now);
     if (observer_) observer_(departure, now + 1);
+
+    // Compliant-vs-rogue QoS deadline split (overload accounting only).
+    if (overload_active && measure) {
+      const Flit& flit = departure.flit;
+      if (workload_.table.get(flit.connection).is_qos()) {
+        const bool rogue = !is_rogue_.empty() && is_rogue_[flit.connection];
+        const bool violated =
+            static_cast<double>(now + 1 - flit.generated_at) >
+            qos_deadline_cycles_;
+        if (rogue) {
+          ++rogue_delivered_;
+          if (violated) ++rogue_violations_;
+        } else {
+          ++compliant_delivered_;
+          if (violated) ++compliant_violations_;
+        }
+      }
+    }
+  }
+
+  if (watchdog_) {
+    const std::uint64_t sample =
+        watchdog_->wants_sample(now) ? backlog() : 0;
+    watchdog_->on_cycle(now, sample, *policer_);
   }
 
   if (auditor_)
@@ -121,12 +201,54 @@ SimulationMetrics MmrSimulation::run() {
 }
 
 SimulationMetrics MmrSimulation::finalize() const {
-  return collector_.finalize(router_, generated_load_nominal_, backlog());
+  SimulationMetrics m =
+      collector_.finalize(router_, generated_load_nominal_, backlog());
+
+  OverloadMetrics& o = m.overload;
+  o.enabled = policer_ != nullptr || !rogue_ids_.empty();
+  if (!o.enabled) return m;
+  o.policy = policer_ ? to_string(policer_->spec().policy) : "off";
+  o.rogue_connections = static_cast<std::uint32_t>(rogue_ids_.size());
+  o.compliant_delivered = compliant_delivered_;
+  o.compliant_violations = compliant_violations_;
+  o.rogue_delivered = rogue_delivered_;
+  o.rogue_violations = rogue_violations_;
+  if (policer_) {
+    o.noncompliant_connections = policer_->noncompliant_connections();
+    for (const TrafficClass cls :
+         {TrafficClass::kCbr, TrafficClass::kVbr, TrafficClass::kBestEffort}) {
+      const overload::ClassTally& t = policer_->tally(cls);
+      PolicedClassTally& out = o.policed[static_cast<std::size_t>(cls)];
+      out.conforming = t.conforming;
+      out.dropped = t.dropped;
+      out.demoted = t.demoted;
+      out.shaped = t.shaped;
+      out.penalty_overflow = t.penalty_overflow;
+      out.shed = t.shed;
+    }
+    o.shape_delay_us = shape_delay_us_;
+    const std::vector<std::uint64_t>& policed =
+        policer_->policed_per_connection();
+    for (ConnectionId id = 0; id < policed.size(); ++id) {
+      const bool rogue = !is_rogue_.empty() && is_rogue_[id];
+      (rogue ? o.rogue_policed : o.compliant_policed) += policed[id];
+    }
+  }
+  if (watchdog_) {
+    o.watchdog_escalations = watchdog_->escalations();
+    o.watchdog_recoveries = watchdog_->recoveries();
+    o.watchdog_alarms = watchdog_->alarms();
+    for (std::size_t s = 0; s < 4; ++s)
+      o.cycles_in_stage[s] = watchdog_->cycles_in_stage(
+          static_cast<overload::WatchdogStage>(s));
+  }
+  return m;
 }
 
 void MmrSimulation::check_invariants() const {
   router_.check_invariants();
   for (const Nic& n : nics_) n.check_invariants();
+  if (policer_) policer_->check_invariants();
 }
 
 }  // namespace mmr

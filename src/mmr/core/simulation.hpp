@@ -22,6 +22,11 @@ namespace audit {
 class SimAuditor;
 }  // namespace audit
 
+namespace overload {
+class InjectionPolicer;
+class SaturationWatchdog;
+}  // namespace overload
+
 class MmrSimulation {
  public:
   MmrSimulation(SimConfig config, Workload workload);
@@ -58,6 +63,20 @@ class MmrSimulation {
     return auditor_.get();
   }
 
+  /// The injection policer, or nullptr when `police=` is unset.
+  [[nodiscard]] const overload::InjectionPolicer* policer() const {
+    return policer_.get();
+  }
+  /// The saturation watchdog, or nullptr when policing is off or the spec
+  /// disables it (wd_window:0).
+  [[nodiscard]] const overload::SaturationWatchdog* watchdog() const {
+    return watchdog_.get();
+  }
+  /// ConnectionIds wrapped as rogue sources (empty when `rogue=` is unset).
+  [[nodiscard]] const std::vector<ConnectionId>& rogue_connections() const {
+    return rogue_ids_;
+  }
+
   void check_invariants() const;
 
  private:
@@ -75,6 +94,21 @@ class MmrSimulation {
 
   DepartureObserver observer_;
   std::unique_ptr<audit::SimAuditor> auditor_;  ///< set when audit_every > 0
+
+  // Overload protection (set only when police= / rogue= are present; an
+  // unset spec leaves every pointer null and the hot path untouched).
+  std::unique_ptr<overload::InjectionPolicer> policer_;
+  std::unique_ptr<overload::SaturationWatchdog> watchdog_;
+  std::vector<ConnectionId> rogue_ids_;
+  std::vector<char> is_rogue_;  ///< per-connection flag (empty = none)
+  double qos_deadline_cycles_ = 250.0;  ///< violation split threshold
+  std::uint64_t compliant_delivered_ = 0;
+  std::uint64_t compliant_violations_ = 0;
+  std::uint64_t rogue_delivered_ = 0;
+  std::uint64_t rogue_violations_ = 0;
+  StreamingStats shape_delay_us_;
+  std::vector<Flit> release_buffer_;
+
   Cycle now_ = 0;
   bool ran_ = false;
   std::vector<Flit> flit_buffer_;

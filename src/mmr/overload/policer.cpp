@@ -1,0 +1,174 @@
+#include "mmr/overload/policer.hpp"
+
+#include <algorithm>
+
+#include "mmr/sim/assert.hpp"
+
+namespace mmr::overload {
+
+namespace {
+
+constexpr std::size_t cls_index(TrafficClass cls) {
+  return static_cast<std::size_t>(cls);
+}
+
+}  // namespace
+
+InjectionPolicer::InjectionPolicer(const ConnectionTable& table,
+                                   const SimConfig& config,
+                                   const PoliceSpec& spec)
+    : spec_(spec),
+      buckets_(table.size()),
+      policed_per_connection_(table.size(), 0) {
+  spec_.validate();
+  const double round = static_cast<double>(config.flit_cycles_per_round());
+  MMR_ASSERT(round > 0.0);
+  for (const ConnectionDescriptor& d : table.all()) {
+    Bucket& bucket = buckets_[d.id];
+    bucket.cls = static_cast<std::uint8_t>(d.traffic_class);
+    bucket.qos = d.is_qos();
+    if (!d.is_qos()) continue;
+    const double mean_slots = static_cast<double>(d.slots_per_round);
+    const double peak_slots = static_cast<double>(d.peak_slots_per_round);
+    MMR_ASSERT_MSG(mean_slots >= 1.0 && peak_slots >= mean_slots,
+                   "QoS connection admitted without slot reservation");
+    bucket.mean_rate = mean_slots / round;
+    if (d.traffic_class == TrafficClass::kCbr) {
+      bucket.rate = bucket.mean_rate;
+      bucket.depth = std::max(2.0, spec_.burst_rounds * mean_slots);
+    } else {
+      // Envelope admission rule (b) priced: mean plus the concurrency-
+      // discounted share of the declared burst headroom.
+      bucket.rate = (mean_slots +
+                     (peak_slots - mean_slots) / config.concurrency_factor) /
+                    round;
+      bucket.depth = std::max(2.0, spec_.vbr_burst_rounds * peak_slots);
+    }
+    bucket.tokens = bucket.depth;  // start with full burst credit
+  }
+}
+
+double InjectionPolicer::depth_of(const Bucket& bucket) const {
+  if (clamp_noncompliant_ && bucket.noncompliant)
+    return std::max(2.0, bucket.mean_rate *
+                             static_cast<double>(spec_.wd_window == 0
+                                                     ? 512
+                                                     : spec_.wd_window));
+  return bucket.depth;
+}
+
+void InjectionPolicer::refill(Bucket& bucket, Cycle now) const {
+  MMR_ASSERT(now >= bucket.last_refill);
+  const double rate = (clamp_noncompliant_ && bucket.noncompliant)
+                          ? bucket.mean_rate
+                          : bucket.rate;
+  bucket.tokens = std::min(
+      depth_of(bucket),
+      bucket.tokens + rate * static_cast<double>(now - bucket.last_refill));
+  bucket.last_refill = now;
+}
+
+Verdict InjectionPolicer::police(const Flit& flit, Cycle now) {
+  MMR_ASSERT(flit.connection < buckets_.size());
+  Bucket& bucket = buckets_[flit.connection];
+  ClassTally& tally = tallies_[bucket.cls];
+
+  if (!bucket.qos) {
+    // Best effort carries no contract; the watchdog may still shed it.
+    if (shed_best_effort_) {
+      ++tally.shed;
+      ++policed_per_connection_[flit.connection];
+      return Verdict::kDropped;
+    }
+    ++tally.conforming;
+    return Verdict::kPass;
+  }
+
+  refill(bucket, now);
+
+  // A connection with queued penalty traffic must keep arriving behind it,
+  // or the per-VC FIFO order would break on release.
+  const bool must_queue =
+      spec_.policy == OverloadPolicy::kShape && !bucket.penalty.empty();
+  if (!must_queue && bucket.tokens >= 1.0) {
+    bucket.tokens -= 1.0;
+    ++tally.conforming;
+    return Verdict::kPass;
+  }
+
+  bucket.noncompliant = true;
+  OverloadPolicy policy = spec_.policy;
+  if (clamp_noncompliant_) policy = OverloadPolicy::kDrop;
+
+  switch (policy) {
+    case OverloadPolicy::kDemote:
+      ++tally.demoted;
+      ++policed_per_connection_[flit.connection];
+      return Verdict::kDemoted;
+    case OverloadPolicy::kShape:
+      if (bucket.penalty.size() >= spec_.penalty_flits) {
+        ++tally.penalty_overflow;
+        ++policed_per_connection_[flit.connection];
+        return Verdict::kDropped;
+      }
+      if (bucket.penalty.empty()) shapers_.push_back(flit.connection);
+      bucket.penalty.push_back(flit);
+      ++penalty_backlog_;
+      ++tally.shaped;
+      ++policed_per_connection_[flit.connection];
+      return Verdict::kShaped;
+    case OverloadPolicy::kDrop:
+      break;
+  }
+  ++tally.dropped;
+  ++policed_per_connection_[flit.connection];
+  return Verdict::kDropped;
+}
+
+void InjectionPolicer::release_due(Cycle now, std::vector<Flit>& out) {
+  if (shapers_.empty()) return;
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < shapers_.size(); ++i) {
+    Bucket& bucket = buckets_[shapers_[i]];
+    refill(bucket, now);
+    while (!bucket.penalty.empty() && bucket.tokens >= 1.0) {
+      bucket.tokens -= 1.0;
+      out.push_back(bucket.penalty.front());
+      bucket.penalty.pop_front();
+      --penalty_backlog_;
+    }
+    if (!bucket.penalty.empty()) shapers_[keep++] = shapers_[i];
+  }
+  shapers_.resize(keep);
+}
+
+std::uint32_t InjectionPolicer::noncompliant_connections() const {
+  std::uint32_t n = 0;
+  for (const Bucket& bucket : buckets_)
+    if (bucket.noncompliant) ++n;
+  return n;
+}
+
+double InjectionPolicer::tokens(ConnectionId id) const {
+  MMR_ASSERT(id < buckets_.size());
+  return buckets_[id].tokens;
+}
+
+void InjectionPolicer::check_invariants() const {
+  std::uint64_t queued = 0;
+  for (const Bucket& bucket : buckets_) {
+    MMR_ASSERT_MSG(bucket.tokens >= 0.0, "policer token bucket went negative");
+    MMR_ASSERT_MSG(bucket.penalty.size() <= spec_.penalty_flits,
+                   "policer penalty queue exceeded its bound");
+    MMR_ASSERT_MSG(bucket.qos || bucket.penalty.empty(),
+                   "best-effort connection acquired a penalty queue");
+    queued += bucket.penalty.size();
+  }
+  MMR_ASSERT_MSG(queued == penalty_backlog_,
+                 "policer penalty backlog counter out of sync");
+  for (std::uint32_t id : shapers_)
+    MMR_ASSERT_MSG(!buckets_[id].penalty.empty(),
+                   "policer shaper list references an empty penalty queue");
+}
+
+}  // namespace mmr::overload

@@ -1,0 +1,61 @@
+#include "mmr/overload/rogue_apply.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mmr/sim/assert.hpp"
+#include "mmr/sim/rng.hpp"
+#include "mmr/traffic/rogue.hpp"
+
+namespace mmr::overload {
+
+namespace {
+
+bool eligible(const ConnectionDescriptor& d, RogueSpec::Classes classes) {
+  if (!d.is_qos()) return false;
+  switch (classes) {
+    case RogueSpec::Classes::kAny: return true;
+    case RogueSpec::Classes::kCbrOnly:
+      return d.traffic_class == TrafficClass::kCbr;
+    case RogueSpec::Classes::kVbrOnly:
+      return d.traffic_class == TrafficClass::kVbr;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<ConnectionId> apply_rogue(Workload& workload,
+                                      const RogueSpec& spec) {
+  spec.validate();
+
+  std::vector<ConnectionId> pool;
+  for (const ConnectionDescriptor& d : workload.table.all())
+    if (eligible(d, spec.classes)) pool.push_back(d.id);
+
+  std::size_t want =
+      spec.count > 0
+          ? spec.count
+          : static_cast<std::size_t>(
+                std::llround(spec.fraction * static_cast<double>(pool.size())));
+  want = std::min(want, pool.size());
+  if (want == 0) return {};
+
+  Rng rng(spec.seed, 0x206u);
+  rng.shuffle(pool);
+  std::vector<ConnectionId> rogues(pool.begin(),
+                                   pool.begin() + static_cast<long>(want));
+  std::sort(rogues.begin(), rogues.end());
+
+  for (ConnectionId id : rogues) {
+    MMR_ASSERT(id < workload.sources.size());
+    const Cycle phase =
+        spec.burst_period > 0 ? rng.uniform(spec.burst_period) : 0;
+    workload.sources[id] = std::make_unique<RogueSource>(
+        std::move(workload.sources[id]), spec.scale, spec.burst_scale,
+        spec.burst_period, spec.burst_len, phase);
+  }
+  return rogues;
+}
+
+}  // namespace mmr::overload

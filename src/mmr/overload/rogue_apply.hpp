@@ -1,0 +1,20 @@
+// Applies a RogueSpec to a built workload: deterministically selects a
+// subset of eligible QoS sources and wraps each in a RogueSource inflater.
+// Selection and burst phases draw from Rng(spec.seed, ...) — a stream
+// independent of the workload's own, so turning rogues on never perturbs the
+// generated mix itself.
+#pragma once
+
+#include <vector>
+
+#include "mmr/overload/spec.hpp"
+#include "mmr/traffic/mix.hpp"
+
+namespace mmr::overload {
+
+/// Wraps the selected sources in place; returns the rogue ConnectionIds in
+/// ascending order (empty when the spec selects nothing).
+std::vector<ConnectionId> apply_rogue(Workload& workload,
+                                      const RogueSpec& spec);
+
+}  // namespace mmr::overload

@@ -1,0 +1,88 @@
+// Overload-protection specs: compact textual configuration for the
+// per-connection injection policer (`police=` SimConfig override) and the
+// deterministic rogue-source traffic inflater (`rogue=` override), mirroring
+// the fault layer's FaultPlan grammar.  Both specs are pure data; an empty
+// spec string means the corresponding machinery is never instantiated and
+// simulation results stay bit-identical to a build without the subsystem.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mmr/sim/time.hpp"
+
+namespace mmr::overload {
+
+/// What happens to a flit that exceeds its connection's admitted envelope.
+enum class OverloadPolicy : std::uint8_t {
+  kDrop,    ///< discard at the NIC injection point
+  kShape,   ///< delay in a bounded penalty queue until tokens accrue
+  kDemote,  ///< inject, but reclassified to best-effort priority
+};
+
+[[nodiscard]] const char* to_string(OverloadPolicy p);
+
+/// Policer + saturation-watchdog configuration (`police=` override).
+///
+/// Token buckets enforce the admitted contract per QoS connection:
+///  * CBR — refill `slots_per_round` per round, depth `burst` rounds of the
+///    reservation (contract: the declared constant rate, small phase slack).
+///  * VBR — refill at the concurrency-discounted envelope
+///    mean + (peak - mean) / concurrency_factor per round, depth
+///    `vbr_burst` rounds of the *peak* reservation (contract: sustained mean
+///    with bursts up to the declared peak, as admission rule (b) priced it).
+/// Best-effort connections have no contract and pass unpoliced (until the
+/// watchdog sheds them).
+struct PoliceSpec {
+  OverloadPolicy policy = OverloadPolicy::kDemote;
+
+  double burst_rounds = 2.0;       ///< CBR bucket depth, rounds of mean slots
+  double vbr_burst_rounds = 24.0;  ///< VBR bucket depth, rounds of peak slots
+  std::uint32_t penalty_flits = 64;  ///< shape queue bound per connection
+  double qos_deadline_cycles = 250.0;  ///< QoS-violation threshold (flit cyc)
+
+  // Saturation watchdog (staged degradation; 0 disables it).
+  Cycle wd_window = 512;        ///< backlog sample period, cycles
+  double wd_alpha = 0.25;       ///< EWMA smoothing of backlog-per-port
+  double wd_high = 48.0;        ///< escalate above this backlog/port (flits)
+  double wd_low = 12.0;         ///< recover below this backlog/port (flits)
+  std::uint32_t wd_escalate_after = 4;  ///< windows over high before +1 stage
+  std::uint32_t wd_recover_after = 16;  ///< windows under low before -1 stage
+
+  /// Parses "drop|shape|demote[,key:value...]", e.g.
+  ///   "demote,burst:2,vbr_burst:24,penalty:64,deadline:250,
+  ///    wd_window:512,wd_high:48,wd_low:12"
+  /// `wd_window:0` disables the watchdog.  Throws std::invalid_argument on
+  /// unknown or malformed tokens.
+  [[nodiscard]] static PoliceSpec parse(const std::string& spec);
+
+  /// Aborts with a readable message on nonsense combinations.
+  void validate() const;
+};
+
+/// Rogue-source configuration (`rogue=` override): a deterministic subset of
+/// QoS sources is wrapped to inflate past its declared rate.
+struct RogueSpec {
+  double fraction = 0.25;   ///< fraction of eligible QoS sources gone rogue
+  std::uint32_t count = 0;  ///< absolute count; overrides fraction when > 0
+  double scale = 3.0;       ///< sustained inflation factor (>= 1)
+
+  // Optional periodic extra bursts on top of the sustained scale.
+  double burst_scale = 1.0;  ///< multiplier during burst windows (>= 1)
+  Cycle burst_period = 0;    ///< 0 = no bursts
+  Cycle burst_len = 0;       ///< window length within each period
+
+  std::uint64_t seed = 0x60609u;  ///< selection + burst-phase stream
+
+  enum class Classes : std::uint8_t { kAny, kCbrOnly, kVbrOnly };
+  Classes classes = Classes::kAny;
+
+  /// Parses "frac:0.25,scale:3,count:2,burst_scale:2,burst_period:20000,
+  /// burst_len:4000,seed:7,class:cbr|vbr|any".  Throws std::invalid_argument
+  /// on unknown or malformed tokens.
+  [[nodiscard]] static RogueSpec parse(const std::string& spec);
+
+  void validate() const;
+};
+
+}  // namespace mmr::overload

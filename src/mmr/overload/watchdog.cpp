@@ -1,0 +1,68 @@
+#include "mmr/overload/watchdog.hpp"
+
+#include "mmr/sim/assert.hpp"
+
+namespace mmr::overload {
+
+const char* to_string(WatchdogStage s) {
+  switch (s) {
+    case WatchdogStage::kNormal: return "normal";
+    case WatchdogStage::kShedBestEffort: return "shed-be";
+    case WatchdogStage::kClampNoncompliant: return "clamp";
+    case WatchdogStage::kAlarm: return "alarm";
+  }
+  return "?";
+}
+
+SaturationWatchdog::SaturationWatchdog(const PoliceSpec& spec,
+                                       std::uint32_t ports)
+    : spec_(spec), ports_(static_cast<double>(ports)) {
+  MMR_ASSERT(ports >= 1);
+  spec_.validate();
+}
+
+void SaturationWatchdog::apply(InjectionPolicer& policer) const {
+  policer.set_shed_best_effort(stage_ >= WatchdogStage::kShedBestEffort);
+  policer.set_clamp_noncompliant(stage_ >= WatchdogStage::kClampNoncompliant);
+}
+
+void SaturationWatchdog::on_cycle(Cycle now, std::uint64_t backlog_flits,
+                                  InjectionPolicer& policer) {
+  ++cycles_in_stage_[static_cast<std::size_t>(stage_)];
+  if (spec_.wd_window == 0) return;
+  if ((now + 1) % spec_.wd_window != 0) return;
+
+  const double sample = static_cast<double>(backlog_flits) / ports_;
+  ewma_ = seeded_ ? spec_.wd_alpha * sample + (1.0 - spec_.wd_alpha) * ewma_
+                  : sample;
+  seeded_ = true;
+
+  if (ewma_ > spec_.wd_high) {
+    ++over_windows_;
+    calm_windows_ = 0;
+  } else if (ewma_ < spec_.wd_low) {
+    ++calm_windows_;
+    over_windows_ = 0;
+  } else {
+    // Dead band between the watermarks: hold the stage, restart both counts.
+    over_windows_ = 0;
+    calm_windows_ = 0;
+  }
+
+  if (over_windows_ >= spec_.wd_escalate_after &&
+      stage_ < WatchdogStage::kAlarm) {
+    stage_ = static_cast<WatchdogStage>(static_cast<std::uint8_t>(stage_) + 1);
+    over_windows_ = 0;
+    ++escalations_;
+    if (stage_ == WatchdogStage::kAlarm) ++alarms_;
+    apply(policer);
+  } else if (calm_windows_ >= spec_.wd_recover_after &&
+             stage_ > WatchdogStage::kNormal) {
+    stage_ = static_cast<WatchdogStage>(static_cast<std::uint8_t>(stage_) - 1);
+    calm_windows_ = 0;
+    ++recoveries_;
+    apply(policer);
+  }
+}
+
+}  // namespace mmr::overload

@@ -56,11 +56,21 @@ bool AdmissionController::try_admit(ConnectionDescriptor& descriptor) {
   input_budget_[descriptor.input_link].peak_slots += peak_slots;
   output_budget_[descriptor.output_link].mean_slots += mean_slots;
   output_budget_[descriptor.output_link].peak_slots += peak_slots;
+  ++ledger_[{descriptor.input_link, descriptor.output_link, mean_slots,
+             peak_slots}];
   return true;
 }
 
 void AdmissionController::release(const ConnectionDescriptor& descriptor) {
   if (!descriptor.is_qos()) return;
+  const ReservationKey key{descriptor.input_link, descriptor.output_link,
+                           descriptor.slots_per_round,
+                           descriptor.peak_slots_per_round};
+  const auto held = ledger_.find(key);
+  MMR_ASSERT_MSG(held != ledger_.end() && held->second > 0,
+                 "release of a QoS reservation that was never admitted "
+                 "(or was already released)");
+  if (--held->second == 0) ledger_.erase(held);
   auto take = [](std::uint64_t& budget, std::uint32_t amount) {
     MMR_ASSERT(budget >= amount);
     budget -= amount;
@@ -73,6 +83,12 @@ void AdmissionController::release(const ConnectionDescriptor& descriptor) {
        descriptor.slots_per_round);
   take(output_budget_[descriptor.output_link].peak_slots,
        descriptor.peak_slots_per_round);
+}
+
+std::uint64_t AdmissionController::outstanding_reservations() const {
+  std::uint64_t total = 0;
+  for (const auto& [key, count] : ledger_) total += count;
+  return total;
 }
 
 std::uint32_t AdmissionController::input_mean_slots(std::uint32_t link) const {

@@ -10,7 +10,9 @@
 // need a free VC, which the caller guarantees).
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "mmr/qos/connection.hpp"
@@ -29,8 +31,14 @@ class AdmissionController {
   /// leaves the descriptor and budgets untouched) on rejection.
   [[nodiscard]] bool try_admit(ConnectionDescriptor& descriptor);
 
-  /// Releases a previously admitted connection's reservation.
+  /// Releases a previously admitted connection's reservation.  Releasing a
+  /// QoS descriptor that was never admitted here — or releasing one more
+  /// often than it was admitted — is a checked error (aborts with a
+  /// message) rather than a silent LinkBudget underflow.
   void release(const ConnectionDescriptor& descriptor);
+
+  /// Outstanding QoS reservations (admitted minus released).
+  [[nodiscard]] std::uint64_t outstanding_reservations() const;
 
   [[nodiscard]] const RoundAccounting& rounds() const { return rounds_; }
   [[nodiscard]] double concurrency_factor() const {
@@ -55,11 +63,19 @@ class AdmissionController {
   [[nodiscard]] bool fits(const LinkBudget& budget, std::uint32_t mean_slots,
                           std::uint32_t peak_slots) const;
 
+  /// Reservation identity: {input, output, mean_slots, peak_slots}.  Slot
+  /// counts are deterministic functions of the declared bandwidths (see
+  /// RoundAccounting), so a descriptor re-derived for the same connection
+  /// maps to the same key.
+  using ReservationKey = std::array<std::uint32_t, 4>;
+
   std::uint32_t ports_;
   RoundAccounting rounds_;
   double concurrency_factor_;
   std::vector<LinkBudget> input_budget_;
   std::vector<LinkBudget> output_budget_;
+  /// Multiset of live reservations; release() checks against it.
+  std::map<ReservationKey, std::uint32_t> ledger_;
 };
 
 }  // namespace mmr

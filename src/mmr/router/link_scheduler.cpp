@@ -35,7 +35,11 @@ Priority LinkScheduler::head_priority(const VirtualChannelMemory& vcm,
   const Cycle arrived = vcm.head_arrival(vc);
   MMR_ASSERT(arrived <= now);
   const std::uint64_t age_router_cycles = (now - arrived) * phits_per_flit_;
-  return priority_(qos_of_vc_[vc], age_router_cycles);
+  // Policed-excess flits compete with a minimal best-effort claim instead
+  // of their connection's reserved one (demote policy).
+  const QosParams& qos =
+      vcm.head(vc).demoted ? demoted_qos_ : qos_of_vc_[vc];
+  return priority_(qos, age_router_cycles);
 }
 
 void LinkScheduler::select(const VirtualChannelMemory& vcm, Cycle now,

@@ -39,6 +39,11 @@ class LinkScheduler {
   /// connection is re-admitted on a fresh VC of its rerouted path).
   void set_vc(std::uint32_t vc, std::uint32_t output, QosParams qos);
 
+  /// Priority constants applied to head flits carrying the `demoted` flag
+  /// (overload policing): the claim of a minimal best-effort reservation.
+  void set_demoted_qos(QosParams qos) { demoted_qos_ = qos; }
+  [[nodiscard]] const QosParams& demoted_qos() const { return demoted_qos_; }
+
   [[nodiscard]] std::uint32_t levels() const { return levels_; }
 
  private:
@@ -48,6 +53,7 @@ class LinkScheduler {
   std::uint32_t phits_per_flit_;
   std::vector<std::uint32_t> output_of_vc_;
   std::vector<QosParams> qos_of_vc_;
+  QosParams demoted_qos_{1, 1.0};
 };
 
 }  // namespace mmr

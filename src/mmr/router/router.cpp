@@ -41,6 +41,13 @@ MmrRouter::MmrRouter(const SimConfig& config, const ConnectionTable& table,
         port, config.candidate_levels, PriorityFunction(config.priority_scheme),
         time_base.phits_per_flit(), std::move(output_of_vc),
         std::move(qos_of_vc));
+    // Demoted (policed-excess) flits claim one slot at the IAT a one-slot
+    // reservation would have — the weakest admitted footprint.
+    QosParams demoted;
+    demoted.slots_per_round = 1;
+    demoted.iat_router_cycles =
+        rounds.iat_router_cycles(rounds.bandwidth_for_slots(1));
+    link_schedulers_.back().set_demoted_qos(demoted);
   }
 }
 

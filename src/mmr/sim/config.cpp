@@ -76,7 +76,7 @@ std::uint64_t parse_u64(std::string_view v, const std::string& key) {
 constexpr const char* kValidKeys =
     "ports, vcs, link_bps, flit_bits, phit_bits, buffer_flits, levels, "
     "link_latency, credit_latency, round_multiple, concurrency_factor, "
-    "priority, arbiter, seed, warmup, measure, fault, audit";
+    "priority, arbiter, seed, warmup, measure, fault, audit, police, rogue";
 
 }  // namespace
 
@@ -132,6 +132,10 @@ std::vector<std::string> apply_overrides(
       config.measure_cycles = parse_u64(value, key);
     } else if (key == "fault") {
       config.fault_spec = value;
+    } else if (key == "police") {
+      config.police_spec = value;
+    } else if (key == "rogue") {
+      config.rogue_spec = value;
     } else if (key == "audit") {
       config.audit_every = static_cast<std::uint32_t>(parse_u64(value, key));
     } else {

@@ -59,6 +59,16 @@ struct SimConfig {
   /// bit-identical to a fault-free build.
   std::string fault_spec;
 
+  // --- overload protection (mmr/overload/) ----------------------------------
+  /// Textual PoliceSpec (see mmr/overload/spec.hpp): per-connection token-
+  /// bucket policing at NIC injection plus the staged saturation watchdog.
+  /// Empty = no policing machinery at all; results are bit-identical to a
+  /// build without the subsystem.
+  std::string police_spec;
+  /// Textual RogueSpec: wraps a deterministic subset of QoS sources so they
+  /// inflate past their admitted contract.  Empty = no rogue sources.
+  std::string rogue_spec;
+
   // --- runtime invariant auditing (mmr/audit/sim_auditor.hpp) --------------
   /// 0 = off.  N >= 1 attaches the simulation-level invariant auditor:
   /// departure-stream checks (per-VC FIFO, crossbar bandwidth) run every

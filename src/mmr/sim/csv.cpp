@@ -2,16 +2,25 @@
 
 #include <cmath>
 #include <cstdio>
+#include <stdexcept>
+#include <utility>
 
 #include "mmr/sim/assert.hpp"
 
 namespace mmr {
 
-CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> header)
-    : out_(out), columns_(header.size()) {
+CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> header,
+                     std::string path)
+    : out_(out), path_(std::move(path)), columns_(header.size()) {
   MMR_ASSERT(columns_ > 0);
   row(header);
   rows_ = 0;  // header does not count as a data row
+}
+
+CsvWriter::~CsvWriter() {
+  // Destructors must not throw; a failure here is only observable through an
+  // explicit flush() before destruction.
+  out_.flush();
 }
 
 std::string CsvWriter::escape(const std::string& cell) {
@@ -25,13 +34,23 @@ std::string CsvWriter::escape(const std::string& cell) {
   return quoted;
 }
 
+void CsvWriter::check_stream() const {
+  if (out_.good()) return;
+  std::string what = "CSV write failed";
+  if (!path_.empty()) what += " for " + path_;
+  what += " after " + std::to_string(rows_) + " data rows";
+  throw std::runtime_error(what);
+}
+
 void CsvWriter::row(const std::vector<std::string>& cells) {
   MMR_ASSERT_MSG(cells.size() == columns_, "CSV row width mismatch");
+  check_stream();  // surface earlier buffered failures before writing more
   for (std::size_t c = 0; c < cells.size(); ++c) {
     if (c != 0) out_ << ',';
     out_ << escape(cells[c]);
   }
   out_ << '\n';
+  check_stream();
   ++rows_;
 }
 
@@ -48,6 +67,11 @@ void CsvWriter::row_numeric(const std::vector<double>& cells, int precision) {
     text.emplace_back(buf);
   }
   row(text);
+}
+
+void CsvWriter::flush() {
+  out_.flush();
+  check_stream();
 }
 
 }  // namespace mmr

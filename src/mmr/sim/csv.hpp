@@ -1,4 +1,9 @@
 // CSV emission for bench results so figures can be re-plotted externally.
+//
+// Write failures are reported, not swallowed: a full disk or a closed
+// descriptor would otherwise truncate the CSV mid-table and the bench would
+// still exit 0.  Every row and every explicit flush() checks the stream and
+// throws std::runtime_error naming the destination path.
 #pragma once
 
 #include <ostream>
@@ -9,10 +14,25 @@ namespace mmr {
 
 class CsvWriter {
  public:
-  CsvWriter(std::ostream& out, std::vector<std::string> header);
+  /// `path` is only used in error messages; pass the file name when writing
+  /// to an std::ofstream so failures identify the destination.
+  CsvWriter(std::ostream& out, std::vector<std::string> header,
+            std::string path = "");
 
+  /// Flushes on destruction (best effort — destructors must not throw; call
+  /// flush() explicitly to observe the final write's success).
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Throws std::runtime_error if the stream entered a failed state.
   void row(const std::vector<std::string>& cells);
   void row_numeric(const std::vector<double>& cells, int precision = 6);
+
+  /// Flushes the underlying stream and throws std::runtime_error if either
+  /// the flush or any buffered prior write failed.
+  void flush();
 
   [[nodiscard]] std::size_t rows_written() const { return rows_; }
 
@@ -20,7 +40,10 @@ class CsvWriter {
   static std::string escape(const std::string& cell);
 
  private:
+  void check_stream() const;
+
   std::ostream& out_;
+  std::string path_;
   std::size_t columns_;
   std::size_t rows_ = 0;
 };

@@ -20,6 +20,8 @@ struct Flit {
   Cycle frame_origin = 0;      ///< when its frame was generated (application
                                ///< data unit boundary); == generated_at for
                                ///< CBR and best-effort traffic
+  bool demoted = false;        ///< policed excess: scheduled at best-effort
+                               ///< priority regardless of the VC's class
 };
 
 /// Interface implemented by every traffic generator.  Sources are pulled by

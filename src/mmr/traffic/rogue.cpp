@@ -1,0 +1,50 @@
+#include "mmr/traffic/rogue.hpp"
+
+#include "mmr/sim/assert.hpp"
+
+namespace mmr {
+
+RogueSource::RogueSource(std::unique_ptr<TrafficSource> inner, double scale,
+                         double burst_scale, Cycle burst_period,
+                         Cycle burst_len, Cycle phase)
+    : inner_(std::move(inner)),
+      scale_(scale),
+      burst_scale_(burst_scale),
+      burst_period_(burst_period),
+      burst_len_(burst_len),
+      phase_(phase) {
+  MMR_ASSERT(inner_ != nullptr);
+  MMR_ASSERT_MSG(scale_ >= 1.0, "rogue scale < 1 would be compliant");
+  MMR_ASSERT_MSG(burst_scale_ >= 1.0, "rogue burst scale must be >= 1");
+  MMR_ASSERT_MSG(burst_period_ == 0 || burst_len_ <= burst_period_,
+                 "burst window longer than its period");
+}
+
+double RogueSource::factor_at(Cycle now) const {
+  if (burst_period_ == 0 || burst_len_ == 0 || now < phase_) return scale_;
+  const Cycle in_period = (now - phase_) % burst_period_;
+  return in_period < burst_len_ ? scale_ * burst_scale_ : scale_;
+}
+
+void RogueSource::generate(Cycle now, std::vector<Flit>& out) {
+  scratch_.clear();
+  inner_->generate(now, scratch_);
+  const double factor = factor_at(now);
+  for (const Flit& original : scratch_) {
+    // Excess clones first so the genuine flit still closes its frame.
+    surplus_ += factor - 1.0;
+    while (surplus_ >= 1.0) {
+      surplus_ -= 1.0;
+      Flit extra = original;
+      extra.last_of_frame = false;
+      extra.seq = seq_++;
+      out.push_back(extra);
+      ++excess_;
+    }
+    Flit flit = original;
+    flit.seq = seq_++;
+    out.push_back(flit);
+  }
+}
+
+}  // namespace mmr

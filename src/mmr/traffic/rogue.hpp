@@ -1,0 +1,65 @@
+// Rogue-source wrapper: decorates any TrafficSource so that it emits *more*
+// flits than its admitted contract declares — a tenant that lies to
+// admission control.  The inflation is deterministic: a sustained scale
+// factor plus optional periodic burst windows, realised with a fractional
+// accumulator (no RNG in the data path), so overload experiments replay
+// bit-identically for a fixed configuration.
+//
+// The wrapper renumbers outgoing flit sequence numbers (the per-VC FIFO
+// invariant demands strictly increasing seq per connection) and keeps the
+// inner source's frame structure intact: extra flits are emitted *before*
+// the frame's closing flit so `last_of_frame` still closes it.
+// `mean_bps()` keeps reporting the *declared* rate — the whole point is that
+// the source lies about its envelope.
+#pragma once
+
+#include <memory>
+
+#include "mmr/sim/time.hpp"
+#include "mmr/traffic/flit.hpp"
+
+namespace mmr {
+
+class RogueSource final : public TrafficSource {
+ public:
+  /// Emits `scale` x the inner source's flits, sustained; during windows
+  /// [phase + k*burst_period, phase + k*burst_period + burst_len) the factor
+  /// is scale * burst_scale.  scale, burst_scale >= 1; burst_period == 0
+  /// disables bursts.
+  RogueSource(std::unique_ptr<TrafficSource> inner, double scale,
+              double burst_scale = 1.0, Cycle burst_period = 0,
+              Cycle burst_len = 0, Cycle phase = 0);
+
+  [[nodiscard]] ConnectionId connection() const override {
+    return inner_->connection();
+  }
+  [[nodiscard]] Cycle next_emission() const override {
+    return inner_->next_emission();
+  }
+  void generate(Cycle now, std::vector<Flit>& out) override;
+  /// The *declared* (contracted) rate, not the inflated one.
+  [[nodiscard]] double mean_bps() const override { return inner_->mean_bps(); }
+
+  [[nodiscard]] const TrafficSource& inner() const { return *inner_; }
+  [[nodiscard]] double scale() const { return scale_; }
+  /// Flits emitted beyond what the inner source produced.
+  [[nodiscard]] std::uint64_t excess_emitted() const { return excess_; }
+
+  /// The inflation factor in effect at `now`.
+  [[nodiscard]] double factor_at(Cycle now) const;
+
+ private:
+  std::unique_ptr<TrafficSource> inner_;
+  double scale_;
+  double burst_scale_;
+  Cycle burst_period_;
+  Cycle burst_len_;
+  Cycle phase_;
+
+  double surplus_ = 0.0;   ///< fractional extra-flit accumulator
+  std::uint64_t seq_ = 0;  ///< renumbered outgoing sequence
+  std::uint64_t excess_ = 0;
+  std::vector<Flit> scratch_;
+};
+
+}  // namespace mmr

@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "mmr/audit/sim_auditor.hpp"
+#include "mmr/core/simulation.hpp"
+#include "mmr/traffic/mix.hpp"
+
 namespace mmr {
 namespace {
 
@@ -107,6 +113,76 @@ TEST(Nic, QueueAccountingMatches) {
   EXPECT_EQ(nic.queued(0), 4u);
   EXPECT_EQ(nic.total_sent(), 1u);
   nic.check_invariants();
+}
+
+TEST(Nic, BestEffortBurstStallsWithoutDropOrReorder) {
+  // A best-effort burst against a VC whose router-side FIFO is full must
+  // stall at the NIC — nothing dropped, nothing reordered — and drain in
+  // order as credits trickle back.
+  Nic nic(2, /*credits=*/4, /*latency=*/1);
+  for (std::uint64_t i = 0; i < 32; ++i) nic.deposit(1, make_flit(9, i));
+  ASSERT_EQ(nic.queued(1), 32u);
+
+  std::vector<std::uint64_t> sent;
+  Cycle now = 0;
+  for (; now < 4; ++now) {
+    const auto transfer = nic.select_and_send(now);
+    ASSERT_TRUE(transfer.has_value());
+    sent.push_back(transfer->flit.seq);
+  }
+  // Credits exhausted: the VC stalls.  The queue holds every flit.
+  for (; now < 12; ++now) {
+    EXPECT_FALSE(nic.select_and_send(now).has_value());
+  }
+  EXPECT_EQ(nic.queued(1), 28u);
+  EXPECT_EQ(nic.total_sent(), 4u);
+  nic.check_invariants();
+
+  // The router drains one flit per cycle; sends resume where they left off.
+  while (sent.size() < 32) {
+    nic.return_credit(1, now);
+    ++now;
+    const auto transfer = nic.select_and_send(now);
+    if (transfer.has_value()) sent.push_back(transfer->flit.seq);
+    ASSERT_LT(now, 1000u) << "drain did not resume after credits returned";
+  }
+  // First resumed flit is seq 4 (no skip), and the whole burst arrived in
+  // FIFO order with no gaps.
+  ASSERT_EQ(sent.size(), 32u);
+  for (std::uint64_t i = 0; i < 32; ++i) EXPECT_EQ(sent[i], i);
+  EXPECT_EQ(nic.queued(1), 0u);
+  EXPECT_EQ(nic.total_sent(), 32u);
+  nic.check_invariants();
+}
+
+TEST(Nic, BackpressureUnderSaturationKeepsPerVcFifo) {
+  // Integration: a best-effort workload offered above what the switch can
+  // carry forces sustained NIC backpressure.  The SimAuditor (audit=1)
+  // sweeps every cycle and aborts on any per-VC FIFO or conservation
+  // violation, so a clean run is the assertion; we additionally check that
+  // pressure actually built up (backlog) and that nothing was dropped.
+  SimConfig config;
+  config.ports = 4;
+  config.vcs_per_link = 16;
+  config.warmup_cycles = 500;
+  config.measure_cycles = 5'000;
+  config.audit_every = 1;
+  Rng rng(config.seed, 1);
+  Workload workload(config.ports);
+  BestEffortSpec spec;
+  spec.load = 0.95;  // above the per-port capacity the arbiter sustains
+  spec.connections_per_link = 3;
+  add_best_effort(workload, config, spec, rng);
+
+  MmrSimulation simulation(config, std::move(workload));
+  ASSERT_NE(simulation.auditor(), nullptr);
+  const SimulationMetrics metrics = simulation.run();
+  EXPECT_EQ(simulation.auditor()->cycles_audited(), config.total_cycles());
+  EXPECT_GT(metrics.flits_delivered, 0u);
+  // Stall, not drop: the undeliverable surplus is still queued (the auditor
+  // sweep aborts on any conservation or per-VC FIFO violation).
+  EXPECT_GT(metrics.flits_generated, metrics.flits_delivered);
+  EXPECT_GT(simulation.backlog(), 0u) << "expected sustained backpressure";
 }
 
 TEST(Nic, InfiniteBufferAcceptsLargeBacklog) {

@@ -211,6 +211,80 @@ TEST_F(AdmissionTest, ReleaseReadmitCyclesReturnToBaselineExactly) {
   EXPECT_FALSE(cac.try_admit(overflow));
 }
 
+TEST_F(AdmissionTest, RejectedAdmissionLeavesBudgetsAndDescriptorUntouched) {
+  // try_admit checks the input link first; if the *output* link rejects, the
+  // input-link budget must not have been partially committed, and the
+  // descriptor's slot fields must stay exactly as the caller left them.
+  AdmissionController cac = make();
+  // Fill output link 2 to the brim: 42 x 24 slots = 1008 of 1024.
+  for (int i = 0; i < 42; ++i) {
+    ConnectionDescriptor filler = cbr(static_cast<std::uint32_t>(i % 4), 2,
+                                      55e6);
+    ASSERT_TRUE(cac.try_admit(filler)) << i;
+  }
+  const std::uint32_t in_mean = cac.input_mean_slots(3);
+  const std::uint32_t in_peak = cac.input_peak_slots(3);
+  const std::uint64_t outstanding = cac.outstanding_reservations();
+
+  ConnectionDescriptor rejected = cbr(3, 2, 55e6);
+  rejected.slots_per_round = 0xdead;
+  rejected.peak_slots_per_round = 0xbeef;
+  EXPECT_FALSE(cac.try_admit(rejected));
+  // Input-link budget untouched, descriptor untouched, ledger untouched.
+  EXPECT_EQ(cac.input_mean_slots(3), in_mean);
+  EXPECT_EQ(cac.input_peak_slots(3), in_peak);
+  EXPECT_EQ(rejected.slots_per_round, 0xdeadu);
+  EXPECT_EQ(rejected.peak_slots_per_round, 0xbeefu);
+  EXPECT_EQ(cac.outstanding_reservations(), outstanding);
+  // The link still has room for one small connection: a partial commit
+  // would have eaten it.
+  ConnectionDescriptor small = cbr(3, 2, 1e6);
+  EXPECT_TRUE(cac.try_admit(small));
+}
+
+TEST_F(AdmissionTest, OutstandingReservationsTracksAdmitRelease) {
+  AdmissionController cac = make();
+  EXPECT_EQ(cac.outstanding_reservations(), 0u);
+  ConnectionDescriptor a = cbr(0, 1, 55e6);
+  ConnectionDescriptor b = vbr(1, 2, 100e6, 600e6);
+  ASSERT_TRUE(cac.try_admit(a));
+  ASSERT_TRUE(cac.try_admit(b));
+  EXPECT_EQ(cac.outstanding_reservations(), 2u);
+
+  // Best effort reserves nothing and never enters the ledger.
+  ConnectionDescriptor be;
+  be.traffic_class = TrafficClass::kBestEffort;
+  be.input_link = 0;
+  be.output_link = 1;
+  ASSERT_TRUE(cac.try_admit(be));
+  EXPECT_EQ(cac.outstanding_reservations(), 2u);
+  cac.release(be);  // no-op, not an error
+  EXPECT_EQ(cac.outstanding_reservations(), 2u);
+
+  cac.release(a);
+  EXPECT_EQ(cac.outstanding_reservations(), 1u);
+  cac.release(b);
+  EXPECT_EQ(cac.outstanding_reservations(), 0u);
+}
+
+using AdmissionDeathTest = AdmissionTest;
+
+TEST_F(AdmissionDeathTest, ReleaseOfNeverAdmittedDescriptorAborts) {
+  AdmissionController cac = make();
+  ConnectionDescriptor ghost = cbr(0, 1, 55e6);
+  ghost.slots_per_round = 24;
+  ghost.peak_slots_per_round = 24;
+  EXPECT_DEATH(cac.release(ghost), "never admitted");
+}
+
+TEST_F(AdmissionDeathTest, DoubleReleaseAborts) {
+  AdmissionController cac = make();
+  ConnectionDescriptor c = cbr(0, 1, 55e6);
+  ASSERT_TRUE(cac.try_admit(c));
+  cac.release(c);
+  EXPECT_DEATH(cac.release(c), "already released");
+}
+
 TEST_F(AdmissionTest, MaxMeanUtilizationTracksBusiestLink) {
   AdmissionController cac = make();
   EXPECT_DOUBLE_EQ(cac.max_mean_utilization(), 0.0);

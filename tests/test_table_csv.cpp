@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <fstream>
 #include <sstream>
+#include <stdexcept>
 
 #include "mmr/sim/csv.hpp"
 #include "mmr/sim/table.hpp"
@@ -75,6 +77,65 @@ TEST(CsvWriterDeath, RowWidthMismatchAborts) {
   std::ostringstream out;
   CsvWriter csv(out, {"a", "b"});
   EXPECT_DEATH(csv.row({"1", "2", "3"}), "width");
+}
+
+TEST(CsvWriter, FailedStreamThrowsOnRowWithPath) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"a", "b"}, "results/fig6.csv");
+  csv.row({"1", "2"});
+  out.setstate(std::ios::badbit);  // e.g. disk full / closed descriptor
+  try {
+    csv.row({"3", "4"});
+    FAIL() << "row() on a failed stream must throw";
+  } catch (const std::runtime_error& e) {
+    // The error names the destination and how much data made it out.
+    EXPECT_NE(std::string(e.what()).find("results/fig6.csv"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("1 data rows"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CsvWriter, FailedStreamThrowsOnFlush) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"a"});
+  csv.row({"1"});
+  EXPECT_NO_THROW(csv.flush());
+  out.setstate(std::ios::failbit);
+  EXPECT_THROW(csv.flush(), std::runtime_error);
+}
+
+TEST(CsvWriter, HeaderWriteFailureThrowsFromConstructor) {
+  std::ostringstream out;
+  out.setstate(std::ios::badbit);
+  EXPECT_THROW(CsvWriter(out, {"a", "b"}), std::runtime_error);
+}
+
+TEST(CsvWriter, UnwritableFileReportsItsPath) {
+  // An ofstream that never opened fails on the very first write.
+  std::ofstream closed;  // no file attached -> failbit on any output
+  try {
+    CsvWriter csv(closed, {"a"}, "/nonexistent/dir/out.csv");
+    csv.row({"1"});
+    FAIL() << "writes to an unopened ofstream must throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("/nonexistent/dir/out.csv"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CsvWriter, DestructorToleratesFailedStream) {
+  // Flush-on-destruction is best effort: destroying a writer whose stream
+  // already failed must not throw or abort.
+  std::ostringstream out;
+  {
+    CsvWriter csv(out, {"a"});
+    csv.row({"1"});
+    out.setstate(std::ios::badbit);
+  }
+  SUCCEED();
 }
 
 }  // namespace
