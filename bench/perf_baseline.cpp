@@ -1,0 +1,257 @@
+// Perf baseline: measures simulated-cycles/second, per-phase wall-time
+// shares, and hot-path allocation counts across arbiters and port counts,
+// then emits machine-readable BENCH_perf.json (schema "mmr-perf-v1") for
+// scripts/bench_compare.py to diff against an earlier baseline.
+//
+// Sections:
+//   sim-cbr          one full simulation per (arbiter, ports), probe armed
+//   arbitrate-micro  tight arbitrate_into() loop over generated candidate
+//                    sets (isolates the switch-arbitration hot path)
+//   sweep-cbr        run_sweep wall time per arbiter (the end-to-end figure
+//                    pipeline, including thread-pool parallelism)
+//
+// Arguments (key=value):
+//   out=FILE         write the JSON baseline here (default BENCH_perf.json)
+//   mode=MODE        quick (default) | full | smoke  -- run length preset
+//   arbiters=a,b     arbiters to measure (default coa,coa-scan,wfa,islip)
+//   ports=4,8        port counts to measure
+//   threads=N        sweep worker threads (0 = hardware concurrency)
+//   alias=FROM:TO    relabel arbiter FROM as TO in record labels; lets a
+//                    reference implementation (coa-scan) be recorded under
+//                    the labels of its optimized twin (coa) so two baselines
+//                    diff cleanly:  perf_baseline arbiters=coa-scan
+//                    alias=coa-scan:coa out=BENCH_perf_before.json
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "mmr/audit/generator.hpp"
+#include "mmr/core/experiment.hpp"
+#include "mmr/perf/probe.hpp"
+#include "mmr/perf/report.hpp"
+
+namespace mmr {
+namespace {
+
+struct PerfBenchArgs {
+  std::string out = "BENCH_perf.json";
+  std::string mode = "quick";  // quick | full | smoke
+  std::vector<std::string> arbiters = {"coa", "coa-scan", "wfa", "islip"};
+  std::vector<std::uint32_t> ports = {4, 8};
+  std::size_t threads = 0;
+  std::string alias_from;
+  std::string alias_to;
+};
+
+PerfBenchArgs parse(int argc, char** argv) {
+  PerfBenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    const std::string key = eq == std::string::npos ? arg : arg.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : arg.substr(eq + 1);
+    if (key == "out") {
+      args.out = value;
+    } else if (key == "mode") {
+      args.mode = value;
+    } else if (key == "arbiters") {
+      args.arbiters = bench::split(value, ',');
+    } else if (key == "ports") {
+      args.ports.clear();
+      for (const std::string& part : bench::split(value, ',')) {
+        args.ports.push_back(
+            static_cast<std::uint32_t>(std::stoul(part)));
+      }
+    } else if (key == "threads") {
+      args.threads = std::stoul(value);
+    } else if (key == "alias") {
+      const auto colon = value.find(':');
+      if (colon == std::string::npos) {
+        std::cerr << "alias wants FROM:TO, got '" << value << "'\n";
+        std::exit(2);
+      }
+      args.alias_from = value.substr(0, colon);
+      args.alias_to = value.substr(colon + 1);
+    } else {
+      std::cerr << "unknown argument '" << arg << "'\n";
+      std::exit(2);
+    }
+  }
+  if (args.mode != "quick" && args.mode != "full" && args.mode != "smoke") {
+    std::cerr << "mode must be quick|full|smoke, got '" << args.mode << "'\n";
+    std::exit(2);
+  }
+  return args;
+}
+
+struct RunScale {
+  Cycle warmup;
+  Cycle measure;
+  std::uint64_t micro_iterations;
+  std::vector<double> sweep_loads;
+};
+
+RunScale scale_for(const std::string& mode) {
+  if (mode == "smoke") return {1'000, 4'000, 2'000, {0.3, 0.6}};
+  if (mode == "full") return {20'000, 200'000, 200'000, {0.2, 0.4, 0.6, 0.8}};
+  return {2'000, 40'000, 50'000, {0.3, 0.5, 0.7}};  // quick
+}
+
+std::string labeled(const PerfBenchArgs& args, const std::string& arbiter) {
+  return arbiter == args.alias_from ? args.alias_to : arbiter;
+}
+
+SimConfig sim_config(std::uint32_t ports, const std::string& arbiter,
+                     const RunScale& scale) {
+  SimConfig config;
+  config.ports = ports;
+  config.vcs_per_link = 64;
+  config.arbiter = arbiter;
+  config.warmup_cycles = scale.warmup;
+  config.measure_cycles = scale.measure;
+  return config;
+}
+
+Workload cbr_workload(const SimConfig& config) {
+  Rng rng(config.seed, 1);
+  CbrMixSpec spec;
+  spec.target_load = 0.6;
+  spec.classes = {kCbrHigh, kCbrMedium};
+  spec.class_weights = {3.0, 1.0};
+  return build_cbr_mix(config, spec, rng);
+}
+
+perf::PerfRecord sim_cbr_record(const PerfBenchArgs& args,
+                                const std::string& arbiter,
+                                std::uint32_t ports, const RunScale& scale) {
+  perf::PerfRecord record;
+  record.kind = "sim-cbr";
+  record.arbiter = labeled(args, arbiter);
+  record.ports = ports;
+  record.label =
+      "sim-cbr/" + record.arbiter + "/p" + std::to_string(ports);
+
+  const SimConfig config = sim_config(ports, arbiter, scale);
+  MmrSimulation simulation(config, cbr_workload(config));
+  const perf::ProbeScope arm(&record.probe);
+  const std::uint64_t start = perf::now_ns();
+  (void)simulation.run();
+  record.probe.add_run(config.total_cycles(), perf::now_ns() - start);
+  return record;
+}
+
+perf::PerfRecord micro_record(const PerfBenchArgs& args,
+                              const std::string& arbiter,
+                              std::uint32_t ports, const RunScale& scale) {
+  perf::PerfRecord record;
+  record.kind = "arbitrate-micro";
+  record.arbiter = labeled(args, arbiter);
+  record.ports = ports;
+  record.label =
+      "arb-micro/" + record.arbiter + "/p" + std::to_string(ports);
+
+  // A rotation of pre-generated candidate sets (uniform + hotspot) keeps
+  // the loop on arbitration itself, not set construction.
+  audit::GeneratorOptions opt;
+  opt.ports = ports;
+  opt.levels = 2;
+  Rng gen(0xBE7C, ports);
+  std::vector<CandidateSet> sets;
+  for (const audit::LoadProfile profile :
+       {audit::LoadProfile::kUniform, audit::LoadProfile::kHotspot}) {
+    opt.profile = profile;
+    for (int i = 0; i < 16; ++i) {
+      CandidateSet set(ports, opt.levels);
+      for (const Candidate& c : audit::generate_step(gen, opt)) set.add(c);
+      sets.push_back(std::move(set));
+    }
+  }
+
+  const std::unique_ptr<SwitchArbiter> arbiter_impl =
+      make_arbiter(arbiter, ports, Rng(0xA1B2, ports));
+  Matching matching(ports);
+  const perf::ProbeScope arm(&record.probe);
+  const std::uint64_t start = perf::now_ns();
+  for (std::uint64_t i = 0; i < scale.micro_iterations; ++i) {
+    arbiter_impl->arbitrate_into(sets[i % sets.size()], matching);
+  }
+  const std::uint64_t wall = perf::now_ns() - start;
+  record.probe.add_time(perf::Phase::kArbitration, wall);
+  // "Cycles" for the micro section are arbitrations.
+  record.probe.add_run(scale.micro_iterations, wall);
+  return record;
+}
+
+perf::PerfRecord sweep_record(const PerfBenchArgs& args,
+                              const std::string& arbiter,
+                              const RunScale& scale) {
+  perf::PerfRecord record;
+  record.kind = "sweep-cbr";
+  record.arbiter = labeled(args, arbiter);
+  record.ports = 4;
+  record.label = "sweep-cbr/" + record.arbiter;
+
+  SweepSpec spec;
+  spec.base = sim_config(record.ports, arbiter, scale);
+  // The sweep section measures driver overhead too; shorter points suffice.
+  spec.base.warmup_cycles = scale.warmup / 2;
+  spec.base.measure_cycles = scale.measure / 4;
+  spec.loads = scale.sweep_loads;
+  spec.arbiters = {arbiter};
+  spec.threads = args.threads;
+  spec.cbr.classes = {kCbrHigh, kCbrMedium};
+  spec.cbr.class_weights = {3.0, 1.0};
+
+  const std::uint64_t start = perf::now_ns();
+  const std::vector<SweepPoint> points = run_sweep(spec);
+  const std::uint64_t wall = perf::now_ns() - start;
+  record.probe.add_run(
+      static_cast<std::uint64_t>(points.size()) * spec.base.total_cycles(),
+      wall);
+  return record;
+}
+
+}  // namespace
+}  // namespace mmr
+
+int main(int argc, char** argv) {
+  using namespace mmr;
+  const PerfBenchArgs args = parse(argc, argv);
+  const RunScale scale = scale_for(args.mode);
+
+  std::cout << "==== perf baseline (" << args.mode << ") ====\n";
+
+  std::vector<perf::PerfRecord> records;
+  for (const std::string& arbiter : args.arbiters) {
+    for (const std::uint32_t ports : args.ports) {
+      records.push_back(sim_cbr_record(args, arbiter, ports, scale));
+      std::cout << perf::render_phase_summary(records.back()) << "\n";
+      records.push_back(micro_record(args, arbiter, ports, scale));
+      std::cout << perf::render_phase_summary(records.back()) << "\n";
+    }
+    records.push_back(sweep_record(args, arbiter, scale));
+    std::cout << perf::render_phase_summary(records.back()) << "\n";
+  }
+
+  perf::PerfReportMeta meta;
+  meta.mode = args.mode;
+  meta.threads = args.threads;
+  std::ofstream out(args.out);
+  if (!out) {
+    std::cerr << "cannot open '" << args.out << "' for writing\n";
+    return 1;
+  }
+  perf::write_perf_json(out, meta, records);
+  std::cout << "wrote " << records.size() << " records to " << args.out
+            << "\n";
+  if (!perf::kCompiledIn) {
+    std::cout << "note: built with MMR_PERF=OFF -- phase shares and "
+                 "allocation counters are all zero\n";
+  }
+  return 0;
+}

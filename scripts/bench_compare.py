@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_perf.json baselines (schema mmr-perf-v1).
+
+Usage:
+    bench_compare.py BEFORE.json AFTER.json [--threshold 0.10]
+    bench_compare.py --check FILE.json
+
+Compare mode matches records by `label`, prints a speedup table
+(after/before cycles-per-second ratio), and exits 1 if any shared label
+regressed by more than the threshold (default 10%).  Labels present in only
+one file are listed but never fail the comparison.
+
+Check mode validates that FILE.json is a well-formed mmr-perf-v1 baseline
+(used by ctest and check.sh --perf after a smoke run) and exits non-zero on
+any schema violation.
+
+Only the Python standard library is used.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "mmr-perf-v1"
+RECORD_KEYS = {
+    "label": str,
+    "kind": str,
+    "arbiter": str,
+    "ports": int,
+    "simulated_cycles": int,
+    "wall_seconds": (int, float),
+    "cycles_per_second": (int, float),
+    "counters": dict,
+    "phases": dict,
+}
+PHASE_KEYS = {
+    "seconds": (int, float),
+    "calls": int,
+    "share": (int, float),
+}
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"error: cannot load {path}: {err}")
+
+
+def check_schema(doc, path):
+    """Returns a list of schema problems (empty = valid)."""
+    problems = []
+
+    def bad(msg):
+        problems.append(f"{path}: {msg}")
+
+    if not isinstance(doc, dict):
+        bad("top level is not an object")
+        return problems
+    if doc.get("schema") != SCHEMA:
+        bad(f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    if not isinstance(doc.get("mode"), str):
+        bad("missing or non-string 'mode'")
+    records = doc.get("records")
+    if not isinstance(records, list) or not records:
+        bad("'records' missing, not a list, or empty")
+        return problems
+
+    seen = set()
+    for i, record in enumerate(records):
+        where = f"records[{i}]"
+        if not isinstance(record, dict):
+            bad(f"{where} is not an object")
+            continue
+        for key, kind in RECORD_KEYS.items():
+            if key not in record:
+                bad(f"{where} lacks '{key}'")
+            elif not isinstance(record[key], kind) or isinstance(
+                record[key], bool
+            ):
+                bad(f"{where}.{key} has wrong type")
+        label = record.get("label")
+        if isinstance(label, str):
+            if label in seen:
+                bad(f"duplicate label {label!r}")
+            seen.add(label)
+        if isinstance(record.get("wall_seconds"), (int, float)):
+            if record["wall_seconds"] < 0:
+                bad(f"{where}.wall_seconds is negative")
+        for phase, entry in (record.get("phases") or {}).items():
+            if not isinstance(entry, dict):
+                bad(f"{where}.phases[{phase!r}] is not an object")
+                continue
+            for key, kind in PHASE_KEYS.items():
+                if not isinstance(entry.get(key), kind) or isinstance(
+                    entry.get(key), bool
+                ):
+                    bad(f"{where}.phases[{phase!r}].{key} missing or bad")
+    return problems
+
+
+def compare(before_path, after_path, threshold):
+    before = load(before_path)
+    after = load(after_path)
+    for doc, path in ((before, before_path), (after, after_path)):
+        problems = check_schema(doc, path)
+        if problems:
+            print("\n".join(problems), file=sys.stderr)
+            return 2
+
+    before_by_label = {r["label"]: r for r in before["records"]}
+    after_by_label = {r["label"]: r for r in after["records"]}
+    shared = [l for l in before_by_label if l in after_by_label]
+    only_before = [l for l in before_by_label if l not in after_by_label]
+    only_after = [l for l in after_by_label if l not in before_by_label]
+
+    if not shared:
+        print("no shared labels between the two baselines", file=sys.stderr)
+        return 2
+
+    width = max(len(l) for l in shared)
+    print(f"{'label':<{width}}  {'before c/s':>12}  {'after c/s':>12}  "
+          f"{'speedup':>8}")
+    regressions = []
+    for label in sorted(shared):
+        b = before_by_label[label]["cycles_per_second"]
+        a = after_by_label[label]["cycles_per_second"]
+        if b <= 0 or a <= 0:
+            print(f"{label:<{width}}  {b:>12.3e}  {a:>12.3e}  {'n/a':>8}")
+            continue
+        speedup = a / b
+        flag = ""
+        if speedup < 1.0 - threshold:
+            regressions.append((label, speedup))
+            flag = "  << REGRESSION"
+        print(f"{label:<{width}}  {b:>12.3e}  {a:>12.3e}  "
+              f"{speedup:>7.2f}x{flag}")
+
+    for label in sorted(only_before):
+        print(f"only in {before_path}: {label}")
+    for label in sorted(only_after):
+        print(f"only in {after_path}: {label}")
+
+    if regressions:
+        worst = min(regressions, key=lambda r: r[1])
+        print(
+            f"\n{len(regressions)} label(s) regressed more than "
+            f"{threshold:.0%}; worst: {worst[0]} at {worst[1]:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nno regressions beyond {threshold:.0%} "
+          f"across {len(shared)} shared label(s)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two mmr-perf-v1 baselines or validate one."
+    )
+    parser.add_argument("files", nargs="*", help="BEFORE.json AFTER.json")
+    parser.add_argument(
+        "--check", metavar="FILE", help="validate FILE against the schema"
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="relative cycles/sec drop that counts as a regression "
+        "(default 0.10)",
+    )
+    args = parser.parse_args()
+
+    if args.check:
+        if args.files:
+            parser.error("--check takes no positional files")
+        problems = check_schema(load(args.check), args.check)
+        if problems:
+            print("\n".join(problems), file=sys.stderr)
+            return 1
+        doc = load(args.check)
+        print(f"{args.check}: valid {SCHEMA} "
+              f"({len(doc['records'])} records, mode={doc['mode']})")
+        return 0
+
+    if len(args.files) != 2:
+        parser.error("compare mode wants exactly two files")
+    return compare(args.files[0], args.files[1], args.threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

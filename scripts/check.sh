@@ -3,9 +3,16 @@
 # (differential arbiter audit + 200-seed overload-protection soak), then the
 # whole suite — mmr_overload included — again under AddressSanitizer +
 # UndefinedBehaviorSanitizer (SANITIZE applies tree-wide).
-# Usage: scripts/check.sh [jobs]
+# Usage: scripts/check.sh [--perf] [jobs]
+#   --perf   additionally run the perf_baseline smoke sweep and validate the
+#            emitted BENCH_perf.json schema with scripts/bench_compare.py
 set -euo pipefail
 
+RUN_PERF=0
+if [[ "${1:-}" == "--perf" ]]; then
+  RUN_PERF=1
+  shift
+fi
 JOBS="${1:-$(nproc)}"
 cd "$(dirname "$0")/.."
 
@@ -17,6 +24,14 @@ ctest --test-dir build --output-on-failure -j "${JOBS}" -LE tier2
 echo
 echo "=== tier-2 soaks (arbiter audit + overload protection, 200 seeds each) ==="
 ctest --test-dir build --output-on-failure -j "${JOBS}" -L tier2
+
+if [[ "${RUN_PERF}" == "1" ]]; then
+  echo
+  echo "=== perf smoke (perf_baseline + schema check) ==="
+  ./build/bench/perf_baseline mode=smoke ports=4 arbiters=coa,coa-scan \
+    out=build/BENCH_perf_smoke.json
+  python3 scripts/bench_compare.py --check build/BENCH_perf_smoke.json
+fi
 
 echo
 echo "=== sanitized build (address,undefined) ==="

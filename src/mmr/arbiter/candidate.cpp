@@ -1,5 +1,7 @@
 #include "mmr/arbiter/candidate.hpp"
 
+#include "mmr/perf/probe.hpp"
+
 namespace mmr {
 
 CandidateSet::CandidateSet(std::uint32_t ports, std::uint32_t levels)
@@ -25,6 +27,8 @@ void CandidateSet::add(const Candidate& candidate) {
                    "candidate levels must be contiguous from 0");
   }
   slot_index_[s] = static_cast<std::int32_t>(flat_.size());
+  if (flat_.size() == flat_.capacity())
+    MMR_PERF_COUNT(perf::Counter::kCandidateRealloc, 1);
   flat_.push_back(candidate);
 }
 

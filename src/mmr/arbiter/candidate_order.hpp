@@ -11,6 +11,16 @@
 // Each grant removes all requests of the matched input and output; the
 // conflict vector is recomputed and the process repeats until no requests
 // remain, yielding a conflict-free matching.
+//
+// Two implementations produce bit-identical matchings (same RNG draw
+// sequence; tests/test_coa.cpp proves the equivalence):
+//  * CandidateOrderArbiter ("coa") — per-output / per-input candidate
+//    buckets built once per arbitration, so each grant touches only the
+//    candidates of the selected output and each removal only the two
+//    affected buckets.
+//  * CandidateOrderScanArbiter ("coa-scan") — the reference formulation:
+//    every grant and removal scans the full candidate list.  Kept as the
+//    perf baseline (bench/perf_baseline) and differential-audit reference.
 #pragma once
 
 #include "mmr/arbiter/candidate.hpp"
@@ -32,7 +42,8 @@ class CandidateOrderArbiter final : public SwitchArbiter {
     return use_priority_ ? "coa" : "coa-np";
   }
 
-  Matching arbitrate(const CandidateSet& candidates) override;
+  void arbitrate_into(const CandidateSet& candidates,
+                      Matching& matching) override;
 
  private:
   std::uint32_t ports_;
@@ -42,9 +53,37 @@ class CandidateOrderArbiter final : public SwitchArbiter {
   // Scratch buffers reused across cycles to stay allocation-free in the
   // steady state.
   std::vector<std::uint32_t> conflict_;     ///< (level, output) -> pending
-  std::vector<std::uint8_t> input_free_;
   std::vector<std::uint8_t> output_free_;
   std::vector<std::uint8_t> request_live_;  ///< per candidate
+  /// Candidate indices per output / per input, in ascending index order (the
+  /// scan order of the reference implementation, so RNG tie-break draws
+  /// happen in the same sequence).
+  std::vector<std::vector<std::uint32_t>> by_output_;
+  std::vector<std::vector<std::uint32_t>> by_input_;
+};
+
+/// Reference COA: identical algorithm and RNG stream, full-list scans per
+/// grant and removal.  Registered as "coa-scan" so perf baselines and the
+/// differential audit can compare the two implementations forever.
+class CandidateOrderScanArbiter final : public SwitchArbiter {
+ public:
+  CandidateOrderScanArbiter(std::uint32_t ports, Rng rng,
+                            bool use_priority = true);
+
+  [[nodiscard]] const char* name() const override { return "coa-scan"; }
+
+  void arbitrate_into(const CandidateSet& candidates,
+                      Matching& matching) override;
+
+ private:
+  std::uint32_t ports_;
+  Rng rng_;
+  bool use_priority_;
+
+  std::vector<std::uint32_t> conflict_;
+  std::vector<std::uint8_t> input_free_;
+  std::vector<std::uint8_t> output_free_;
+  std::vector<std::uint8_t> request_live_;
 };
 
 }  // namespace mmr

@@ -20,6 +20,8 @@ std::unique_ptr<SwitchArbiter> make_arbiter(const std::string& name,
   if (name == "coa-np")
     return std::make_unique<CandidateOrderArbiter>(ports, rng,
                                                    /*use_priority=*/false);
+  if (name == "coa-scan")
+    return std::make_unique<CandidateOrderScanArbiter>(ports, rng);
   if (name == "wfa") return std::make_unique<WaveFrontArbiter>(ports);
   if (name == "wwfa") return std::make_unique<WrappedWaveFrontArbiter>(ports);
   if (name == "islip") return std::make_unique<IslipArbiter>(ports);
@@ -41,7 +43,7 @@ std::unique_ptr<SwitchArbiter> make_arbiter(const std::string& name,
 
 const std::vector<std::string>& arbiter_names() {
   static const std::vector<std::string> names = {
-      "coa", "coa-np", "wfa", "wwfa", "islip",
+      "coa", "coa-np", "coa-scan", "wfa", "wwfa", "islip",
       "islip1", "pim", "pim1", "greedy", "maxmatch"};
   return names;
 }
@@ -58,6 +60,7 @@ const ArbiterTraits& arbiter_traits(const std::string& name) {
   static const std::map<std::string, ArbiterTraits> traits = {
       {"coa", {.maximal = true, .priority_ordered = true}},
       {"coa-np", {.maximal = true}},
+      {"coa-scan", {.maximal = true, .priority_ordered = true}},
       {"wfa", {.maximal = true}},
       {"wwfa", {.maximal = true, .rotation_fair = true}},
       {"islip", {.iteration_bounded = true, .rotation_fair = true}},

@@ -10,11 +10,12 @@ GreedyPriorityArbiter::GreedyPriorityArbiter(std::uint32_t ports, Rng rng)
   MMR_ASSERT(ports_ > 0);
 }
 
-Matching GreedyPriorityArbiter::arbitrate(const CandidateSet& candidates) {
+void GreedyPriorityArbiter::arbitrate_into(const CandidateSet& candidates,
+                                           Matching& matching) {
   MMR_ASSERT(candidates.ports() == ports_);
-  Matching matching(ports_);
+  matching.reset(ports_);
   const auto& all = candidates.all();
-  if (all.empty()) return matching;
+  if (all.empty()) return;
 
   order_.resize(all.size());
   std::iota(order_.begin(), order_.end(), 0u);
@@ -32,7 +33,6 @@ Matching GreedyPriorityArbiter::arbitrate(const CandidateSet& candidates) {
       continue;
     matching.match(c.input, c.output, static_cast<std::int32_t>(idx));
   }
-  return matching;
 }
 
 }  // namespace mmr

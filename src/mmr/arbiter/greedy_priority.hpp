@@ -16,7 +16,8 @@ class GreedyPriorityArbiter final : public SwitchArbiter {
 
   [[nodiscard]] const char* name() const override { return "greedy"; }
 
-  Matching arbitrate(const CandidateSet& candidates) override;
+  void arbitrate_into(const CandidateSet& candidates,
+                      Matching& matching) override;
 
  private:
   std::uint32_t ports_;

@@ -77,7 +77,9 @@ HardwareEstimate estimate_arbiter(const std::string& name,
     const double mux = name == "wwfa" ? 3.0 * p * p : 0.0;  // wrap select
     return {6.0 * cells + mux, 2.0 * rows};
   }
-  if (name == "coa" || name == "coa-np") {
+  // coa-scan is a software-implementation variant of coa (reference scan
+  // loop vs bucketed); the synthesised circuit is the same.
+  if (name == "coa" || name == "coa-np" || name == "coa-scan") {
     // Selection matrix: L*P candidate registers feed (a) the conflict
     // vector — per (level, output) a P-input population count — and (b) a
     // per-output max-priority tree; port ordering is a min-tree over P
@@ -96,9 +98,9 @@ HardwareEstimate estimate_arbiter(const std::string& name,
     // coa-np replaces the per-output priority tree with a random pick
     // (LFSR + encoder) — the ablation's hardware saving.
     const HardwareEstimate arbitration =
-        name == "coa" ? hw::max_tree(ports * levels, priority_bits)
-                      : hw::priority_encoder(ports * levels) +
-                            HardwareEstimate{10.0, 0.0};
+        name != "coa-np" ? hw::max_tree(ports * levels, priority_bits)
+                         : hw::priority_encoder(ports * levels) +
+                               HardwareEstimate{10.0, 0.0};
     HardwareEstimate total = conflict;
     total.gate_equivalents += p * arbitration.gate_equivalents +
                               ordering.gate_equivalents;

@@ -13,9 +13,10 @@ IslipArbiter::IslipArbiter(std::uint32_t ports, std::uint32_t iterations)
   MMR_ASSERT(ports_ > 0);
 }
 
-Matching IslipArbiter::arbitrate(const CandidateSet& candidates) {
+void IslipArbiter::arbitrate_into(const CandidateSet& candidates,
+                                  Matching& matching) {
   MMR_ASSERT(candidates.ports() == ports_);
-  Matching matching(ports_);
+  matching.reset(ports_);
 
   request_.assign(static_cast<std::size_t>(ports_) * ports_, -1);
   const auto& all = candidates.all();
@@ -77,7 +78,6 @@ Matching IslipArbiter::arbitrate(const CandidateSet& candidates) {
     }
     if (!any_accept) break;
   }
-  return matching;
 }
 
 }  // namespace mmr

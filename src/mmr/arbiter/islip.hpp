@@ -19,7 +19,8 @@ class IslipArbiter final : public SwitchArbiter {
     return iterations_ == 1 ? "islip1" : "islip";
   }
 
-  Matching arbitrate(const CandidateSet& candidates) override;
+  void arbitrate_into(const CandidateSet& candidates,
+                      Matching& matching) override;
 
   [[nodiscard]] std::uint32_t iterations() const { return iterations_; }
 

@@ -12,6 +12,11 @@ class Matching {
  public:
   explicit Matching(std::uint32_t ports);
 
+  /// Clears the matching and resizes it to `ports`.  Reuses the existing
+  /// buffers: no allocation happens unless `ports` grew, so arbiters can
+  /// recycle one Matching across cycles allocation-free.
+  void reset(std::uint32_t ports);
+
   /// Records that `input` was matched to `output`, transmitting the
   /// candidate at `candidate_index` within the arbitrated CandidateSet.
   void match(std::uint32_t input, std::uint32_t output,
@@ -44,8 +49,14 @@ class SwitchArbiter {
 
   [[nodiscard]] virtual const char* name() const = 0;
 
-  /// Computes a conflict-free matching for one scheduling cycle.
-  virtual Matching arbitrate(const CandidateSet& candidates) = 0;
+  /// Computes a conflict-free matching for one scheduling cycle into `out`
+  /// (reset by the callee).  This is the hot-path entry point: callers that
+  /// recycle `out` across cycles arbitrate allocation-free.
+  virtual void arbitrate_into(const CandidateSet& candidates,
+                              Matching& out) = 0;
+
+  /// Convenience wrapper building a fresh Matching (tests, audit tooling).
+  [[nodiscard]] Matching arbitrate(const CandidateSet& candidates);
 };
 
 }  // namespace mmr

@@ -77,11 +77,12 @@ MaxMatchArbiter::MaxMatchArbiter(std::uint32_t ports) : ports_(ports) {
   MMR_ASSERT(ports_ > 0);
 }
 
-Matching MaxMatchArbiter::arbitrate(const CandidateSet& candidates) {
+void MaxMatchArbiter::arbitrate_into(const CandidateSet& candidates,
+                                     Matching& matching) {
   MMR_ASSERT(candidates.ports() == ports_);
-  Matching matching(ports_);
+  matching.reset(ports_);
   const auto& all = candidates.all();
-  if (all.empty()) return matching;
+  if (all.empty()) return;
 
   // Deduplicate (input, output) pairs, remembering the best candidate
   // (lowest level, i.e. highest link-scheduler rank) per pair.
@@ -110,7 +111,6 @@ Matching MaxMatchArbiter::arbitrate(const CandidateSet& candidates) {
     MMR_ASSERT(cell != -1);
     matching.match(in, out, cell);
   }
-  return matching;
 }
 
 std::uint32_t MaxMatchArbiter::max_matching_size(

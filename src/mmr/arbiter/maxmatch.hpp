@@ -14,7 +14,8 @@ class MaxMatchArbiter final : public SwitchArbiter {
 
   [[nodiscard]] const char* name() const override { return "maxmatch"; }
 
-  Matching arbitrate(const CandidateSet& candidates) override;
+  void arbitrate_into(const CandidateSet& candidates,
+                      Matching& matching) override;
 
   /// Size of the maximum matching of an arbitrary request graph, usable
   /// directly by tests (adjacency: per input, list of outputs).

@@ -11,9 +11,10 @@ PimArbiter::PimArbiter(std::uint32_t ports, Rng rng, std::uint32_t iterations)
   MMR_ASSERT(ports_ > 0);
 }
 
-Matching PimArbiter::arbitrate(const CandidateSet& candidates) {
+void PimArbiter::arbitrate_into(const CandidateSet& candidates,
+                                Matching& matching) {
   MMR_ASSERT(candidates.ports() == ports_);
-  Matching matching(ports_);
+  matching.reset(ports_);
 
   request_.assign(static_cast<std::size_t>(ports_) * ports_, -1);
   const auto& all = candidates.all();
@@ -62,7 +63,6 @@ Matching PimArbiter::arbitrate(const CandidateSet& candidates) {
       matching.match(in, out, cell);
     }
   }
-  return matching;
 }
 
 }  // namespace mmr

@@ -27,9 +27,10 @@ WaveFrontArbiter::WaveFrontArbiter(std::uint32_t ports) : ports_(ports) {
   MMR_ASSERT(ports_ > 0);
 }
 
-Matching WaveFrontArbiter::arbitrate(const CandidateSet& candidates) {
+void WaveFrontArbiter::arbitrate_into(const CandidateSet& candidates,
+                                      Matching& matching) {
   MMR_ASSERT(candidates.ports() == ports_);
-  Matching matching(ports_);
+  matching.reset(ports_);
   detail::collapse_requests(candidates, ports_, request_);
 
   // 2P-1 partial anti-diagonals i + j == wave, from the top-left corner.
@@ -45,7 +46,6 @@ Matching WaveFrontArbiter::arbitrate(const CandidateSet& candidates) {
       matching.match(i, j, cell);
     }
   }
-  return matching;
 }
 
 WrappedWaveFrontArbiter::WrappedWaveFrontArbiter(std::uint32_t ports)
@@ -53,9 +53,10 @@ WrappedWaveFrontArbiter::WrappedWaveFrontArbiter(std::uint32_t ports)
   MMR_ASSERT(ports_ > 0);
 }
 
-Matching WrappedWaveFrontArbiter::arbitrate(const CandidateSet& candidates) {
+void WrappedWaveFrontArbiter::arbitrate_into(const CandidateSet& candidates,
+                                             Matching& matching) {
   MMR_ASSERT(candidates.ports() == ports_);
-  Matching matching(ports_);
+  matching.reset(ports_);
   detail::collapse_requests(candidates, ports_, request_);
 
   // P wrapped anti-diagonals: wave w processes cells with
@@ -73,7 +74,6 @@ Matching WrappedWaveFrontArbiter::arbitrate(const CandidateSet& candidates) {
   }
 
   start_ = (start_ + 1) % ports_;
-  return matching;
 }
 
 }  // namespace mmr

@@ -38,7 +38,8 @@ class WaveFrontArbiter final : public SwitchArbiter {
 
   [[nodiscard]] const char* name() const override { return "wfa"; }
 
-  Matching arbitrate(const CandidateSet& candidates) override;
+  void arbitrate_into(const CandidateSet& candidates,
+                      Matching& matching) override;
 
  private:
   std::uint32_t ports_;
@@ -52,7 +53,8 @@ class WrappedWaveFrontArbiter final : public SwitchArbiter {
 
   [[nodiscard]] const char* name() const override { return "wwfa"; }
 
-  Matching arbitrate(const CandidateSet& candidates) override;
+  void arbitrate_into(const CandidateSet& candidates,
+                      Matching& matching) override;
 
   /// The diagonal the next arbitration will start from (exposed for tests).
   [[nodiscard]] std::uint32_t next_start_diagonal() const { return start_; }

@@ -2,12 +2,36 @@
 
 #include <cmath>
 #include <limits>
+#include <sstream>
+#include <stdexcept>
 
 #include "mmr/sim/assert.hpp"
 #include "mmr/sim/log.hpp"
 #include "mmr/sim/thread_pool.hpp"
 
 namespace mmr {
+
+void SweepSpec::validate() const {
+  if (loads.empty()) throw std::invalid_argument("sweep has no loads");
+  if (arbiters.empty()) throw std::invalid_argument("sweep has no arbiters");
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    const double load = loads[i];
+    if (!(load > 0.0) || !(load <= 2.0) || !std::isfinite(load)) {
+      std::ostringstream msg;
+      msg << "sweep loads[" << i << "] = " << load
+          << " is outside (0, 2]; loads are offered-load fractions";
+      throw std::invalid_argument(msg.str());
+    }
+    if (i > 0 && load <= loads[i - 1]) {
+      std::ostringstream msg;
+      msg << "sweep loads must be strictly ascending; loads[" << i
+          << "] = " << load << (load == loads[i - 1] ? " duplicates" : " <= ")
+          << " loads[" << i - 1 << "] = " << loads[i - 1];
+      throw std::invalid_argument(msg.str());
+    }
+  }
+  base.validate();
+}
 
 Workload build_sweep_workload(const SweepSpec& spec, std::size_t load_index,
                               std::uint32_t replication) {
@@ -35,26 +59,36 @@ Workload build_sweep_workload(const SweepSpec& spec, std::size_t load_index,
 }
 
 std::vector<SweepPoint> run_sweep(const SweepSpec& spec) {
-  MMR_ASSERT(!spec.loads.empty());
-  MMR_ASSERT(!spec.arbiters.empty());
-  spec.base.validate();
+  spec.validate();
 
   const std::uint32_t reps = std::max<std::uint32_t>(1, spec.replications);
   const std::size_t grid = spec.loads.size() * spec.arbiters.size();
   std::vector<SimulationMetrics> runs(grid * reps);
+
+  // One config per (arbiter, replication), hoisted out of the parallel loop:
+  // points at different loads reuse it by const reference instead of copying
+  // SimConfig (several strings) once per simulation.  The simulation seed
+  // depends on the arbiter so that stochastic arbiters (coa tie-breaks, pim)
+  // are independently seeded per point; mix_seed's full-finalizer chain keeps
+  // nearby (arbiter, replication) pairs decorrelated.
+  std::vector<SimConfig> configs;
+  configs.reserve(spec.arbiters.size() * reps);
+  for (std::size_t arbiter_index = 0; arbiter_index < spec.arbiters.size();
+       ++arbiter_index) {
+    for (std::uint32_t replication = 0; replication < reps; ++replication) {
+      SimConfig config = spec.base;
+      config.arbiter = spec.arbiters[arbiter_index];
+      config.seed = mix_seed(spec.base.seed, arbiter_index, replication);
+      configs.push_back(std::move(config));
+    }
+  }
 
   ThreadPool::parallel_for(grid * reps, spec.threads, [&](std::size_t index) {
     const std::size_t cell = index / reps;
     const auto replication = static_cast<std::uint32_t>(index % reps);
     const std::size_t arbiter_index = cell / spec.loads.size();
     const std::size_t load_index = cell % spec.loads.size();
-
-    SimConfig config = spec.base;
-    config.arbiter = spec.arbiters[arbiter_index];
-    // The simulation stream also depends on the arbiter so that stochastic
-    // arbiters (coa tie-breaks, pim) are independently seeded per point.
-    config.seed = spec.base.seed ^ (0x9E37u * (arbiter_index + 1)) ^
-                  (0xC2B2ull * replication);
+    const SimConfig& config = configs[arbiter_index * reps + replication];
 
     MmrSimulation simulation(
         config, build_sweep_workload(spec, load_index, replication));

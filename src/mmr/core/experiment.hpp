@@ -36,6 +36,11 @@ struct SweepSpec {
   std::uint32_t replications = 1;
 
   std::size_t threads = 0;  ///< 0 = hardware concurrency
+
+  /// Rejects malformed sweeps with std::invalid_argument: loads must be
+  /// non-empty, each in (0, ~2], and strictly ascending (duplicates are a
+  /// silent double-spend of simulation time, so they are errors too).
+  void validate() const;
 };
 
 struct SweepPoint {

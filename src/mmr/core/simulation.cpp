@@ -4,6 +4,7 @@
 #include "mmr/overload/policer.hpp"
 #include "mmr/overload/rogue_apply.hpp"
 #include "mmr/overload/watchdog.hpp"
+#include "mmr/perf/probe.hpp"
 #include "mmr/sim/assert.hpp"
 #include "mmr/sim/log.hpp"
 
@@ -81,70 +82,79 @@ void MmrSimulation::step_one() {
   const bool measure = now >= config_.warmup_cycles;
 
   // 1. Flits whose link transfer completes this cycle enter the VCM.
-  for (std::uint32_t port = 0; port < config_.ports; ++port) {
-    arrival_buffer_.clear();
-    input_links_[port].pop_due(now, arrival_buffer_);
-    for (const LinkTransfer& transfer : arrival_buffer_) {
-      router_.accept(port, transfer.vc, transfer.flit, now);
+  {
+    MMR_PERF_SCOPE(perf::Phase::kCredits);
+    for (std::uint32_t port = 0; port < config_.ports; ++port) {
+      arrival_buffer_.clear();
+      input_links_[port].pop_due(now, arrival_buffer_);
+      for (const LinkTransfer& transfer : arrival_buffer_) {
+        router_.accept(port, transfer.vc, transfer.flit, now);
+      }
     }
   }
 
   // 2. Sources generate; flits land in their NIC's per-connection buffer.
-  while (!heap_.empty() && heap_.top().first <= now) {
-    const std::uint32_t index = heap_.top().second;
-    heap_.pop();
-    TrafficSource& source = *workload_.sources[index];
-    flit_buffer_.clear();
-    source.generate(now, flit_buffer_);
-    const ConnectionDescriptor& descriptor =
-        workload_.table.get(source.connection());
-    for (const Flit& flit : flit_buffer_) {
-      collector_.on_generated(flit.connection, flit.generated_at);
-      if (policer_ == nullptr) {
-        nics_[descriptor.input_link].deposit(descriptor.vc, flit);
-        continue;
-      }
-      switch (policer_->police(flit, now)) {
-        case overload::Verdict::kPass:
-          nics_[descriptor.input_link].deposit(descriptor.vc, flit);
-          break;
-        case overload::Verdict::kDemoted: {
-          Flit demoted = flit;
-          demoted.demoted = true;
-          nics_[descriptor.input_link].deposit(descriptor.vc, demoted);
-          break;
-        }
-        case overload::Verdict::kShaped:   // held in the penalty queue
-        case overload::Verdict::kDropped:  // discarded at injection
-          break;
-      }
-    }
-    const Cycle next = source.next_emission();
-    if (next != kNever) {
-      MMR_ASSERT_MSG(next > now, "source failed to advance its clock");
-      heap_.emplace(next, index);
-    }
-  }
-
-  // 2b. Shaped flits whose tokens have accrued enter their NIC now.
-  if (policer_) {
-    release_buffer_.clear();
-    policer_->release_due(now, release_buffer_);
-    for (const Flit& flit : release_buffer_) {
+  {
+    MMR_PERF_SCOPE(perf::Phase::kTraffic);
+    while (!heap_.empty() && heap_.top().first <= now) {
+      const std::uint32_t index = heap_.top().second;
+      heap_.pop();
+      TrafficSource& source = *workload_.sources[index];
+      flit_buffer_.clear();
+      source.generate(now, flit_buffer_);
       const ConnectionDescriptor& descriptor =
-          workload_.table.get(flit.connection);
-      nics_[descriptor.input_link].deposit(descriptor.vc, flit);
-      if (measure && flit.generated_at >= config_.warmup_cycles) {
-        shape_delay_us_.add(config_.time_base().cycles_to_us(
-            static_cast<double>(now - flit.generated_at)));
+          workload_.table.get(source.connection());
+      for (const Flit& flit : flit_buffer_) {
+        collector_.on_generated(flit.connection, flit.generated_at);
+        if (policer_ == nullptr) {
+          nics_[descriptor.input_link].deposit(descriptor.vc, flit);
+          continue;
+        }
+        switch (policer_->police(flit, now)) {
+          case overload::Verdict::kPass:
+            nics_[descriptor.input_link].deposit(descriptor.vc, flit);
+            break;
+          case overload::Verdict::kDemoted: {
+            Flit demoted = flit;
+            demoted.demoted = true;
+            nics_[descriptor.input_link].deposit(descriptor.vc, demoted);
+            break;
+          }
+          case overload::Verdict::kShaped:   // held in the penalty queue
+          case overload::Verdict::kDropped:  // discarded at injection
+            break;
+        }
+      }
+      const Cycle next = source.next_emission();
+      if (next != kNever) {
+        MMR_ASSERT_MSG(next > now, "source failed to advance its clock");
+        heap_.emplace(next, index);
+      }
+    }
+
+    // 2b. Shaped flits whose tokens have accrued enter their NIC now.
+    if (policer_) {
+      release_buffer_.clear();
+      policer_->release_due(now, release_buffer_);
+      for (const Flit& flit : release_buffer_) {
+        const ConnectionDescriptor& descriptor =
+            workload_.table.get(flit.connection);
+        nics_[descriptor.input_link].deposit(descriptor.vc, flit);
+        if (measure && flit.generated_at >= config_.warmup_cycles) {
+          shape_delay_us_.add(config_.time_base().cycles_to_us(
+              static_cast<double>(now - flit.generated_at)));
+        }
       }
     }
   }
 
   // 3. Each NIC's link controller forwards at most one flit.
-  for (std::uint32_t port = 0; port < config_.ports; ++port) {
-    if (auto transfer = nics_[port].select_and_send(now)) {
-      input_links_[port].push(*transfer, now);
+  {
+    MMR_PERF_SCOPE(perf::Phase::kCredits);
+    for (std::uint32_t port = 0; port < config_.ports; ++port) {
+      if (auto transfer = nics_[port].select_and_send(now)) {
+        input_links_[port].push(*transfer, now);
+      }
     }
   }
 
@@ -153,6 +163,8 @@ void MmrSimulation::step_one() {
   // switch and output link) and their credits head back to the NIC.
   departure_buffer_.clear();
   router_.step(now, measure, departure_buffer_);
+
+  MMR_PERF_SCOPE(perf::Phase::kMetrics);
   const bool overload_active = policer_ != nullptr || !rogue_ids_.empty();
   for (const MmrRouter::Departure& departure : departure_buffer_) {
     collector_.on_delivered(departure, now + 1);

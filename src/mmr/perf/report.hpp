@@ -1,0 +1,43 @@
+// Machine-readable perf reporting: the BENCH_perf.json schema emitted by
+// bench/perf_baseline and consumed by scripts/bench_compare.py.
+//
+// Schema "mmr-perf-v1": a top-level object with run metadata plus a flat
+// `records` array.  Each record is one measured scenario, keyed by `label`
+// (stable across baselines so two files can be diffed record-by-record):
+//   { "label": "sim-cbr/coa/p4", "kind": "sim-cbr", "arbiter": "coa",
+//     "ports": 4, "simulated_cycles": N, "wall_seconds": s,
+//     "cycles_per_second": r, "counters": {...},
+//     "phases": {"arbitration": {"seconds": s, "calls": n, "share": f}, ...} }
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "mmr/perf/probe.hpp"
+
+namespace mmr::perf {
+
+/// One measured scenario of a perf baseline.
+struct PerfRecord {
+  std::string label;    ///< stable diff key, e.g. "sim-cbr/coa/p4"
+  std::string kind;     ///< section: "sim-cbr", "arbitrate-micro", "sweep-cbr"
+  std::string arbiter;  ///< arbiter name ("" when not arbiter-specific)
+  std::uint32_t ports = 0;
+  PerfProbe probe;
+};
+
+/// Top-level metadata for one baseline file.
+struct PerfReportMeta {
+  std::string mode = "quick";  ///< "quick" | "full" | "smoke"
+  std::size_t threads = 0;     ///< sweep worker threads (0 = hardware)
+};
+
+/// Writes the full baseline as schema "mmr-perf-v1" JSON.
+void write_perf_json(std::ostream& out, const PerfReportMeta& meta,
+                     const std::vector<PerfRecord>& records);
+
+/// Renders a human-readable per-phase summary table for one record.
+[[nodiscard]] std::string render_phase_summary(const PerfRecord& record);
+
+}  // namespace mmr::perf

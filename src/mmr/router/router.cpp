@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "mmr/arbiter/verify.hpp"
+#include "mmr/perf/probe.hpp"
 #include "mmr/sim/assert.hpp"
 
 namespace mmr {
@@ -12,7 +13,8 @@ MmrRouter::MmrRouter(const SimConfig& config, const ConnectionTable& table,
     : ports_(config.ports),
       arbiter_(make_arbiter(config.arbiter, config.ports, rng.fork(0xA9B1))),
       crossbar_(config.ports),
-      candidates_(config.ports, config.candidate_levels) {
+      candidates_(config.ports, config.candidate_levels),
+      matching_(config.ports) {
   config.validate();
   MMR_ASSERT(table.ports() == ports_);
 
@@ -66,26 +68,34 @@ void MmrRouter::accept(std::uint32_t input, std::uint32_t vc, const Flit& flit,
 void MmrRouter::step(Cycle now, bool measure,
                      std::vector<Departure>& departures) {
   // Link scheduling: every input port offers its top-L candidates.
-  candidates_.clear();
-  for (std::uint32_t port = 0; port < ports_; ++port) {
-    if (eligibility_) {
-      const LinkScheduler::Eligibility eligible =
-          [this, port](std::uint32_t vc) { return eligibility_(port, vc); };
-      link_schedulers_[port].select(vcms_[port], now, candidates_, &eligible);
-    } else {
-      link_schedulers_[port].select(vcms_[port], now, candidates_);
+  {
+    MMR_PERF_SCOPE(perf::Phase::kLinkSchedule);
+    candidates_.clear();
+    for (std::uint32_t port = 0; port < ports_; ++port) {
+      if (eligibility_) {
+        const LinkScheduler::Eligibility eligible =
+            [this, port](std::uint32_t vc) { return eligibility_(port, vc); };
+        link_schedulers_[port].select(vcms_[port], now, candidates_,
+                                      &eligible);
+      } else {
+        link_schedulers_[port].select(vcms_[port], now, candidates_);
+      }
     }
   }
 
-  // Switch scheduling.
-  const Matching matching = arbiter_->arbitrate(candidates_);
-  const MatchingCheck check = check_matching(candidates_, matching);
-  MMR_ASSERT_MSG(check.valid, check.problem.c_str());
+  // Switch scheduling, into the recycled matching buffer.
+  {
+    MMR_PERF_SCOPE(perf::Phase::kArbitration);
+    arbiter_->arbitrate_into(candidates_, matching_);
+    const MatchingCheck check = check_matching(candidates_, matching_);
+    MMR_ASSERT_MSG(check.valid, check.problem.c_str());
+  }
 
   // Synchronous crossbar transit of every matched head flit.
-  crossbar_.apply(matching, measure);
+  MMR_PERF_SCOPE(perf::Phase::kCrossbar);
+  crossbar_.apply(matching_, measure);
   for (std::uint32_t input = 0; input < ports_; ++input) {
-    const std::int32_t cand_index = matching.candidate_of(input);
+    const std::int32_t cand_index = matching_.candidate_of(input);
     if (cand_index == -1) continue;
     const Candidate& granted =
         candidates_.at(static_cast<std::size_t>(cand_index));
@@ -97,6 +107,8 @@ void MmrRouter::step(Cycle now, bool measure,
     departure.flit = vcms_[input].pop(granted.vc);
     MMR_ASSERT_MSG(departure.flit.connection != kInvalidConnection,
                    "granted VC held no real flit");
+    if (departures.size() == departures.capacity())
+      MMR_PERF_COUNT(perf::Counter::kDepartureRealloc, 1);
     departures.push_back(departure);
     ++departed_;
   }

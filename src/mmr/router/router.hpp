@@ -83,6 +83,7 @@ class MmrRouter {
   std::unique_ptr<SwitchArbiter> arbiter_;
   Crossbar crossbar_;
   CandidateSet candidates_;
+  Matching matching_;  ///< reused across cycles (allocation-free steady state)
   std::uint64_t accepted_ = 0;
   std::uint64_t departed_ = 0;
   std::uint64_t drained_ = 0;

@@ -3,7 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
+#include <utility>
 
 namespace mmr {
 
@@ -29,11 +29,6 @@ const char* level_tag(LogLevel level) {
   return "?";
 }
 
-std::mutex& log_mutex() {
-  static std::mutex m;
-  return m;
-}
-
 }  // namespace
 
 Logger::Logger() : level_(level_from_env()) {}
@@ -43,9 +38,29 @@ Logger& Logger::instance() {
   return logger;
 }
 
+void Logger::set_sink(Sink sink) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  sink_ = std::move(sink);
+}
+
 void Logger::write(LogLevel level, const std::string& message) {
-  const std::lock_guard<std::mutex> lock(log_mutex());
-  std::fprintf(stderr, "[mmr %s] %s\n", level_tag(level), message.c_str());
+  // Build the complete line before taking the lock so formatting cost is
+  // paid outside the critical section, then emit it in one write.
+  std::string line;
+  line.reserve(message.size() + 16);
+  line += "[mmr ";
+  line += level_tag(level);
+  line += "] ";
+  line += message;
+  line += '\n';
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (sink_) {
+    sink_(level, line);
+    return;
+  }
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fflush(stderr);
 }
 
 }  // namespace mmr

@@ -1,7 +1,15 @@
 // Tiny leveled logger.  Level comes from the MMR_LOG environment variable
 // (error|warn|info|debug); defaults to warn so tests and benches stay quiet.
+//
+// Thread safety: the level is atomic (sweep workers log while a driver
+// thread may adjust verbosity) and each message is formatted into one
+// string, then emitted with a single write under a mutex — concurrent
+// messages never interleave mid-line.
 #pragma once
 
+#include <atomic>
+#include <functional>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -13,14 +21,28 @@ class Logger {
  public:
   static Logger& instance();
 
-  [[nodiscard]] LogLevel level() const { return level_; }
-  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const {
+    return level_.load(std::memory_order_relaxed);
+  }
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
 
+  /// Formats "[mmr LEVEL] message\n" and emits it atomically (one write,
+  /// serialized by the logger mutex).
   void write(LogLevel level, const std::string& message);
+
+  /// Redirects fully-formatted lines away from stderr (tests capture output
+  /// here).  The sink is invoked under the logger mutex, so it needs no
+  /// locking of its own; pass nullptr to restore stderr.
+  using Sink = std::function<void(LogLevel, const std::string& line)>;
+  void set_sink(Sink sink);
 
  private:
   Logger();
-  LogLevel level_;
+  std::atomic<LogLevel> level_;
+  std::mutex mutex_;
+  Sink sink_;
 };
 
 namespace detail {

@@ -14,6 +14,13 @@ std::uint64_t splitmix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t a, std::uint64_t b) {
+  std::uint64_t state = seed;
+  state = splitmix64(state) ^ a;
+  state = splitmix64(state) ^ b;
+  return splitmix64(state);
+}
+
 namespace {
 
 constexpr std::uint64_t rotl(std::uint64_t x, int k) {

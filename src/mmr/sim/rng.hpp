@@ -12,6 +12,12 @@ namespace mmr {
 /// SplitMix64 step; used for seeding and cheap hashing of stream ids.
 [[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state);
 
+/// Derives a decorrelated seed from (seed, a, b), running every input
+/// through the full SplitMix64 finalizer.  Unlike XOR-of-small-multiples,
+/// nearby (a, b) pairs land on unrelated seeds and can never cancel.
+[[nodiscard]] std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t a,
+                                     std::uint64_t b);
+
 /// xoshiro256++ generator.  Satisfies UniformRandomBitGenerator.
 class Rng {
  public:

@@ -8,6 +8,7 @@
 
 #include "arbiter_test_util.hpp"
 #include "mmr/arbiter/verify.hpp"
+#include "mmr/audit/generator.hpp"
 
 namespace mmr {
 namespace {
@@ -179,6 +180,45 @@ TEST(CandidateOrderArbiter, MatchesPaperExampleShape) {
   // Remaining: input 1 -> 3 (level 1), input 2 -> 0 (level 0).
   EXPECT_EQ(matching.input_of(3), 1);
   EXPECT_EQ(matching.input_of(0), 2);
+}
+
+// The bucketed COA is a pure reimplementation of the reference scan-loop
+// COA ("coa-scan"): both must consume the identical RNG draw sequence and
+// therefore produce bit-identical matchings, candidate index included, on
+// every candidate set.  This is what lets the optimized arbiter replace the
+// original without perturbing golden-seed simulation metrics.
+TEST(CandidateOrderArbiter, BucketedMatchesReferenceScanExactly) {
+  for (const bool use_priority : {true, false}) {
+    for (const audit::LoadProfile profile : audit::all_profiles()) {
+      for (std::uint32_t ports : {2u, 4u, 8u, 16u}) {
+        const std::uint64_t seed = 0xC0A0 + ports;
+        CandidateOrderArbiter bucketed(ports, Rng(seed, 7), use_priority);
+        CandidateOrderScanArbiter scan(ports, Rng(seed, 7), use_priority);
+        audit::GeneratorOptions opt;
+        opt.ports = ports;
+        opt.levels = 2;
+        opt.profile = profile;
+        Rng gen(0x5EED + ports, static_cast<std::uint64_t>(profile));
+        Matching a(ports);
+        Matching b(ports);
+        for (int step = 0; step < 50; ++step) {
+          CandidateSet set(ports, opt.levels);
+          for (const Candidate& c : audit::generate_step(gen, opt)) {
+            set.add(c);
+          }
+          bucketed.arbitrate_into(set, a);
+          scan.arbitrate_into(set, b);
+          ASSERT_EQ(a.size(), b.size());
+          for (std::uint32_t input = 0; input < ports; ++input) {
+            ASSERT_EQ(a.output_of(input), b.output_of(input))
+                << "profile=" << audit::profile_name(profile)
+                << " ports=" << ports << " step=" << step;
+            ASSERT_EQ(a.candidate_of(input), b.candidate_of(input));
+          }
+        }
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <sstream>
+#include <stdexcept>
+#include <string>
 
 #include "mmr/core/experiment.hpp"
 #include "mmr/core/report.hpp"
@@ -90,6 +92,85 @@ TEST(Sweep, ResultsIndependentOfThreadCount) {
     EXPECT_DOUBLE_EQ(serial[i].metrics.flit_delay_us.mean(),
                      parallel[i].metrics.flit_delay_us.mean());
   }
+}
+
+// Bit-identical SweepPoint metrics between a single worker and full
+// hardware concurrency, for both workload kinds.  EXPECT_EQ on the doubles
+// (not EXPECT_DOUBLE_EQ / near) is deliberate: determinism here means the
+// same bits, not approximately the same value.
+void expect_thread_count_invariance(SweepSpec spec) {
+  spec.threads = 1;
+  const std::vector<SweepPoint> serial = run_sweep(spec);
+  spec.threads = 0;  // 0 = hardware concurrency
+  const std::vector<SweepPoint> parallel = run_sweep(spec);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    const SimulationMetrics& a = serial[i].metrics;
+    const SimulationMetrics& b = parallel[i].metrics;
+    EXPECT_EQ(serial[i].arbiter, parallel[i].arbiter);
+    EXPECT_EQ(a.flits_generated, b.flits_generated);
+    EXPECT_EQ(a.flits_delivered, b.flits_delivered);
+    EXPECT_EQ(a.flit_delay_us.mean(), b.flit_delay_us.mean());
+    EXPECT_EQ(a.flit_delay_us.max(), b.flit_delay_us.max());
+    EXPECT_EQ(a.delivered_load, b.delivered_load);
+    EXPECT_EQ(a.crossbar_utilization, b.crossbar_utilization);
+  }
+}
+
+TEST(Sweep, CbrMetricsBitIdenticalAcrossThreadCounts) {
+  SweepSpec spec = tiny_spec();
+  spec.replications = 2;
+  expect_thread_count_invariance(spec);
+}
+
+TEST(Sweep, VbrMetricsBitIdenticalAcrossThreadCounts) {
+  SweepSpec spec = tiny_spec();
+  spec.kind = WorkloadKind::kVbr;
+  spec.replications = 2;
+  expect_thread_count_invariance(spec);
+}
+
+TEST(Sweep, ValidateRejectsDuplicateLoads) {
+  SweepSpec spec = tiny_spec();
+  spec.loads = {0.3, 0.6, 0.6, 0.9};
+  try {
+    (void)run_sweep(spec);
+    FAIL() << "duplicate load must throw";
+  } catch (const std::invalid_argument& e) {
+    // The message must name the offending entry.
+    EXPECT_NE(std::string(e.what()).find("loads[2]"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("duplicates"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Sweep, ValidateRejectsNonAscendingLoads) {
+  SweepSpec spec = tiny_spec();
+  spec.loads = {0.6, 0.3};
+  try {
+    (void)run_sweep(spec);
+    FAIL() << "descending loads must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("loads[1]"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("ascending"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Sweep, ValidateRejectsOutOfRangeAndEmptyLoads) {
+  SweepSpec spec = tiny_spec();
+  spec.loads = {};
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.loads = {0.0};
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.loads = {-0.5};
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.loads = {2.5};
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.loads = {0.3, 0.6};
+  EXPECT_NO_THROW(spec.validate());
 }
 
 TEST(SaturationLoad, DetectsFirstSaturatedPoint) {

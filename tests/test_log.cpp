@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
 namespace mmr {
 namespace {
 
@@ -32,6 +37,72 @@ TEST(Logger, VariadicFormattingComposes) {
   // Mixed argument types compile and run.
   log_error("code=", 7, " ratio=", 0.5, " name=", std::string("x"));
   logger.set_level(original);
+}
+
+TEST(Logger, SinkCapturesCompleteLines) {
+  Logger& logger = Logger::instance();
+  const LogLevel original = logger.level();
+  logger.set_level(LogLevel::kInfo);
+  std::vector<std::string> lines;
+  logger.set_sink(
+      [&](LogLevel, const std::string& line) { lines.push_back(line); });
+  log_info("hello ", 1);
+  log_error("bad ", 2);
+  log_debug("below threshold");
+  logger.set_sink(nullptr);
+  logger.set_level(original);
+
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "[mmr INFO ] hello 1\n");
+  EXPECT_EQ(lines[1], "[mmr ERROR] bad 2\n");
+}
+
+// Many threads log concurrently while another thread toggles the level; the
+// sink must observe only whole, well-formed lines (no interleaving, no torn
+// level reads tripping TSan/UB).
+TEST(Logger, ConcurrentWritersNeverInterleave) {
+  Logger& logger = Logger::instance();
+  const LogLevel original = logger.level();
+  logger.set_level(LogLevel::kInfo);
+
+  std::vector<std::string> lines;
+  logger.set_sink(
+      [&](LogLevel, const std::string& line) { lines.push_back(line); });
+
+  constexpr int kThreads = 8;
+  constexpr int kMessagesPerThread = 200;
+  std::atomic<bool> stop{false};
+  std::thread toggler([&] {
+    while (!stop.load()) {
+      logger.set_level(LogLevel::kInfo);
+      logger.set_level(LogLevel::kDebug);
+    }
+  });
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < kMessagesPerThread; ++i) {
+        log_error("thread=", t, " msg=", i, " payload=abcdefghijklmnop");
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  stop.store(true);
+  toggler.join();
+  logger.set_sink(nullptr);
+  logger.set_level(original);
+
+  // kError is always at or below the toggled threshold, so every message
+  // arrives, each as one complete line.
+  ASSERT_EQ(lines.size(),
+            static_cast<std::size_t>(kThreads) * kMessagesPerThread);
+  for (const std::string& line : lines) {
+    EXPECT_EQ(line.rfind("[mmr ERROR] thread=", 0), 0u) << line;
+    EXPECT_EQ(line.find('\n'), line.size() - 1) << line;
+    EXPECT_NE(line.find(" payload=abcdefghijklmnop\n"), std::string::npos)
+        << line;
+  }
 }
 
 TEST(Logger, LevelOrderingIsMonotone) {

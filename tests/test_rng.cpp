@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <set>
 #include <vector>
@@ -225,6 +226,39 @@ TEST(Rng, SplitMix64KnownSequenceIsStable) {
   std::uint64_t state2 = 0;
   EXPECT_EQ(splitmix64(state2), first);
   EXPECT_NE(splitmix64(state2), first);  // second draw differs
+}
+
+// Regression for the sweep's original per-point seed derivation
+// (seed ^ 0x9E37*(a+1) ^ 0xC2B2*b), where distinct (a, b) pairs could
+// collide and every derived seed stayed within a few low bits of the base.
+// mix_seed must give pairwise-distinct, decorrelated seeds over a realistic
+// sweep grid.
+TEST(Rng, MixSeedIsPairwiseDistinctOverSweepGrids) {
+  std::set<std::uint64_t> seen;
+  std::size_t pairs = 0;
+  for (const std::uint64_t base : {0ull, 1ull, 42ull, 0xDEADBEEFull}) {
+    for (std::uint64_t arbiter = 0; arbiter < 12; ++arbiter) {
+      for (std::uint64_t replication = 0; replication < 32; ++replication) {
+        seen.insert(mix_seed(base, arbiter, replication));
+        ++pairs;
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), pairs);
+}
+
+TEST(Rng, MixSeedDecorrelatesNearbyInputs) {
+  // Adjacent grid points must differ in roughly half their bits, not just
+  // the low ones the old XOR-of-small-multiples scheme touched.
+  const std::uint64_t a = mix_seed(42, 0, 0);
+  for (const std::uint64_t other :
+       {mix_seed(42, 0, 1), mix_seed(42, 1, 0), mix_seed(43, 0, 0)}) {
+    const int flipped = std::popcount(a ^ other);
+    EXPECT_GE(flipped, 16);
+    EXPECT_LE(flipped, 48);
+  }
+  // Argument order matters: (a, b) and (b, a) are different points.
+  EXPECT_NE(mix_seed(42, 1, 2), mix_seed(42, 2, 1));
 }
 
 }  // namespace
