@@ -10,6 +10,7 @@
 
 #include "mmr/network/network.hpp"
 #include "mmr/sim/table.hpp"
+#include "mmr/trace/spec.hpp"
 
 int main(int argc, char** argv) {
   using namespace mmr;
@@ -36,6 +37,9 @@ int main(int argc, char** argv) {
   }
   try {
     apply_overrides(config, overrides);
+    // Fail fast on a bad trace= spec (parsed again at construction).
+    if (!config.trace_spec.empty())
+      (void)trace::TraceSpec::parse(config.trace_spec);
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << '\n';
     return 1;

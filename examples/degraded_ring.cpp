@@ -13,6 +13,7 @@
 #include <iostream>
 
 #include "mmr/network/network.hpp"
+#include "mmr/trace/spec.hpp"
 
 int main(int argc, char** argv) {
   using namespace mmr;
@@ -38,6 +39,8 @@ int main(int argc, char** argv) {
   try {
     apply_overrides(config, overrides);
     (void)FaultPlan::parse(fault_spec);  // fail fast on a bad fault= spec
+    if (!config.trace_spec.empty())
+      (void)trace::TraceSpec::parse(config.trace_spec);
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << '\n';
     return 1;

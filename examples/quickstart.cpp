@@ -11,6 +11,7 @@
 #include "mmr/core/simulation.hpp"
 #include "mmr/overload/spec.hpp"
 #include "mmr/sim/table.hpp"
+#include "mmr/trace/spec.hpp"
 
 int main(int argc, char** argv) {
   mmr::SimConfig config;
@@ -24,6 +25,8 @@ int main(int argc, char** argv) {
       (void)mmr::overload::PoliceSpec::parse(config.police_spec);
     if (!config.rogue_spec.empty())
       (void)mmr::overload::RogueSpec::parse(config.rogue_spec);
+    if (!config.trace_spec.empty())
+      (void)mmr::trace::TraceSpec::parse(config.trace_spec);
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << '\n';
     return 1;

@@ -12,6 +12,7 @@
 
 #include "mmr/core/simulation.hpp"
 #include "mmr/sim/table.hpp"
+#include "mmr/trace/spec.hpp"
 
 int main(int argc, char** argv) {
   using namespace mmr;
@@ -35,6 +36,9 @@ int main(int argc, char** argv) {
   }
   try {
     apply_overrides(config, overrides);
+    // Fail fast on a bad trace= spec (parsed again at construction).
+    if (!config.trace_spec.empty())
+      (void)trace::TraceSpec::parse(config.trace_spec);
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << '\n';
     return 1;

@@ -25,6 +25,13 @@ echo
 echo "=== tier-2 soaks (arbiter audit + overload protection, 200 seeds each) ==="
 ctest --test-dir build --output-on-failure -j "${JOBS}" -L tier2
 
+echo
+echo "=== trace stage (lint self-test + smoke trace) ==="
+python3 scripts/trace_lint.py --check
+./build/bench/trace_overhead warmup=500 measure=3000 \
+  out=build/TRACE_smoke.jsonl
+python3 scripts/trace_lint.py build/TRACE_smoke.jsonl
+
 if [[ "${RUN_PERF}" == "1" ]]; then
   echo
   echo "=== perf smoke (perf_baseline + schema check) ==="

@@ -1,0 +1,246 @@
+#!/usr/bin/env python3
+"""Lint mmr-trace-v1 JSONL files (stdlib only).
+
+Checks, per file:
+  * header line: schema == "mmr-trace-v1" with the full provenance key set
+  * every event line carries exactly the v1 key set
+    {cycle,type,node,input,output,vc,conn,level,a,b} with integer values
+  * event types are from the known taxonomy
+  * cycles are non-decreasing (events are emitted in simulation order)
+  * input/output/vc respect the header's ports/vcs bounds
+  * the header's `events` count matches the number of event lines
+  * for complete stream traces (mode == stream, truncated == 0): per
+    (node, connection), crossbar traversals never outnumber VC enqueues —
+    a flit cannot cross the switch it was never buffered in
+
+Usage:
+  trace_lint.py [--check] [FILE...]
+    --check   run the built-in self-test corpus first (exits non-zero on
+              self-test failure); FILEs are linted afterwards as usual
+
+Exit status: 0 clean, 1 lint/self-test errors, 2 usage errors.
+"""
+
+import json
+import sys
+
+SCHEMA = "mmr-trace-v1"
+NO_CONNECTION = 2**32 - 1
+
+HEADER_KEYS = {
+    "schema", "ports", "vcs", "levels", "arbiter", "seed", "mode",
+    "trigger", "events", "truncated",
+}
+EVENT_KEYS = {
+    "cycle", "type", "node", "input", "output", "vc", "conn", "level",
+    "a", "b",
+}
+EVENT_TYPES = {
+    "inject", "police", "shape_release", "vc_enqueue", "candidate",
+    "grant", "grant_reason", "deny", "xbar", "credit_return", "deliver",
+    "deadline_miss", "fault", "watchdog", "audit_sweep", "admit", "release",
+}
+# Control-plane events are node-scoped; their port/VC fields are not
+# meaningful and are excluded from the bounds checks.
+CONTROL_TYPES = {"fault", "watchdog", "audit_sweep"}
+
+
+def lint_lines(lines, name="<input>"):
+    """Returns a list of 'name:line: message' strings (empty = clean)."""
+    errors = []
+
+    def err(line_no, message):
+        errors.append(f"{name}:{line_no}: {message}")
+
+    rows = [(i + 1, line) for i, line in enumerate(lines) if line.strip()]
+    if not rows:
+        return [f"{name}:1: empty trace (missing header line)"]
+
+    head_no, head_line = rows[0]
+    try:
+        header = json.loads(head_line)
+    except json.JSONDecodeError as exc:
+        return [f"{name}:{head_no}: header is not valid JSON: {exc}"]
+    if not isinstance(header, dict) or header.get("schema") != SCHEMA:
+        return [f"{name}:{head_no}: header schema is not '{SCHEMA}'"]
+    missing = HEADER_KEYS - header.keys()
+    extra = header.keys() - HEADER_KEYS
+    if missing:
+        err(head_no, f"header is missing keys: {sorted(missing)}")
+    if extra:
+        err(head_no, f"header has unknown keys: {sorted(extra)}")
+    for key in ("ports", "vcs", "levels", "seed", "events", "truncated"):
+        if key in header and not isinstance(header[key], int):
+            err(head_no, f"header key '{key}' must be an integer")
+    if errors:
+        return errors
+
+    ports = header["ports"]
+    vcs = header["vcs"]
+    last_cycle = -1
+    enqueues = {}  # (node, conn) -> count
+    xbars = {}
+    event_count = 0
+
+    for line_no, line in rows[1:]:
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            err(line_no, f"event is not valid JSON: {exc}")
+            continue
+        if not isinstance(event, dict):
+            err(line_no, "event line is not a JSON object")
+            continue
+        event_count += 1
+        keys = set(event.keys())
+        if keys != EVENT_KEYS:
+            err(line_no, f"event keys must be exactly {sorted(EVENT_KEYS)}; "
+                         f"missing {sorted(EVENT_KEYS - keys)}, "
+                         f"unknown {sorted(keys - EVENT_KEYS)}")
+            continue
+        bad_value = [k for k in EVENT_KEYS - {"type"}
+                     if not isinstance(event[k], int)]
+        if bad_value or not isinstance(event["type"], str):
+            err(line_no, f"non-integer event fields: {sorted(bad_value)}")
+            continue
+        etype = event["type"]
+        if etype not in EVENT_TYPES:
+            err(line_no, f"unknown event type '{etype}'")
+            continue
+        if event["cycle"] < last_cycle:
+            err(line_no, f"cycle regressed: {event['cycle']} after "
+                         f"{last_cycle}")
+        last_cycle = max(last_cycle, event["cycle"])
+        if etype not in CONTROL_TYPES:
+            if ports and not (0 <= event["input"] < ports):
+                err(line_no, f"input {event['input']} out of range "
+                             f"[0, {ports})")
+            if ports and not (0 <= event["output"] < ports):
+                err(line_no, f"output {event['output']} out of range "
+                             f"[0, {ports})")
+            if vcs and not (0 <= event["vc"] < vcs):
+                err(line_no, f"vc {event['vc']} out of range [0, {vcs})")
+        conn = event["conn"]
+        if conn != NO_CONNECTION:
+            key = (event["node"], conn)
+            if etype == "vc_enqueue":
+                enqueues[key] = enqueues.get(key, 0) + 1
+            elif etype == "xbar":
+                xbars[key] = xbars.get(key, 0) + 1
+
+    if event_count != header["events"]:
+        err(head_no, f"header claims {header['events']} events but the file "
+                     f"holds {event_count}")
+
+    if header["mode"] == "stream" and header["truncated"] == 0:
+        for key, crossed in sorted(xbars.items()):
+            queued = enqueues.get(key, 0)
+            if crossed > queued:
+                node, conn = key
+                err(head_no, f"node {node} connection {conn}: {crossed} xbar "
+                             f"events but only {queued} vc_enqueue events")
+    return errors
+
+
+def lint_file(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    except OSError as exc:
+        return [f"{path}:0: cannot read: {exc}"]
+    return lint_lines(lines, name=path)
+
+
+# --- self-test corpus ------------------------------------------------------
+
+def _good_trace():
+    header = {"schema": SCHEMA, "ports": 2, "vcs": 4, "levels": 2,
+              "arbiter": "coa", "seed": 7, "mode": "stream",
+              "trigger": "end", "events": 3, "truncated": 0}
+
+    def event(**kwargs):
+        base = {"cycle": 0, "type": "inject", "node": 0, "input": 0,
+                "output": 0, "vc": 0, "conn": 5, "level": 0, "a": 0, "b": 0}
+        base.update(kwargs)
+        return base
+
+    lines = [json.dumps(header),
+             json.dumps(event(cycle=1, type="vc_enqueue")),
+             json.dumps(event(cycle=2, type="xbar", output=1)),
+             json.dumps(event(cycle=2, type="watchdog", conn=NO_CONNECTION,
+                              input=999))]
+    return lines
+
+
+def self_test():
+    good = _good_trace()
+    cases = [("clean trace", good, False)]
+
+    bad = list(good)
+    bad[0] = bad[0].replace(SCHEMA, "mmr-trace-v0")
+    cases.append(("wrong schema", bad, True))
+
+    bad = list(good)
+    bad[1] = json.dumps({**json.loads(bad[1]), "surprise": 1})
+    cases.append(("extra event key", bad, True))
+
+    bad = list(good)
+    bad[1] = bad[1].replace("vc_enqueue", "teleport")
+    cases.append(("unknown type", bad, True))
+
+    bad = list(good)
+    bad[2] = json.dumps({**json.loads(bad[2]), "cycle": 0})
+    cases.append(("cycle regression", bad, True))
+
+    bad = list(good)
+    bad[2] = json.dumps({**json.loads(bad[2]), "vc": 99})
+    cases.append(("vc out of bounds", bad, True))
+
+    bad = list(good)
+    bad[0] = json.dumps({**json.loads(bad[0]), "events": 7})
+    cases.append(("event count mismatch", bad, True))
+
+    bad = list(good)
+    del bad[1]  # drop the vc_enqueue, keep the xbar
+    bad[0] = json.dumps({**json.loads(bad[0]), "events": 2})
+    cases.append(("xbar without enqueue", bad, True))
+
+    failures = 0
+    for label, lines, expect_errors in cases:
+        errors = lint_lines(lines, name=label)
+        if bool(errors) != expect_errors:
+            failures += 1
+            print(f"self-test FAILED: {label}: expected "
+                  f"{'errors' if expect_errors else 'clean'}, got {errors}",
+                  file=sys.stderr)
+    if failures == 0:
+        print(f"trace_lint self-test ok ({len(cases)} cases)")
+    return failures
+
+
+def main(argv):
+    args = list(argv[1:])
+    run_check = False
+    if args and args[0] == "--check":
+        run_check = True
+        args = args[1:]
+    if not run_check and not args:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    status = 0
+    if run_check and self_test() != 0:
+        status = 1
+    for path in args:
+        errors = lint_file(path)
+        if errors:
+            status = 1
+            for error in errors:
+                print(error, file=sys.stderr)
+        else:
+            print(f"{path}: ok")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -3,6 +3,8 @@
 #include <limits>
 
 #include "mmr/perf/probe.hpp"
+#include "mmr/trace/event.hpp"
+#include "mmr/trace/tracer.hpp"
 
 namespace mmr {
 
@@ -105,6 +107,9 @@ void CandidateOrderArbiter::arbitrate_into(const CandidateSet& candidates,
     MMR_ASSERT(winner != -1);
     const Candidate& granted = all[static_cast<std::size_t>(winner)];
     matching.match(granted.input, granted.output, winner);
+    MMR_TRACE_EMIT_NOW(trace::grant_reason_event, granted.input,
+                       granted.output, granted.vc, granted.level,
+                       granted.priority, best_conflict);
     output_free_[granted.output] = 0;
 
     // Drop every request involving the matched input or output, updating
@@ -208,6 +213,9 @@ void CandidateOrderScanArbiter::arbitrate_into(const CandidateSet& candidates,
     MMR_ASSERT(winner != -1);
     const Candidate& granted = all[static_cast<std::size_t>(winner)];
     matching.match(granted.input, granted.output, winner);
+    MMR_TRACE_EMIT_NOW(trace::grant_reason_event, granted.input,
+                       granted.output, granted.vc, granted.level,
+                       granted.priority, best_conflict);
     input_free_[granted.input] = 0;
     output_free_[granted.output] = 0;
 

@@ -1,5 +1,8 @@
 #include "mmr/arbiter/wavefront.hpp"
 
+#include "mmr/trace/event.hpp"
+#include "mmr/trace/tracer.hpp"
+
 namespace mmr {
 
 namespace detail {
@@ -44,6 +47,12 @@ void WaveFrontArbiter::arbitrate_into(const CandidateSet& candidates,
           request_[static_cast<std::size_t>(i) * ports_ + j];
       if (cell == -1) continue;
       matching.match(i, j, cell);
+      if (MMR_TRACE_ON()) {
+        const Candidate& granted =
+            candidates.at(static_cast<std::size_t>(cell));
+        MMR_TRACE_EMIT_NOW(trace::grant_reason_event, i, j, granted.vc,
+                           granted.level, granted.priority, wave);
+      }
     }
   }
 }
@@ -70,6 +79,12 @@ void WrappedWaveFrontArbiter::arbitrate_into(const CandidateSet& candidates,
           request_[static_cast<std::size_t>(i) * ports_ + j];
       if (cell == -1) continue;
       matching.match(i, j, cell);
+      if (MMR_TRACE_ON()) {
+        const Candidate& granted =
+            candidates.at(static_cast<std::size_t>(cell));
+        MMR_TRACE_EMIT_NOW(trace::grant_reason_event, i, j, granted.vc,
+                           granted.level, granted.priority, diag);
+      }
     }
   }
 

@@ -9,8 +9,16 @@
 namespace mmr::audit {
 namespace {
 
+// Built with += rather than operator+ chains: GCC 12's -Wrestrict raises a
+// false positive (PR 105651) on `const char* + std::string&&` when inlining
+// happens to expose the insert() path.
 std::string pair_str(std::uint32_t input, std::uint32_t output) {
-  return "(" + std::to_string(input) + " -> " + std::to_string(output) + ")";
+  std::string out = "(";
+  out += std::to_string(input);
+  out += " -> ";
+  out += std::to_string(output);
+  out += ')';
+  return out;
 }
 
 }  // namespace

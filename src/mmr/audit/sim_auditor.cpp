@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "mmr/sim/assert.hpp"
+#include "mmr/trace/event.hpp"
+#include "mmr/trace/tracer.hpp"
 
 namespace mmr::audit {
 
@@ -68,6 +70,7 @@ void SimAuditor::on_cycle(Cycle now, const MmrRouter& router,
   if (now % period_ == 0) {
     sweep(router, nics, links);
     ++sweeps_;
+    MMR_TRACE_EVENT(trace::audit_sweep_event(now, sweeps_));
   }
 }
 

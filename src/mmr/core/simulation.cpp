@@ -7,6 +7,8 @@
 #include "mmr/perf/probe.hpp"
 #include "mmr/sim/assert.hpp"
 #include "mmr/sim/log.hpp"
+#include "mmr/trace/event.hpp"
+#include "mmr/trace/tracer.hpp"
 
 namespace mmr {
 
@@ -60,6 +62,11 @@ MmrSimulation::MmrSimulation(SimConfig config, Workload workload)
 
   if (config_.audit_every > 0)
     auditor_ = std::make_unique<audit::SimAuditor>(config_);
+
+  if (!config_.trace_spec.empty())
+    tracer_ = std::make_unique<trace::Tracer>(
+        trace::TraceSpec::parse(config_.trace_spec),
+        trace::TraceMeta::from_config(config_));
 }
 
 MmrSimulation::~MmrSimulation() = default;
@@ -80,6 +87,15 @@ std::uint64_t MmrSimulation::backlog() const {
 void MmrSimulation::step_one() {
   const Cycle now = now_;
   const bool measure = now >= config_.warmup_cycles;
+
+  // Arm this simulation's tracer for the cycle (keeping any externally
+  // armed tracer when trace= is unset, mirroring perf::ProbeScope).  The
+  // mirrored clock lets clock-less call sites (arbiters, admission) stamp
+  // their events with the right cycle.
+  trace::Tracer* const tracer =
+      tracer_ != nullptr ? tracer_.get() : trace::current();
+  const trace::TraceScope trace_scope(tracer);
+  if (tracer != nullptr) tracer->set_now(now);
 
   // 1. Flits whose link transfer completes this cycle enter the VCM.
   {
@@ -108,20 +124,56 @@ void MmrSimulation::step_one() {
         collector_.on_generated(flit.connection, flit.generated_at);
         if (policer_ == nullptr) {
           nics_[descriptor.input_link].deposit(descriptor.vc, flit);
+          MMR_TRACE_EVENT(trace::inject_event(now, descriptor.input_link,
+                                              descriptor.vc, flit.connection,
+                                              flit.seq));
           continue;
         }
         switch (policer_->police(flit, now)) {
           case overload::Verdict::kPass:
             nics_[descriptor.input_link].deposit(descriptor.vc, flit);
+            MMR_TRACE_EVENT(trace::inject_event(now, descriptor.input_link,
+                                                descriptor.vc, flit.connection,
+                                                flit.seq));
             break;
           case overload::Verdict::kDemoted: {
             Flit demoted = flit;
             demoted.demoted = true;
             nics_[descriptor.input_link].deposit(descriptor.vc, demoted);
+            if (MMR_TRACE_ON()) {
+              MMR_TRACE_EVENT(trace::police_event(
+                  now, descriptor.input_link, descriptor.vc, flit.connection,
+                  flit.seq, trace::PoliceAction::kDemoted));
+              MMR_TRACE_EVENT(trace::inject_event(
+                  now, descriptor.input_link, descriptor.vc, flit.connection,
+                  flit.seq, /*demoted=*/true));
+            }
             break;
           }
-          case overload::Verdict::kShaped:   // held in the penalty queue
+          case overload::Verdict::kShaped:  // held in the penalty queue
+            MMR_TRACE_EVENT(trace::police_event(
+                now, descriptor.input_link, descriptor.vc, flit.connection,
+                flit.seq, trace::PoliceAction::kShaped));
+            break;
           case overload::Verdict::kDropped:  // discarded at injection
+            if (MMR_TRACE_ON()) {
+              // Recover the reason the policer recorded in its tallies:
+              // best-effort drops while shedding are watchdog sheds; QoS
+              // drops under the shape policy mean the penalty queue was
+              // full; everything else is a plain contract drop.
+              trace::PoliceAction action = trace::PoliceAction::kDropped;
+              if (!descriptor.is_qos() && policer_->shedding()) {
+                action = trace::PoliceAction::kShed;
+              } else if (descriptor.is_qos() &&
+                         policer_->spec().policy ==
+                             overload::OverloadPolicy::kShape) {
+                action = trace::PoliceAction::kPenaltyOverflow;
+              }
+              MMR_TRACE_EVENT(trace::police_event(now, descriptor.input_link,
+                                                  descriptor.vc,
+                                                  flit.connection, flit.seq,
+                                                  action));
+            }
             break;
         }
       }
@@ -140,6 +192,9 @@ void MmrSimulation::step_one() {
         const ConnectionDescriptor& descriptor =
             workload_.table.get(flit.connection);
         nics_[descriptor.input_link].deposit(descriptor.vc, flit);
+        MMR_TRACE_EVENT(trace::shape_release_event(
+            now, descriptor.input_link, descriptor.vc, flit.connection,
+            flit.seq, now - flit.generated_at));
         if (measure && flit.generated_at >= config_.warmup_cycles) {
           shape_delay_us_.add(config_.time_base().cycles_to_us(
               static_cast<double>(now - flit.generated_at)));
@@ -169,6 +224,22 @@ void MmrSimulation::step_one() {
   for (const MmrRouter::Departure& departure : departure_buffer_) {
     collector_.on_delivered(departure, now + 1);
     nics_[departure.input].return_credit(departure.vc, now);
+    if (MMR_TRACE_ON()) {
+      const Flit& flit = departure.flit;
+      const std::uint64_t delay = now + 1 - flit.generated_at;
+      MMR_TRACE_EVENT(trace::deliver_event(now, departure.input,
+                                           departure.output, departure.vc,
+                                           flit.connection, flit.seq, delay));
+      MMR_TRACE_EVENT(
+          trace::credit_return_event(now, departure.input, departure.vc));
+      if (workload_.table.get(flit.connection).is_qos() &&
+          static_cast<double>(delay) > qos_deadline_cycles_) {
+        MMR_TRACE_EVENT(trace::deadline_miss_event(now, departure.input,
+                                                   departure.vc,
+                                                   flit.connection, flit.seq,
+                                                   delay));
+      }
+    }
     if (observer_) observer_(departure, now + 1);
 
     // Compliant-vs-rogue QoS deadline split (overload accounting only).
@@ -209,6 +280,7 @@ SimulationMetrics MmrSimulation::run() {
   const Cycle total = config_.total_cycles();
   while (now_ < total) step_one();
   check_invariants();
+  if (tracer_) tracer_->write_outputs();
   return finalize();
 }
 

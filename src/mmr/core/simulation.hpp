@@ -27,6 +27,10 @@ class InjectionPolicer;
 class SaturationWatchdog;
 }  // namespace overload
 
+namespace trace {
+class Tracer;
+}  // namespace trace
+
 class MmrSimulation {
  public:
   MmrSimulation(SimConfig config, Workload workload);
@@ -77,6 +81,12 @@ class MmrSimulation {
     return rogue_ids_;
   }
 
+  /// The event tracer, or nullptr when `trace=` is unset.  Non-const so
+  /// tests can snapshot/export after a run; emission itself never touches
+  /// simulation state.
+  [[nodiscard]] trace::Tracer* tracer() { return tracer_.get(); }
+  [[nodiscard]] const trace::Tracer* tracer() const { return tracer_.get(); }
+
   void check_invariants() const;
 
  private:
@@ -94,6 +104,7 @@ class MmrSimulation {
 
   DepartureObserver observer_;
   std::unique_ptr<audit::SimAuditor> auditor_;  ///< set when audit_every > 0
+  std::unique_ptr<trace::Tracer> tracer_;       ///< set when trace= is present
 
   // Overload protection (set only when police= / rogue= are present; an
   // unset spec leaves every pointer null and the hot path untouched).

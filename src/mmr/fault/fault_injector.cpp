@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "mmr/sim/assert.hpp"
+#include "mmr/trace/event.hpp"
+#include "mmr/trace/tracer.hpp"
 
 namespace mmr {
 
@@ -41,11 +43,15 @@ void FaultInjector::advance_to(Cycle now, std::vector<std::uint32_t>& went_down,
       down_[event.channel] = true;
       ++down_count_;
       went_down.push_back(event.channel);
+      MMR_TRACE_EVENT(
+          trace::fault_event(now, trace::FaultKind::kLinkDown, event.channel));
     } else {
       MMR_ASSERT(down_[event.channel]);
       down_[event.channel] = false;
       --down_count_;
       came_up.push_back(event.channel);
+      MMR_TRACE_EVENT(
+          trace::fault_event(now, trace::FaultKind::kLinkUp, event.channel));
     }
   }
 }

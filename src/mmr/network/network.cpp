@@ -5,6 +5,8 @@
 #include "mmr/audit/sim_auditor.hpp"
 #include "mmr/qos/rounds.hpp"
 #include "mmr/sim/log.hpp"
+#include "mmr/trace/event.hpp"
+#include "mmr/trace/tracer.hpp"
 
 namespace mmr {
 
@@ -365,7 +367,14 @@ MmrNetworkSimulation::MmrNetworkSimulation(SimConfig config,
   if (!config_.fault_spec.empty()) {
     set_fault_plan(FaultPlan::parse(config_.fault_spec));
   }
+
+  if (!config_.trace_spec.empty())
+    tracer_ = std::make_unique<trace::Tracer>(
+        trace::TraceSpec::parse(config_.trace_spec),
+        trace::TraceMeta::from_config(config_));
 }
+
+MmrNetworkSimulation::~MmrNetworkSimulation() = default;
 
 ConnectionDescriptor MmrNetworkSimulation::hop_descriptor(
     const NetworkConnection& connection, const Hop& hop) const {
@@ -447,6 +456,10 @@ std::uint64_t MmrNetworkSimulation::backlog() const {
 
 void MmrNetworkSimulation::deliver(const MmrRouter::Departure& departure,
                                    std::uint32_t hops, Cycle delivered_at) {
+  MMR_TRACE_EMIT_NOW(trace::deliver_event, departure.input, departure.output,
+                     departure.vc, departure.flit.connection,
+                     departure.flit.seq,
+                     delivered_at - departure.flit.generated_at);
   if (delivered_at < warmup_) return;
   const Flit& flit = departure.flit;
   ++delivered_;
@@ -468,6 +481,11 @@ void MmrNetworkSimulation::deliver(const MmrRouter::Departure& departure,
     const bool violated =
         static_cast<double>(delivered_at - flit.generated_at) >
         fault_->injector.plan().qos_deadline_cycles;
+    if (violated) {
+      MMR_TRACE_EMIT_NOW(trace::deadline_miss_event, departure.input,
+                         departure.vc, flit.connection, flit.seq,
+                         delivered_at - flit.generated_at);
+    }
     if (fault_->injector.any_down()) {
       ++fault_->metrics.delivered_during_fault;
       if (violated) ++fault_->metrics.qos_violations_during_fault;
@@ -715,6 +733,16 @@ void MmrNetworkSimulation::step_one() {
   const Cycle now = now_;
   const bool measure = now >= warmup_;
 
+  // Arm the tracer for the cycle (see MmrSimulation::step_one); sections
+  // below re-stamp the node id so events attribute to the right router.
+  trace::Tracer* const cycle_tracer =
+      tracer_ != nullptr ? tracer_.get() : trace::current();
+  const trace::TraceScope trace_scope(cycle_tracer);
+  if (cycle_tracer != nullptr) {
+    cycle_tracer->set_now(now);
+    cycle_tracer->set_node(0);
+  }
+
   // 0. Outage schedule: link transitions, teardowns, re-admissions.
   if (fault_) apply_fault_transitions(now);
 
@@ -724,6 +752,7 @@ void MmrNetworkSimulation::step_one() {
     channel.credits.tick(now);
     arrival_buffer_.clear();
     channel.pipe.pop_due(now, arrival_buffer_);
+    MMR_TRACE_SET_NODE(channel.to.router);
     for (const LinkTransfer& transfer : arrival_buffer_) {
       if (fault_) {
         // Both outcomes discard the flit at the receiving router (a corrupt
@@ -732,10 +761,14 @@ void MmrNetworkSimulation::step_one() {
         const auto ch = static_cast<std::uint32_t>(ci);
         if (fault_->injector.drop_flit(ch)) {
           ++fault_->metrics.flits_dropped;
+          MMR_TRACE_EVENT(
+              trace::fault_event(now, trace::FaultKind::kFlitDrop, ch));
           continue;
         }
         if (fault_->injector.corrupt_flit(ch)) {
           ++fault_->metrics.flits_corrupted;
+          MMR_TRACE_EVENT(
+              trace::fault_event(now, trace::FaultKind::kFlitCorrupt, ch));
           continue;
         }
       }
@@ -748,6 +781,7 @@ void MmrNetworkSimulation::step_one() {
     arrival_buffer_.clear();
     nic_links_[n].pop_due(now, arrival_buffer_);
     const PortEndpoint endpoint = nic_endpoints_[n];
+    MMR_TRACE_SET_NODE(endpoint.router);
     for (const LinkTransfer& transfer : arrival_buffer_) {
       routers_[endpoint.router].accept(endpoint.port, transfer.vc,
                                        transfer.flit, now);
@@ -768,6 +802,7 @@ void MmrNetworkSimulation::step_one() {
                                                config_.ports +
                                            first.in_port];
     MMR_ASSERT(nic != -1);
+    MMR_TRACE_SET_NODE(first.router);
     for (const Flit& flit : flit_buffer_) {
       if (flit.generated_at >= warmup_) {
         ++generated_;
@@ -782,6 +817,8 @@ void MmrNetworkSimulation::step_one() {
         continue;
       }
       nics_[static_cast<std::size_t>(nic)]->deposit(first.vc, flit);
+      MMR_TRACE_EVENT(trace::inject_event(now, first.in_port, first.vc,
+                                          flit.connection, flit.seq));
     }
     const Cycle next = source.next_emission();
     if (next != kNever) {
@@ -800,6 +837,7 @@ void MmrNetworkSimulation::step_one() {
   // 4. Every router performs one scheduling cycle.
   for (std::uint32_t r = 0; r < routers_.size(); ++r) {
     departure_buffer_.clear();
+    MMR_TRACE_SET_NODE(r);
     routers_[r].step(now, measure, departure_buffer_);
     for (const MmrRouter::Departure& departure : departure_buffer_) {
       // Return the freed buffer slot to whoever fills this input link.
@@ -808,6 +846,8 @@ void MmrNetworkSimulation::step_one() {
                         departure.input];
       if (nic != -1) {
         nics_[static_cast<std::size_t>(nic)]->return_credit(departure.vc, now);
+        MMR_TRACE_EVENT(
+            trace::credit_return_event(now, departure.input, departure.vc));
       } else {
         // Find the upstream channel: it is the unique channel ending at
         // (r, departure.input).
@@ -819,9 +859,14 @@ void MmrNetworkSimulation::step_one() {
         if (fault_ &&
             fault_->injector.lose_credit(static_cast<std::uint32_t>(up))) {
           ++fault_->metrics.credits_lost;  // the watchdog will restore it
+          MMR_TRACE_EVENT(trace::fault_event(
+              now, trace::FaultKind::kCreditLoss,
+              static_cast<std::uint64_t>(up)));
         } else {
           channels_[static_cast<std::size_t>(up)].credits.release(
               departure.vc, now);
+          MMR_TRACE_EVENT(
+              trace::credit_return_event(now, departure.input, departure.vc));
         }
       }
       // Forward or deliver.
@@ -853,6 +898,7 @@ NetworkMetrics MmrNetworkSimulation::run() {
   const Cycle total = config_.total_cycles();
   while (now_ < total) step_one();
   check_invariants();
+  if (tracer_) tracer_->write_outputs();
 
   NetworkMetrics metrics;
   metrics.arbiter = config_.arbiter;

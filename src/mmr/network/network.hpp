@@ -24,6 +24,10 @@
 
 namespace mmr {
 
+namespace trace {
+class Tracer;
+}  // namespace trace
+
 /// A multi-hop connection: class, rates and the reserved path.
 struct NetworkConnection {
   ConnectionId id = kInvalidConnection;
@@ -101,6 +105,10 @@ struct NetworkMetrics {
 class MmrNetworkSimulation {
  public:
   MmrNetworkSimulation(SimConfig config, NetworkWorkload workload);
+  ~MmrNetworkSimulation();  ///< out-of-line for the Tracer forward declaration
+
+  /// The event tracer, or nullptr when `trace=` is unset.
+  [[nodiscard]] trace::Tracer* tracer() { return tracer_.get(); }
 
   /// Runs warmup + measurement; may only be called once.
   NetworkMetrics run();
@@ -207,6 +215,7 @@ class MmrNetworkSimulation {
   /// can register replacement paths.
   std::vector<ConnectionTable> tables_;
   std::unique_ptr<FaultRuntime> fault_;  ///< null = fault-free run
+  std::unique_ptr<trace::Tracer> tracer_;  ///< set when trace= is present
   /// (router, out_port) -> channel index or -1 (local).
   std::vector<std::int32_t> channel_of_output_;
   /// NICs on local input ports; -1 elsewhere.

@@ -1,6 +1,10 @@
 #include "mmr/overload/watchdog.hpp"
 
+#include <cmath>
+
 #include "mmr/sim/assert.hpp"
+#include "mmr/trace/event.hpp"
+#include "mmr/trace/tracer.hpp"
 
 namespace mmr::overload {
 
@@ -56,12 +60,18 @@ void SaturationWatchdog::on_cycle(Cycle now, std::uint64_t backlog_flits,
     ++escalations_;
     if (stage_ == WatchdogStage::kAlarm) ++alarms_;
     apply(policer);
+    MMR_TRACE_EVENT(trace::watchdog_event(
+        now, static_cast<std::uint8_t>(stage_), /*escalated=*/true,
+        static_cast<std::uint64_t>(std::llround(ewma_))));
   } else if (calm_windows_ >= spec_.wd_recover_after &&
              stage_ > WatchdogStage::kNormal) {
     stage_ = static_cast<WatchdogStage>(static_cast<std::uint8_t>(stage_) - 1);
     calm_windows_ = 0;
     ++recoveries_;
     apply(policer);
+    MMR_TRACE_EVENT(trace::watchdog_event(
+        now, static_cast<std::uint8_t>(stage_), /*escalated=*/false,
+        static_cast<std::uint64_t>(std::llround(ewma_))));
   }
 }
 

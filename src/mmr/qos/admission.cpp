@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "mmr/trace/event.hpp"
+#include "mmr/trace/tracer.hpp"
+
 namespace mmr {
 
 AdmissionController::AdmissionController(std::uint32_t ports,
@@ -58,6 +61,9 @@ bool AdmissionController::try_admit(ConnectionDescriptor& descriptor) {
   output_budget_[descriptor.output_link].peak_slots += peak_slots;
   ++ledger_[{descriptor.input_link, descriptor.output_link, mean_slots,
              peak_slots}];
+  MMR_TRACE_EMIT_NOW(trace::admission_event, /*admitted=*/true,
+                     descriptor.input_link, descriptor.output_link,
+                     descriptor.vc, descriptor.id, mean_slots);
   return true;
 }
 
@@ -83,6 +89,9 @@ void AdmissionController::release(const ConnectionDescriptor& descriptor) {
        descriptor.slots_per_round);
   take(output_budget_[descriptor.output_link].peak_slots,
        descriptor.peak_slots_per_round);
+  MMR_TRACE_EMIT_NOW(trace::admission_event, /*admitted=*/false,
+                     descriptor.input_link, descriptor.output_link,
+                     descriptor.vc, descriptor.id, descriptor.slots_per_round);
 }
 
 std::uint64_t AdmissionController::outstanding_reservations() const {

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "mmr/sim/assert.hpp"
+#include "mmr/trace/event.hpp"
+#include "mmr/trace/tracer.hpp"
 
 namespace mmr {
 
@@ -85,6 +87,10 @@ void LinkScheduler::select(const VirtualChannelMemory& vcm, Cycle now,
     candidate.vc = best[level].vc;
     candidate.priority = best[level].priority;
     out.add(candidate);
+    MMR_TRACE_EVENT(trace::candidate_event(now, candidate.input,
+                                           candidate.output, candidate.vc,
+                                           candidate.level,
+                                           candidate.priority));
   }
 }
 

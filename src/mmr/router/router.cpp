@@ -5,6 +5,8 @@
 #include "mmr/arbiter/verify.hpp"
 #include "mmr/perf/probe.hpp"
 #include "mmr/sim/assert.hpp"
+#include "mmr/trace/event.hpp"
+#include "mmr/trace/tracer.hpp"
 
 namespace mmr {
 
@@ -63,6 +65,8 @@ void MmrRouter::accept(std::uint32_t input, std::uint32_t vc, const Flit& flit,
   MMR_ASSERT(input < ports_);
   vcms_[input].push(vc, flit, now);
   ++accepted_;
+  MMR_TRACE_EVENT(
+      trace::vc_enqueue_event(now, input, vc, flit.connection, flit.seq));
 }
 
 void MmrRouter::step(Cycle now, bool measure,
@@ -91,6 +95,18 @@ void MmrRouter::step(Cycle now, bool measure,
     MMR_ASSERT_MSG(check.valid, check.problem.c_str());
   }
 
+  // Router-side grant/deny record for every offered candidate (the arbiter
+  // additionally emits kGrantReason with its algorithm-specific detail).
+  if (MMR_TRACE_ON()) {
+    for (std::size_t index = 0; index < candidates_.size(); ++index) {
+      const Candidate& c = candidates_.at(index);
+      const bool granted = matching_.candidate_of(c.input) ==
+                           static_cast<std::int32_t>(index);
+      MMR_TRACE_EVENT(trace::grant_event(now, c.input, c.output, c.vc,
+                                         c.level, c.priority, granted));
+    }
+  }
+
   // Synchronous crossbar transit of every matched head flit.
   MMR_PERF_SCOPE(perf::Phase::kCrossbar);
   crossbar_.apply(matching_, measure);
@@ -107,6 +123,9 @@ void MmrRouter::step(Cycle now, bool measure,
     departure.flit = vcms_[input].pop(granted.vc);
     MMR_ASSERT_MSG(departure.flit.connection != kInvalidConnection,
                    "granted VC held no real flit");
+    MMR_TRACE_EVENT(trace::xbar_event(now, input, departure.output,
+                                      departure.vc, departure.flit.connection,
+                                      departure.flit.seq));
     if (departures.size() == departures.capacity())
       MMR_PERF_COUNT(perf::Counter::kDepartureRealloc, 1);
     departures.push_back(departure);

@@ -7,10 +7,31 @@
 
 namespace mmr::detail {
 
+/// Hook invoked (once) after an assertion message is printed and before the
+/// process aborts.  The trace layer's flight recorder registers one so the
+/// last N events reach disk when an invariant dies; anything the hook does
+/// must not assume intact simulation state.  The hook is cleared before it
+/// runs, so an assertion raised *inside* the hook cannot recurse.
+using AssertHook = void (*)();
+
+inline AssertHook& assert_hook_slot() {
+  static AssertHook hook = nullptr;
+  return hook;
+}
+
+/// Installs `hook` (nullptr uninstalls) and returns the previous one.
+inline AssertHook exchange_assert_hook(AssertHook hook) {
+  AssertHook& slot = assert_hook_slot();
+  const AssertHook previous = slot;
+  slot = hook;
+  return previous;
+}
+
 [[noreturn]] inline void assert_fail(const char* expr, const char* file,
                                      int line, const char* msg) {
   std::fprintf(stderr, "MMR_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file,
                line, msg != nullptr ? msg : "");
+  if (AssertHook hook = exchange_assert_hook(nullptr)) hook();
   std::abort();
 }
 

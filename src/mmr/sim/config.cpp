@@ -76,7 +76,8 @@ std::uint64_t parse_u64(std::string_view v, const std::string& key) {
 constexpr const char* kValidKeys =
     "ports, vcs, link_bps, flit_bits, phit_bits, buffer_flits, levels, "
     "link_latency, credit_latency, round_multiple, concurrency_factor, "
-    "priority, arbiter, seed, warmup, measure, fault, audit, police, rogue";
+    "priority, arbiter, seed, warmup, measure, fault, audit, police, rogue, "
+    "trace";
 
 }  // namespace
 
@@ -136,6 +137,8 @@ std::vector<std::string> apply_overrides(
       config.police_spec = value;
     } else if (key == "rogue") {
       config.rogue_spec = value;
+    } else if (key == "trace") {
+      config.trace_spec = value;
     } else if (key == "audit") {
       config.audit_every = static_cast<std::uint32_t>(parse_u64(value, key));
     } else {

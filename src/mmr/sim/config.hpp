@@ -69,6 +69,14 @@ struct SimConfig {
   /// inflate past their admitted contract.  Empty = no rogue sources.
   std::string rogue_spec;
 
+  // --- event tracing (mmr/trace/) -------------------------------------------
+  /// Textual TraceSpec (see mmr/trace/spec.hpp): structured lifecycle-event
+  /// tracing, either full-stream export or a flight-recorder ring dumped on
+  /// invariant failure / watchdog alarm / fault activation.  Empty = no
+  /// tracer is constructed at all; results are bit-identical to a build
+  /// without the subsystem (and bit-identical traced vs untraced when set).
+  std::string trace_spec;
+
   // --- runtime invariant auditing (mmr/audit/sim_auditor.hpp) --------------
   /// 0 = off.  N >= 1 attaches the simulation-level invariant auditor:
   /// departure-stream checks (per-VC FIFO, crossbar bandwidth) run every

@@ -83,6 +83,11 @@ double LogHistogram::quantile(double q) const {
   q = std::clamp(q, 0.0, 1.0);
   const auto rank = static_cast<std::uint64_t>(
       q * static_cast<double>(count_ - 1));
+  // The extreme order statistics are known exactly; reporting a bucket
+  // midpoint for them would invent a value no sample ever took (and made
+  // quantile(0)/quantile(1) disagree with min_seen()/max_seen()).
+  if (rank == 0) return min_;
+  if (rank == count_ - 1) return max_;
   std::uint64_t seen = 0;
   for (std::size_t b = 0; b < buckets_.size(); ++b) {
     seen += buckets_[b];
@@ -119,13 +124,27 @@ std::string LogHistogram::ascii(std::size_t max_rows) const {
     const std::size_t b = r * per_row;
     const std::size_t last = std::min(nb, b + per_row) - 1;
     const double lo = bucket_lo(b);
-    const double hi = is_overflow(last) ? max_ : bucket_hi(last);
     const auto width = static_cast<std::size_t>(
         row_max == 0 ? 0 : (40.0 * static_cast<double>(rows[r]) /
                             static_cast<double>(row_max)));
-    char buf[64];
-    std::snprintf(buf, sizeof buf, "[%10.2f, %10.2f) ", lo, hi);
-    out << buf << std::string(width, '#') << ' ' << rows[r] << '\n';
+    char buf[96];
+    if (is_overflow(last)) {
+      // The overflow bucket has no nominal upper edge; rendering max_ as a
+      // half-open bound misread as "no sample reached max_".
+      std::snprintf(buf, sizeof buf, "[%10.2f,       +inf) ", lo);
+    } else if (last == 0) {
+      // Bucket 0 holds every sample at or below the resolution floor, so
+      // its upper edge is closed, unlike every other bucket's.
+      std::snprintf(buf, sizeof buf, "[%10.2f, %10.2f] ", lo, bucket_hi(last));
+    } else {
+      std::snprintf(buf, sizeof buf, "[%10.2f, %10.2f) ", lo, bucket_hi(last));
+    }
+    out << buf << std::string(width, '#') << ' ' << rows[r];
+    if (is_overflow(last)) {
+      std::snprintf(buf, sizeof buf, " (max %.2f)", max_);
+      out << buf;
+    }
+    out << '\n';
   }
   return out.str();
 }

@@ -27,7 +27,10 @@ class LogHistogram {
   [[nodiscard]] bool empty() const { return count_ == 0; }
 
   /// Approximate quantile (q in [0, 1]); returns the geometric midpoint of
-  /// the bucket containing the q-th sample.
+  /// the bucket containing the q-th sample, except at the rank extremes
+  /// where the exact observed min / max is returned (so quantile(0) ==
+  /// min_seen() and quantile(1) == max_seen(), even for single-sample or
+  /// all-in-overflow histograms).
   [[nodiscard]] double quantile(double q) const;
   [[nodiscard]] double p50() const { return quantile(0.50); }
   [[nodiscard]] double p95() const { return quantile(0.95); }

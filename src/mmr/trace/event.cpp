@@ -1,0 +1,50 @@
+#include "mmr/trace/event.hpp"
+
+namespace mmr::trace {
+
+const char* to_string(EventType type) {
+  switch (type) {
+    case EventType::kInject: return "inject";
+    case EventType::kPolice: return "police";
+    case EventType::kShapeRelease: return "shape_release";
+    case EventType::kVcEnqueue: return "vc_enqueue";
+    case EventType::kCandidate: return "candidate";
+    case EventType::kGrant: return "grant";
+    case EventType::kGrantReason: return "grant_reason";
+    case EventType::kDeny: return "deny";
+    case EventType::kXbar: return "xbar";
+    case EventType::kCreditReturn: return "credit_return";
+    case EventType::kDeliver: return "deliver";
+    case EventType::kDeadlineMiss: return "deadline_miss";
+    case EventType::kFault: return "fault";
+    case EventType::kWatchdog: return "watchdog";
+    case EventType::kAuditSweep: return "audit_sweep";
+    case EventType::kAdmit: return "admit";
+    case EventType::kRelease: return "release";
+  }
+  return "unknown";
+}
+
+const char* to_string(PoliceAction action) {
+  switch (action) {
+    case PoliceAction::kDropped: return "dropped";
+    case PoliceAction::kShaped: return "shaped";
+    case PoliceAction::kDemoted: return "demoted";
+    case PoliceAction::kShed: return "shed";
+    case PoliceAction::kPenaltyOverflow: return "penalty_overflow";
+  }
+  return "unknown";
+}
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLinkDown: return "link_down";
+    case FaultKind::kLinkUp: return "link_up";
+    case FaultKind::kFlitDrop: return "flit_drop";
+    case FaultKind::kFlitCorrupt: return "flit_corrupt";
+    case FaultKind::kCreditLoss: return "credit_loss";
+  }
+  return "unknown";
+}
+
+}  // namespace mmr::trace

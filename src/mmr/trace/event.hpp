@@ -1,0 +1,297 @@
+// Typed trace events covering the full flit/connection lifecycle (ISSUE 5).
+//
+// An Event is a fixed-size POD so the flight recorder can keep them in a
+// binary ring without allocation.  Semantics of the generic `a`/`b` payload
+// words are per-type and documented on the builder functions below; exporters
+// give them readable names.  `cycle` is always the *emission* cycle (the
+// simulation step's `now`), never a semantic future time — consumers may
+// assume cycles are non-decreasing within one trace.
+#pragma once
+
+#include <cstdint>
+
+#include "mmr/sim/time.hpp"
+
+namespace mmr::trace {
+
+/// Connection sentinel for events not tied to a connection (mirrors
+/// qos kInvalidConnection without creating a layering dependency).
+inline constexpr std::uint32_t kNoConnection = ~std::uint32_t{0};
+
+enum class EventType : std::uint8_t {
+  kInject,        ///< flit deposited into its NIC VC buffer
+  kPolice,        ///< policer verdict other than plain pass
+  kShapeRelease,  ///< shaped flit released from the penalty queue
+  kVcEnqueue,     ///< flit entered a router VC buffer
+  kCandidate,     ///< link scheduler nominated a VC as a candidate
+  kGrant,         ///< switch arbiter matched a candidate (router view)
+  kGrantReason,   ///< arbiter-side grant with algorithm reason fields
+  kDeny,          ///< candidate lost arbitration this cycle
+  kXbar,          ///< flit traversed the crossbar
+  kCreditReturn,  ///< credit returned upstream for a freed VC slot
+  kDeliver,       ///< flit left the router / reached its destination
+  kDeadlineMiss,  ///< delivered QoS flit exceeded the deadline
+  kFault,         ///< fault activation / repair / applied fault action
+  kWatchdog,      ///< saturation watchdog stage transition
+  kAuditSweep,    ///< runtime auditor completed a conservation sweep
+  kAdmit,         ///< admission control accepted a connection
+  kRelease,       ///< admission control released a connection
+};
+
+inline constexpr std::size_t kEventTypeCount = 17;
+
+/// `level` codes for kPolice events.
+enum class PoliceAction : std::uint8_t {
+  kDropped = 0,
+  kShaped = 1,
+  kDemoted = 2,
+  kShed = 3,             ///< dropped by watchdog load shedding
+  kPenaltyOverflow = 4,  ///< dropped because the penalty queue was full
+};
+
+/// `level` codes for kFault events.
+enum class FaultKind : std::uint8_t {
+  kLinkDown = 0,
+  kLinkUp = 1,
+  kFlitDrop = 2,
+  kFlitCorrupt = 3,
+  kCreditLoss = 4,
+};
+
+[[nodiscard]] const char* to_string(EventType type);
+[[nodiscard]] const char* to_string(PoliceAction action);
+[[nodiscard]] const char* to_string(FaultKind kind);
+
+struct Event {
+  Cycle cycle = 0;
+  std::uint64_t a = 0;  ///< per-type payload (see builders)
+  std::uint64_t b = 0;  ///< per-type payload (see builders)
+  std::uint32_t vc = 0;
+  std::uint32_t connection = kNoConnection;
+  std::uint16_t node = 0;  ///< router id (0 for single-router sims)
+  std::uint16_t input = 0;
+  std::uint16_t output = 0;
+  EventType type = EventType::kInject;
+  std::uint8_t level = 0;  ///< candidate level / verdict / stage / fault kind
+};
+
+static_assert(sizeof(Event) <= 40, "Event must stay ring-buffer friendly");
+
+// --- builders --------------------------------------------------------------
+// One per lifecycle point so call sites read like the taxonomy.  All builders
+// are pure; Tracer::emit() stamps the node id.
+
+/// a = flit seq, b = 1 when the flit was demoted at injection.
+inline Event inject_event(Cycle now, std::uint32_t link, std::uint32_t vc,
+                          std::uint32_t connection, std::uint64_t seq,
+                          bool demoted = false) {
+  Event e;
+  e.cycle = now;
+  e.type = EventType::kInject;
+  e.input = static_cast<std::uint16_t>(link);
+  e.vc = vc;
+  e.connection = connection;
+  e.a = seq;
+  e.b = demoted ? 1 : 0;
+  return e;
+}
+
+/// level = PoliceAction, a = flit seq.
+inline Event police_event(Cycle now, std::uint32_t link, std::uint32_t vc,
+                          std::uint32_t connection, std::uint64_t seq,
+                          PoliceAction action) {
+  Event e;
+  e.cycle = now;
+  e.type = EventType::kPolice;
+  e.input = static_cast<std::uint16_t>(link);
+  e.vc = vc;
+  e.connection = connection;
+  e.a = seq;
+  e.level = static_cast<std::uint8_t>(action);
+  return e;
+}
+
+/// a = flit seq, b = cycles the flit spent in the penalty queue.
+inline Event shape_release_event(Cycle now, std::uint32_t link,
+                                 std::uint32_t vc, std::uint32_t connection,
+                                 std::uint64_t seq, std::uint64_t held) {
+  Event e;
+  e.cycle = now;
+  e.type = EventType::kShapeRelease;
+  e.input = static_cast<std::uint16_t>(link);
+  e.vc = vc;
+  e.connection = connection;
+  e.a = seq;
+  e.b = held;
+  return e;
+}
+
+/// a = flit seq.
+inline Event vc_enqueue_event(Cycle now, std::uint32_t port, std::uint32_t vc,
+                              std::uint32_t connection, std::uint64_t seq) {
+  Event e;
+  e.cycle = now;
+  e.type = EventType::kVcEnqueue;
+  e.input = static_cast<std::uint16_t>(port);
+  e.vc = vc;
+  e.connection = connection;
+  e.a = seq;
+  return e;
+}
+
+/// level = candidate level, a = scheduler priority.
+inline Event candidate_event(Cycle now, std::uint32_t input,
+                             std::uint32_t output, std::uint32_t vc,
+                             std::uint8_t level, std::uint64_t priority) {
+  Event e;
+  e.cycle = now;
+  e.type = EventType::kCandidate;
+  e.input = static_cast<std::uint16_t>(input);
+  e.output = static_cast<std::uint16_t>(output);
+  e.vc = vc;
+  e.level = level;
+  e.a = priority;
+  return e;
+}
+
+/// Router-side grant/deny, emitted for every candidate after arbitration.
+/// level = candidate level, a = priority.
+inline Event grant_event(Cycle now, std::uint32_t input, std::uint32_t output,
+                         std::uint32_t vc, std::uint8_t level,
+                         std::uint64_t priority, bool granted) {
+  Event e;
+  e.cycle = now;
+  e.type = granted ? EventType::kGrant : EventType::kDeny;
+  e.input = static_cast<std::uint16_t>(input);
+  e.output = static_cast<std::uint16_t>(output);
+  e.vc = vc;
+  e.level = level;
+  e.a = priority;
+  return e;
+}
+
+/// Arbiter-side reason record for a grant.  level = candidate level,
+/// a = priority, b = algorithm detail: COA emits the conflict count of the
+/// selected output; WFA/WWFA emit the anti-diagonal index that matched.
+inline Event grant_reason_event(Cycle now, std::uint32_t input,
+                                std::uint32_t output, std::uint32_t vc,
+                                std::uint8_t level, std::uint64_t priority,
+                                std::uint64_t detail) {
+  Event e;
+  e.cycle = now;
+  e.type = EventType::kGrantReason;
+  e.input = static_cast<std::uint16_t>(input);
+  e.output = static_cast<std::uint16_t>(output);
+  e.vc = vc;
+  e.level = level;
+  e.a = priority;
+  e.b = detail;
+  return e;
+}
+
+/// a = flit seq.
+inline Event xbar_event(Cycle now, std::uint32_t input, std::uint32_t output,
+                        std::uint32_t vc, std::uint32_t connection,
+                        std::uint64_t seq) {
+  Event e;
+  e.cycle = now;
+  e.type = EventType::kXbar;
+  e.input = static_cast<std::uint16_t>(input);
+  e.output = static_cast<std::uint16_t>(output);
+  e.vc = vc;
+  e.connection = connection;
+  e.a = seq;
+  return e;
+}
+
+inline Event credit_return_event(Cycle now, std::uint32_t input,
+                                 std::uint32_t vc) {
+  Event e;
+  e.cycle = now;
+  e.type = EventType::kCreditReturn;
+  e.input = static_cast<std::uint16_t>(input);
+  e.vc = vc;
+  return e;
+}
+
+/// a = flit seq, b = end-to-end delay in cycles at delivery.
+inline Event deliver_event(Cycle now, std::uint32_t input,
+                           std::uint32_t output, std::uint32_t vc,
+                           std::uint32_t connection, std::uint64_t seq,
+                           std::uint64_t delay_cycles) {
+  Event e;
+  e.cycle = now;
+  e.type = EventType::kDeliver;
+  e.input = static_cast<std::uint16_t>(input);
+  e.output = static_cast<std::uint16_t>(output);
+  e.vc = vc;
+  e.connection = connection;
+  e.a = seq;
+  e.b = delay_cycles;
+  return e;
+}
+
+/// a = flit seq, b = delay in cycles (already past the deadline).
+inline Event deadline_miss_event(Cycle now, std::uint32_t input,
+                                 std::uint32_t vc, std::uint32_t connection,
+                                 std::uint64_t seq,
+                                 std::uint64_t delay_cycles) {
+  Event e;
+  e.cycle = now;
+  e.type = EventType::kDeadlineMiss;
+  e.input = static_cast<std::uint16_t>(input);
+  e.vc = vc;
+  e.connection = connection;
+  e.a = seq;
+  e.b = delay_cycles;
+  return e;
+}
+
+/// level = FaultKind, a = fault target id (channel index or link).
+inline Event fault_event(Cycle now, FaultKind kind, std::uint64_t target) {
+  Event e;
+  e.cycle = now;
+  e.type = EventType::kFault;
+  e.level = static_cast<std::uint8_t>(kind);
+  e.a = target;
+  return e;
+}
+
+/// level = new watchdog stage, a = 1 for escalation / 0 for recovery,
+/// b = backlog EWMA rounded to an integer.
+inline Event watchdog_event(Cycle now, std::uint8_t stage, bool escalated,
+                            std::uint64_t ewma) {
+  Event e;
+  e.cycle = now;
+  e.type = EventType::kWatchdog;
+  e.level = stage;
+  e.a = escalated ? 1 : 0;
+  e.b = ewma;
+  return e;
+}
+
+/// a = completed sweep count.
+inline Event audit_sweep_event(Cycle now, std::uint64_t sweeps) {
+  Event e;
+  e.cycle = now;
+  e.type = EventType::kAuditSweep;
+  e.a = sweeps;
+  return e;
+}
+
+/// a = reserved slots per round (kAdmit) / 0 (kRelease).
+inline Event admission_event(Cycle now, bool admitted, std::uint32_t input,
+                             std::uint32_t output, std::uint32_t vc,
+                             std::uint32_t connection, std::uint64_t slots) {
+  Event e;
+  e.cycle = now;
+  e.type = admitted ? EventType::kAdmit : EventType::kRelease;
+  e.input = static_cast<std::uint16_t>(input);
+  e.output = static_cast<std::uint16_t>(output);
+  e.vc = vc;
+  e.connection = connection;
+  e.a = slots;
+  return e;
+}
+
+}  // namespace mmr::trace

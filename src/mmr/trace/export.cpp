@@ -1,0 +1,158 @@
+#include "mmr/trace/export.hpp"
+
+#include <array>
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <set>
+#include <tuple>
+
+#include "mmr/sim/table.hpp"
+#include "mmr/trace/tracer.hpp"
+
+namespace mmr::trace {
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslash, control characters);
+/// enough for arbiter names, triggers, and track labels.
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Events not tied to a port/VC pair; they ride the per-node control track
+/// in the Chrome export.
+bool is_control(EventType type) {
+  switch (type) {
+    case EventType::kFault:
+    case EventType::kWatchdog:
+    case EventType::kAuditSweep:
+    case EventType::kAdmit:
+    case EventType::kRelease:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+void write_jsonl(std::ostream& out, const TraceMeta& meta,
+                 const std::string& mode, const std::string& trigger,
+                 std::uint64_t truncated, const std::vector<Event>& events) {
+  out << "{\"schema\":\"mmr-trace-v1\",\"ports\":" << meta.ports
+      << ",\"vcs\":" << meta.vcs << ",\"levels\":" << meta.levels
+      << ",\"arbiter\":\"" << json_escape(meta.arbiter)
+      << "\",\"seed\":" << meta.seed << ",\"mode\":\"" << json_escape(mode)
+      << "\",\"trigger\":\"" << json_escape(trigger)
+      << "\",\"events\":" << events.size() << ",\"truncated\":" << truncated
+      << "}\n";
+  for (const Event& e : events) {
+    out << "{\"cycle\":" << e.cycle << ",\"type\":\"" << to_string(e.type)
+        << "\",\"node\":" << e.node << ",\"input\":" << e.input
+        << ",\"output\":" << e.output << ",\"vc\":" << e.vc
+        << ",\"conn\":" << e.connection
+        << ",\"level\":" << static_cast<unsigned>(e.level) << ",\"a\":" << e.a
+        << ",\"b\":" << e.b << "}\n";
+  }
+}
+
+void write_chrome(std::ostream& out, const TraceMeta& meta,
+                  const std::vector<Event>& events) {
+  // tid 0 is the per-node control track; port/VC tracks start at 1.
+  const auto tid_of = [&meta](const Event& e) -> std::uint64_t {
+    if (is_control(e.type)) return 0;
+    return static_cast<std::uint64_t>(e.input) * meta.vcs + e.vc + 1;
+  };
+
+  std::set<std::pair<std::uint16_t, std::uint64_t>> tracks;
+  for (const Event& e : events) tracks.emplace(e.node, tid_of(e));
+
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [pid, tid] : tracks) {
+    if (!first) out << ",";
+    first = false;
+    std::string name = "control";
+    if (tid != 0) {
+      const std::uint64_t slot = tid - 1;
+      name = "in" + std::to_string(slot / meta.vcs) + "/vc" +
+             std::to_string(slot % meta.vcs);
+    }
+    out << "\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid
+        << ",\"tid\":" << tid << ",\"args\":{\"name\":\"" << json_escape(name)
+        << "\"}}";
+  }
+  for (const Event& e : events) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n{\"name\":\"" << to_string(e.type) << "\",\"pid\":" << e.node
+        << ",\"tid\":" << tid_of(e) << ",\"ts\":" << e.cycle;
+    if (e.type == EventType::kXbar) {
+      out << ",\"ph\":\"X\",\"dur\":1";
+    } else {
+      out << ",\"ph\":\"i\",\"s\":\"t\"";
+    }
+    out << ",\"args\":{\"output\":" << e.output
+        << ",\"level\":" << static_cast<unsigned>(e.level);
+    if (e.connection != kNoConnection) out << ",\"conn\":" << e.connection;
+    out << ",\"a\":" << e.a << ",\"b\":" << e.b << "}}";
+  }
+  out << "\n]}\n";
+}
+
+std::string render_connection_summary(const std::vector<Event>& events) {
+  // Only connection-carrying lifecycle types get a column; arbitration
+  // events (candidate/grant/deny) are port-scoped and have no connection.
+  static constexpr std::array<EventType, 9> kColumns = {
+      EventType::kInject,     EventType::kPolice,
+      EventType::kShapeRelease, EventType::kVcEnqueue,
+      EventType::kXbar,       EventType::kDeliver,
+      EventType::kDeadlineMiss, EventType::kAdmit,
+      EventType::kRelease,
+  };
+
+  std::map<std::uint32_t, std::array<std::uint64_t, kColumns.size()>> counts;
+  for (const Event& e : events) {
+    if (e.connection == kNoConnection) continue;
+    for (std::size_t c = 0; c < kColumns.size(); ++c) {
+      if (e.type == kColumns[c]) {
+        auto [it, inserted] = counts.try_emplace(e.connection);
+        if (inserted) it->second.fill(0);
+        ++it->second[c];
+        break;
+      }
+    }
+  }
+
+  std::vector<std::string> header = {"conn"};
+  for (const EventType type : kColumns) header.emplace_back(to_string(type));
+  AsciiTable table(header);
+  for (const auto& [conn, row] : counts) {
+    std::vector<std::string> cells = {std::to_string(conn)};
+    for (const std::uint64_t n : row) cells.push_back(std::to_string(n));
+    table.add_row(std::move(cells));
+  }
+  return table.render();
+}
+
+}  // namespace mmr::trace

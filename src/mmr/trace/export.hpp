@@ -1,0 +1,37 @@
+// Trace exporters: mmr-trace-v1 JSONL (the canonical, lintable format),
+// Chrome trace-event JSON (chrome://tracing / Perfetto, one track per
+// port/VC), and a per-connection event-count summary table.
+//
+// Determinism contract: JSONL output is a pure function of (meta, trigger,
+// truncated, events) — every numeric field is emitted as a decimal integer
+// (no floats, no locale), so re-running the same config+seed yields a
+// byte-identical file (tested).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "mmr/trace/event.hpp"
+
+namespace mmr::trace {
+
+struct TraceMeta;
+
+/// Header line `{"schema":"mmr-trace-v1",...}` followed by one JSON object
+/// per event.
+void write_jsonl(std::ostream& out, const TraceMeta& meta,
+                 const std::string& mode, const std::string& trigger,
+                 std::uint64_t truncated, const std::vector<Event>& events);
+
+/// Chrome trace-event JSON: pid = router node, tid = input*vcs + vc + 1
+/// (tid 0 carries control events: watchdog, fault, audit, admission).
+void write_chrome(std::ostream& out, const TraceMeta& meta,
+                  const std::vector<Event>& events);
+
+/// ASCII table: one row per connection, columns counting lifecycle events.
+[[nodiscard]] std::string render_connection_summary(
+    const std::vector<Event>& events);
+
+}  // namespace mmr::trace

@@ -1,0 +1,40 @@
+// Textual trace configuration, mirroring the overload spec-string idiom:
+// `trace=stream,out:run.jsonl` or `trace=flight,ring:4096,dump:flight`.
+//
+// Grammar:  mode[,key:value...]   with mode in {stream, flight}
+//   stream mode buffers every event (up to `limit`) and writes the
+//   configured outputs at the end of the run;
+//   flight mode keeps only the last `ring` events per router and dumps them
+//   automatically when an invariant dies, the watchdog reaches its alarm
+//   stage, or a fault activates.
+// Keys: out:PATH  chrome:PATH  summary:PATH  ring:N  dump:PREFIX  limit:N
+//       dumps:N (max automatic flight dumps per run)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mmr::trace {
+
+struct TraceSpec {
+  enum class Mode : std::uint8_t { kStream, kFlight };
+
+  Mode mode = Mode::kStream;
+  std::string out;      ///< run-end mmr-trace-v1 JSONL path ("" = none)
+  std::string chrome;   ///< run-end Chrome trace-event JSON path ("" = none)
+  std::string summary;  ///< run-end per-connection summary table ("" = none)
+  std::string dump_prefix = "mmr-flight";  ///< flight dump file prefix
+  std::uint64_t limit = 1u << 20;          ///< stream: max buffered events
+  std::uint32_t ring = 4096;               ///< flight: events kept per router
+  std::uint32_t max_dumps = 8;             ///< flight: automatic dump cap
+
+  /// Parses the grammar above; throws std::invalid_argument on bad input.
+  static TraceSpec parse(const std::string& spec);
+
+  /// Aborts with a readable message when a field combination is nonsense.
+  void validate() const;
+};
+
+[[nodiscard]] const char* to_string(TraceSpec::Mode mode);
+
+}  // namespace mmr::trace

@@ -1,0 +1,198 @@
+#include "mmr/trace/tracer.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "mmr/sim/assert.hpp"
+#include "mmr/sim/log.hpp"
+#include "mmr/trace/export.hpp"
+
+namespace mmr::trace {
+
+namespace {
+
+thread_local Tracer* t_current = nullptr;
+
+// The MMR_ASSERT hook is a bare function pointer, so the flight recorder to
+// dump is found through this process-global slot.  One flight-mode tracer
+// owns it at a time (last constructed wins); simultaneous flight recorders
+// in one process would race for crash dumps, which the sweep runner never
+// does — tracing is a single-run diagnostic tool.
+std::atomic<Tracer*> g_assert_tracer{nullptr};
+
+void dump_armed_tracer_on_assert() {
+  if (Tracer* tracer = g_assert_tracer.exchange(nullptr)) {
+    const std::string path = tracer->dump("assert");
+    if (!path.empty())
+      std::fprintf(stderr, "mmr trace: flight recorder dumped to %s\n",
+                   path.c_str());
+  }
+}
+
+}  // namespace
+
+TraceMeta TraceMeta::from_config(const SimConfig& config) {
+  TraceMeta meta;
+  meta.ports = config.ports;
+  meta.vcs = config.vcs_per_link;
+  meta.levels = config.candidate_levels;
+  meta.arbiter = config.arbiter;
+  meta.seed = config.seed;
+  return meta;
+}
+
+Tracer::Tracer(TraceSpec spec, TraceMeta meta)
+    : spec_(std::move(spec)), meta_(std::move(meta)) {
+  spec_.validate();
+  if (!kCompiledIn) {
+    log_warn("trace= configured but tracing is compiled out (-DMMR_TRACE=OFF);"
+             " outputs will contain no events");
+  }
+  if (spec_.mode == TraceSpec::Mode::kFlight) {
+    g_assert_tracer.store(this, std::memory_order_release);
+    detail::exchange_assert_hook(&dump_armed_tracer_on_assert);
+    registered_for_assert_ = true;
+  }
+}
+
+Tracer::~Tracer() {
+  if (registered_for_assert_) {
+    Tracer* expected = this;
+    if (g_assert_tracer.compare_exchange_strong(expected, nullptr))
+      detail::exchange_assert_hook(nullptr);
+  }
+}
+
+Tracer::Ring& Tracer::ring_for(std::uint16_t node) {
+  if (rings_.size() <= node) rings_.resize(node + 1u);
+  Ring& ring = rings_[node];
+  if (ring.slots.empty()) ring.slots.resize(spec_.ring);
+  return ring;
+}
+
+void Tracer::emit(const Event& event) {
+  Event e = event;
+  e.node = node_;
+  ++emitted_;
+  if (spec_.mode == TraceSpec::Mode::kStream) {
+    if (events_.size() < spec_.limit) {
+      events_.push_back(e);
+    } else {
+      ++truncated_;
+      if (!warned_truncation_) {
+        warned_truncation_ = true;
+        log_warn("trace stream buffer full (limit:", spec_.limit,
+                 "); further events are dropped — raise limit: or use flight "
+                 "mode");
+      }
+    }
+    return;
+  }
+  Ring& ring = ring_for(e.node);
+  ring.slots[ring.head] = e;
+  ring.head = (ring.head + 1) % ring.slots.size();
+  ++ring.count;
+  maybe_trigger_dump(e);
+}
+
+void Tracer::maybe_trigger_dump(const Event& event) {
+  // Automatic flight-recorder triggers: the watchdog escalating into its
+  // alarm stage, and a fault activation (link going down).  SimAuditor
+  // failures and MMR_ASSERT deaths reach dump() via the assert hook instead.
+  if (event.type == EventType::kWatchdog && event.level == 3 &&
+      event.a == 1) {
+    dump("watchdog-alarm");
+  } else if (event.type == EventType::kFault &&
+             event.level == static_cast<std::uint8_t>(FaultKind::kLinkDown)) {
+    dump("fault-down");
+  }
+}
+
+std::vector<Event> Tracer::snapshot() const {
+  if (spec_.mode == TraceSpec::Mode::kStream) return events_;
+  std::vector<Event> merged;
+  for (const Ring& ring : rings_) {
+    if (ring.slots.empty()) continue;
+    const std::size_t cap = ring.slots.size();
+    const std::size_t held = ring.count < cap
+                                 ? static_cast<std::size_t>(ring.count)
+                                 : cap;
+    // Oldest slot is `head` once the ring has wrapped, 0 before that.
+    const std::size_t start = ring.count < cap ? 0 : ring.head;
+    for (std::size_t i = 0; i < held; ++i)
+      merged.push_back(ring.slots[(start + i) % cap]);
+  }
+  // Each ring is already time-ordered; a stable sort by cycle interleaves
+  // the nodes without reordering same-cycle events within a node.
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const Event& x, const Event& y) {
+                     return x.cycle < y.cycle;
+                   });
+  return merged;
+}
+
+void Tracer::export_jsonl(std::ostream& out, const std::string& trigger) const {
+  write_jsonl(out, meta_, to_string(spec_.mode), trigger, truncated_,
+              snapshot());
+}
+
+std::string Tracer::dump(const std::string& trigger) {
+  if (dumps_written_ >= spec_.max_dumps) {
+    log_warn("trace: dump cap (dumps:", spec_.max_dumps,
+             ") reached; skipping trigger '", trigger, "'");
+    return "";
+  }
+  const std::string path = spec_.dump_prefix + "-" + trigger + "-" +
+                           std::to_string(dump_seq_++) + ".jsonl";
+  std::ofstream out(path);
+  if (!out) {
+    log_error("trace: cannot open flight dump file ", path);
+    return "";
+  }
+  export_jsonl(out, trigger);
+  ++dumps_written_;
+  dump_paths_.push_back(path);
+  log_info("trace: flight recorder dumped ", path, " (trigger: ", trigger,
+           ")");
+  return path;
+}
+
+void Tracer::write_outputs() {
+  if (!spec_.out.empty()) {
+    std::ofstream out(spec_.out);
+    if (out) {
+      export_jsonl(out, "end");
+    } else {
+      log_error("trace: cannot open out: file ", spec_.out);
+    }
+  }
+  if (!spec_.chrome.empty()) {
+    std::ofstream out(spec_.chrome);
+    if (out) {
+      write_chrome(out, meta_, snapshot());
+    } else {
+      log_error("trace: cannot open chrome: file ", spec_.chrome);
+    }
+  }
+  if (!spec_.summary.empty()) {
+    std::ofstream out(spec_.summary);
+    if (out) {
+      out << render_connection_summary(snapshot());
+    } else {
+      log_error("trace: cannot open summary: file ", spec_.summary);
+    }
+  }
+}
+
+Tracer* current() { return t_current; }
+
+TraceScope::TraceScope(Tracer* tracer) : prev_(t_current) {
+  t_current = tracer;
+}
+
+TraceScope::~TraceScope() { t_current = prev_; }
+
+}  // namespace mmr::trace

@@ -175,6 +175,64 @@ TEST(LogHistogram, MergePreservesOverflowCounts) {
   EXPECT_DOUBLE_EQ(a.max_seen(), 2e9);
 }
 
+// Regression: quantile(0) / quantile(1) used to return the geometric
+// midpoint of the extreme sample's bucket — a value no sample ever took,
+// disagreeing with min_seen() / max_seen() by up to the bucket's relative
+// width.  The extreme order statistics are known exactly.
+TEST(LogHistogram, QuantileZeroIsExactMin) {
+  LogHistogram h(1.0, 1.05);
+  h.add(2.0);
+  h.add(3.0);
+  h.add(1000.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 2.0);
+}
+
+TEST(LogHistogram, QuantileOneIsExactMax) {
+  LogHistogram h(1.0, 1.05);
+  h.add(1.0);
+  h.add(7.0);
+  h.add(1000.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1000.0);
+}
+
+TEST(LogHistogram, SingleSampleQuantilesAreThatSample) {
+  LogHistogram h(1.0, 1.05);
+  h.add(123.456);
+  for (const double q : {0.0, 0.25, 0.5, 0.75, 1.0})
+    EXPECT_DOUBLE_EQ(h.quantile(q), 123.456) << q;
+}
+
+TEST(LogHistogram, AllInOverflowQuantileExtremesAreExact) {
+  LogHistogram h(1.0, 2.0, /*max_buckets=*/4);
+  h.add(1e12);
+  h.add(5e12);
+  EXPECT_EQ(h.overflow_count(), 2u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1e12);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 5e12);
+}
+
+// Regression: the ascii() bucket-0 row used to render `[0.00, min) ` like a
+// regular half-open bucket, but bucket 0 *includes* samples equal to the
+// resolution floor; and the overflow row rendered max_ as a half-open upper
+// edge, implying no sample reached it.
+TEST(LogHistogram, AsciiBucketZeroRowHasClosedUpperEdge) {
+  LogHistogram h(1.0, 2.0, /*max_buckets=*/8);
+  h.add(0.5);  // at/below the floor: bucket 0
+  h.add(1.0);  // exactly the floor: also bucket 0
+  const std::string art = h.ascii();
+  EXPECT_NE(art.find("      1.00] "), std::string::npos) << art;
+  EXPECT_EQ(art.find("      1.00) "), std::string::npos) << art;
+}
+
+TEST(LogHistogram, AsciiOverflowRowIsOpenEndedWithObservedMax) {
+  LogHistogram h(1.0, 2.0, /*max_buckets=*/6);
+  h.add(2.0);
+  h.add(1e9);  // overflow
+  const std::string art = h.ascii();
+  EXPECT_NE(art.find("+inf) "), std::string::npos) << art;
+  EXPECT_NE(art.find("(max 1000000000.00)"), std::string::npos) << art;
+}
+
 TEST(LogHistogram, P50P95P99Helpers) {
   LogHistogram h;
   for (int i = 1; i <= 1000; ++i) h.add(static_cast<double>(i));
