@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "mmr/core/simulation.hpp"
+#include "mmr/mmu/spec.hpp"
 #include "mmr/overload/spec.hpp"
 #include "mmr/sim/table.hpp"
 #include "mmr/trace/spec.hpp"
@@ -27,6 +28,8 @@ int main(int argc, char** argv) {
       (void)mmr::overload::RogueSpec::parse(config.rogue_spec);
     if (!config.trace_spec.empty())
       (void)mmr::trace::TraceSpec::parse(config.trace_spec);
+    if (!config.flow_spec.empty())
+      (void)mmr::mmu::MmuSpec::parse(config.flow_spec);
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << '\n';
     return 1;

@@ -22,8 +22,12 @@ cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure -j "${JOBS}" -LE tier2
 
 echo
-echo "=== tier-2 soaks (arbiter audit + overload protection, 200 seeds each) ==="
+echo "=== tier-2 soaks (arbiter audit, overload protection, MMU; 200 seeds each) ==="
 ctest --test-dir build --output-on-failure -j "${JOBS}" -L tier2
+
+echo
+echo "=== MMU stage (incast survival verdict, credit vs flow=shared) ==="
+./build/bench/incast_survival warmup=2000 measure=20000
 
 echo
 echo "=== trace stage (lint self-test + smoke trace) ==="

@@ -39,6 +39,7 @@ EVENT_TYPES = {
     "inject", "police", "shape_release", "vc_enqueue", "candidate",
     "grant", "grant_reason", "deny", "xbar", "credit_return", "deliver",
     "deadline_miss", "fault", "watchdog", "audit_sweep", "admit", "release",
+    "pause", "resume", "ecn_mark", "mmu_drop",
 }
 # Control-plane events are node-scoped; their port/VC fields are not
 # meaningful and are excluded from the bounds checks.
@@ -168,7 +169,15 @@ def _good_trace():
              json.dumps(event(cycle=1, type="vc_enqueue")),
              json.dumps(event(cycle=2, type="xbar", output=1)),
              json.dumps(event(cycle=2, type="watchdog", conn=NO_CONNECTION,
-                              input=999))]
+                              input=999)),
+             json.dumps(event(cycle=3, type="ecn_mark", vc=1, a=12, b=40)),
+             json.dumps(event(cycle=3, type="pause", conn=NO_CONNECTION,
+                              input=1, a=24, b=4)),
+             json.dumps(event(cycle=4, type="mmu_drop", vc=2, a=13, b=55)),
+             json.dumps(event(cycle=5, type="resume", conn=NO_CONNECTION,
+                              input=1, a=12, b=2))]
+    header["events"] = len(lines) - 1
+    lines[0] = json.dumps(header)
     return lines
 
 
@@ -197,12 +206,18 @@ def self_test():
     cases.append(("vc out of bounds", bad, True))
 
     bad = list(good)
-    bad[0] = json.dumps({**json.loads(bad[0]), "events": 7})
+    bad[0] = json.dumps({**json.loads(bad[0]), "events": 99})
     cases.append(("event count mismatch", bad, True))
 
     bad = list(good)
+    # MMU pause/resume target a specific port: unlike the node-scoped
+    # control events, their input field must respect the port bounds.
+    bad[5] = json.dumps({**json.loads(bad[5]), "input": 999})
+    cases.append(("pause input out of bounds", bad, True))
+
+    bad = list(good)
     del bad[1]  # drop the vc_enqueue, keep the xbar
-    bad[0] = json.dumps({**json.loads(bad[0]), "events": 2})
+    bad[0] = json.dumps({**json.loads(bad[0]), "events": 6})
     cases.append(("xbar without enqueue", bad, True))
 
     failures = 0

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mmr/mmu/mmu.hpp"
 #include "mmr/sim/assert.hpp"
 #include "mmr/trace/event.hpp"
 #include "mmr/trace/tracer.hpp"
@@ -29,7 +30,8 @@ SimAuditor::SimAuditor(const SimConfig& config)
 void SimAuditor::on_cycle(Cycle now, const MmrRouter& router,
                           const std::vector<Nic>& nics,
                           const std::vector<LinkPipeline>& links,
-                          const std::vector<MmrRouter::Departure>& departures) {
+                          const std::vector<MmrRouter::Departure>& departures,
+                          const mmu::SharedBufferMmu* mmu) {
   ++cycles_;
 
   // The crossbar forwards at most one flit per input and per output port
@@ -68,14 +70,15 @@ void SimAuditor::on_cycle(Cycle now, const MmrRouter& router,
                  "departures it reported");
 
   if (now % period_ == 0) {
-    sweep(router, nics, links);
+    sweep(router, nics, links, mmu);
     ++sweeps_;
     MMR_TRACE_EVENT(trace::audit_sweep_event(now, sweeps_));
   }
 }
 
 void SimAuditor::sweep(const MmrRouter& router, const std::vector<Nic>& nics,
-                       const std::vector<LinkPipeline>& links) const {
+                       const std::vector<LinkPipeline>& links,
+                       const mmu::SharedBufferMmu* mmu) const {
   MMR_ASSERT(nics.size() == ports_ && links.size() == ports_);
   std::uint64_t buffered = 0;
   for (std::uint32_t port = 0; port < ports_; ++port) {
@@ -102,6 +105,15 @@ void SimAuditor::sweep(const MmrRouter& router, const std::vector<Nic>& nics,
   // must equal what the VCMs hold right now.
   MMR_ASSERT_MSG(router.flits_buffered() == buffered,
                  "audit: router flit accounting disagrees with VCM contents");
+
+  // MMU pool conservation (flow=shared runs): reserved + shared + headroom
+  // charges must balance to the flit against the buffered occupancy, and
+  // the MMU's own books must be internally consistent.
+  if (mmu != nullptr) {
+    mmu->check_invariants();
+    MMR_ASSERT_MSG(mmu->occupancy() == buffered,
+                   "audit: mmu pool charges disagree with buffered flits");
+  }
 }
 
 }  // namespace mmr::audit

@@ -22,6 +22,10 @@
 #include "mmr/router/vcm.hpp"
 #include "mmr/sim/config.hpp"
 
+namespace mmr::mmu {
+class SharedBufferMmu;
+}  // namespace mmr::mmu
+
 namespace mmr::audit {
 
 /// Buffer slots of (channel, vc) that are accounted for: available credits,
@@ -39,11 +43,15 @@ class SimAuditor {
   explicit SimAuditor(const SimConfig& config);
 
   /// Called at the end of every MmrSimulation::step_one with that cycle's
-  /// departures.  Aborts (MMR_ASSERT) on any invariant violation.
+  /// departures.  `mmu` is non-null in flow=shared runs; each sweep then
+  /// additionally asserts the MMU's pool-accounting conservation (reserved +
+  /// shared + headroom charges sum to the router's buffered occupancy).
+  /// Aborts (MMR_ASSERT) on any invariant violation.
   void on_cycle(Cycle now, const MmrRouter& router,
                 const std::vector<Nic>& nics,
                 const std::vector<LinkPipeline>& links,
-                const std::vector<MmrRouter::Departure>& departures);
+                const std::vector<MmrRouter::Departure>& departures,
+                const mmu::SharedBufferMmu* mmu = nullptr);
 
   [[nodiscard]] std::uint64_t cycles_audited() const { return cycles_; }
   [[nodiscard]] std::uint64_t sweeps() const { return sweeps_; }
@@ -55,7 +63,8 @@ class SimAuditor {
   };
 
   void sweep(const MmrRouter& router, const std::vector<Nic>& nics,
-             const std::vector<LinkPipeline>& links) const;
+             const std::vector<LinkPipeline>& links,
+             const mmu::SharedBufferMmu* mmu) const;
 
   std::uint32_t ports_;
   std::uint32_t vcs_;

@@ -1,5 +1,6 @@
 #include "mmr/core/metrics.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -90,6 +91,28 @@ SimulationMetrics merge_runs(const std::vector<SimulationMetrics>& runs) {
     o.rogue_violations += ro.rogue_violations;
     o.compliant_policed += ro.compliant_policed;
     o.rogue_policed += ro.rogue_policed;
+    o.watchdog_pause_alarms += ro.watchdog_pause_alarms;
+
+    MMR_ASSERT_MSG(run.mmu.enabled == merged.mmu.enabled,
+                   "can only merge runs with the same flow regime");
+    MmuMetrics& mm = merged.mmu;
+    const MmuMetrics& rm = run.mmu;
+    mm.admitted_reserved += rm.admitted_reserved;
+    mm.admitted_shared += rm.admitted_shared;
+    mm.admitted_headroom += rm.admitted_headroom;
+    mm.drops_lossless += rm.drops_lossless;
+    mm.drops_lossy += rm.drops_lossy;
+    mm.pause_events += rm.pause_events;
+    mm.resume_events += rm.resume_events;
+    mm.pause_cycles_total += rm.pause_cycles_total;
+    mm.pause_cycles_max = std::max(mm.pause_cycles_max, rm.pause_cycles_max);
+    mm.headroom_highwater =
+        std::max(mm.headroom_highwater, rm.headroom_highwater);
+    mm.pool_highwater = std::max(mm.pool_highwater, rm.pool_highwater);
+    mm.pool_occupancy.merge(rm.pool_occupancy);
+    mm.ecn_marked += rm.ecn_marked;
+    mm.ecn_eligible += rm.ecn_eligible;
+    mm.ecn_cuts += rm.ecn_cuts;
     // Per-connection vectors are not comparable across workload
     // realisations; only the pooled index survives a merge.
     merged.generated_per_connection.clear();

@@ -99,6 +99,7 @@ struct OverloadMetrics {
   std::uint64_t watchdog_escalations = 0;
   std::uint64_t watchdog_recoveries = 0;
   std::uint64_t watchdog_alarms = 0;
+  std::uint64_t watchdog_pause_alarms = 0;  ///< stuck-Xoff escalations
   /// Cycles spent per stage: normal, shed-BE, clamp, alarm.
   std::uint64_t cycles_in_stage[4] = {0, 0, 0, 0};
 
@@ -116,6 +117,46 @@ struct OverloadMetrics {
   [[nodiscard]] double rogue_violation_rate() const;
   /// Fraction of the run spent above kNormal (0 when nothing ran).
   [[nodiscard]] double degraded_fraction() const;
+};
+
+/// Shared-buffer MMU accounting produced by `flow=shared` runs (see
+/// mmr/mmu/).  All-zero / disabled otherwise.
+struct MmuMetrics {
+  bool enabled = false;  ///< the shared-buffer regime was active
+
+  // Admissions by the pool that absorbed the flit.
+  std::uint64_t admitted_reserved = 0;
+  std::uint64_t admitted_shared = 0;
+  std::uint64_t admitted_headroom = 0;  ///< lossless overflow during pause
+
+  // Refusals, split by loss class.  `drops_lossless` must stay zero — that
+  // is the regime's lossless guarantee; bench/incast_survival gates on it.
+  std::uint64_t drops_lossless = 0;
+  std::uint64_t drops_lossy = 0;
+
+  // Xon/Xoff pause activity.
+  std::uint64_t pause_events = 0;
+  std::uint64_t resume_events = 0;
+  std::uint64_t pause_cycles_total = 0;  ///< summed over ports
+  std::uint64_t pause_cycles_max = 0;    ///< longest single pause
+
+  // Occupancy extremes and the sampled shared-pool occupancy profile.
+  std::uint64_t headroom_highwater = 0;
+  std::uint64_t pool_highwater = 0;
+  StreamingStats pool_occupancy;
+
+  // ECN marking and the reactor's response.
+  std::uint64_t ecn_marked = 0;
+  std::uint64_t ecn_eligible = 0;  ///< shared-pool admissions (mark trials)
+  std::uint64_t ecn_cuts = 0;      ///< multiplicative rate reductions taken
+
+  /// Marked fraction of mark-eligible admissions (0 when none).
+  [[nodiscard]] double mark_rate() const {
+    return ecn_eligible == 0
+               ? 0.0
+               : static_cast<double>(ecn_marked) /
+                     static_cast<double>(ecn_eligible);
+  }
 };
 
 struct SimulationMetrics {
@@ -152,6 +193,9 @@ struct SimulationMetrics {
   // Overload protection (mmr/overload/); disabled unless police=/rogue= ran.
   OverloadMetrics overload;
 
+  // Shared-buffer MMU backpressure (mmr/mmu/); disabled unless flow=shared.
+  MmuMetrics mmu;
+
   // Fairness (Section 3's "efficient and fair resource scheduling"):
   // Jain's index over per-connection delivered/offered shares; 1.0 means
   // every connection received service proportional to its offered load.
@@ -164,7 +208,8 @@ struct SimulationMetrics {
   /// delays have exploded to hundreds of flit cycles (the paper's "delay
   /// grows without bound" signature).
   [[nodiscard]] bool saturated(double deficit_tolerance = 0.995,
-                               double delay_threshold_cycles = 250.0) const {
+                               double delay_threshold_cycles =
+                                   kQosDeadlineCycles) const {
     if (delivered_load < generated_load_measured * deficit_tolerance)
       return true;
     return !flit_delay_us.empty() &&

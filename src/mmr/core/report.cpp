@@ -192,6 +192,27 @@ void print_overload_summary(std::ostream& out,
   }
 }
 
+void print_mmu_summary(std::ostream& out, const SimulationMetrics& metrics) {
+  const MmuMetrics& m = metrics.mmu;
+  if (!m.enabled) return;
+  out << "Shared-buffer MMU: admitted reserved " << m.admitted_reserved
+      << ", shared " << m.admitted_shared << ", headroom "
+      << m.admitted_headroom << "; drops lossless " << m.drops_lossless
+      << ", lossy " << m.drops_lossy << "\n";
+  out << "  Pause: " << m.pause_events << " Xoff / " << m.resume_events
+      << " Xon, total " << m.pause_cycles_total << " cycles, longest "
+      << m.pause_cycles_max << "; headroom highwater " << m.headroom_highwater
+      << ", pool highwater " << m.pool_highwater << "\n";
+  out << "  ECN: " << m.ecn_marked << "/" << m.ecn_eligible << " marked ("
+      << AsciiTable::num(m.mark_rate() * 100.0, 2) << "%), " << m.ecn_cuts
+      << " rate cuts";
+  if (!m.pool_occupancy.empty()) {
+    out << "; pool occupancy mean "
+        << AsciiTable::num(m.pool_occupancy.mean(), 1) << " flits";
+  }
+  out << "\n";
+}
+
 void print_saturation_summary(std::ostream& out,
                               const std::vector<SweepPoint>& points,
                               const std::vector<std::string>& arbiters) {

@@ -54,6 +54,10 @@ void write_sweep_csv(std::ostream& out, const std::vector<SweepPoint>& points,
 void print_overload_summary(std::ostream& out,
                             const SimulationMetrics& metrics);
 
+/// Prints the shared-buffer MMU summary (admission split, pause activity,
+/// ECN marking) for a flow=shared run; prints nothing when it was off.
+void print_mmu_summary(std::ostream& out, const SimulationMetrics& metrics);
+
 /// Prints the standard bench footer: saturation loads per arbiter.
 void print_saturation_summary(std::ostream& out,
                               const std::vector<SweepPoint>& points,

@@ -1,6 +1,7 @@
 #include "mmr/core/simulation.hpp"
 
 #include "mmr/audit/sim_auditor.hpp"
+#include "mmr/mmu/mmu.hpp"
 #include "mmr/overload/policer.hpp"
 #include "mmr/overload/rogue_apply.hpp"
 #include "mmr/overload/watchdog.hpp"
@@ -16,10 +17,23 @@ namespace {
 
 constexpr Cycle kInvariantCheckPeriod = 1 << 16;
 
+constexpr std::uint32_t kNoSource = ~std::uint32_t{0};
+
 }  // namespace
 
+SimConfig MmrSimulation::with_flow_regime(SimConfig config) {
+  if (config.flow_spec.empty()) return config;
+  // Parse eagerly so a malformed spec fails before anything is built; only
+  // the shared regime changes the buffer geometry (resolve() reads ports and
+  // latencies, never buffer_flits_per_vc, so the order is safe).
+  const mmu::MmuSpec spec = mmu::MmuSpec::parse(config.flow_spec);
+  if (spec.mode == mmu::FlowMode::kShared)
+    config.buffer_flits_per_vc = spec.resolve(config).vc_slots();
+  return config;
+}
+
 MmrSimulation::MmrSimulation(SimConfig config, Workload workload)
-    : config_(config),
+    : config_(with_flow_regime(std::move(config))),
       workload_(std::move(workload)),
       router_(config_, workload_.table, Rng(config_.seed, 0xA0)),
       collector_(workload_.table, config_),
@@ -45,6 +59,18 @@ MmrSimulation::MmrSimulation(SimConfig config, Workload workload)
     if (spec.wd_window > 0)
       watchdog_ =
           std::make_unique<overload::SaturationWatchdog>(spec, config_.ports);
+  }
+
+  if (config_.shared_flow()) {
+    mmu_ = std::make_unique<mmu::SharedBufferMmu>(
+        mmu::MmuSpec::parse(config_.flow_spec), config_);
+    if (mmu_->spec().ecn) {
+      ecn_ = std::make_unique<mmu::EcnReactor>(workload_.table.size(),
+                                               mmu_->spec());
+      source_of_connection_.assign(workload_.table.size(), kNoSource);
+      for (std::uint32_t i = 0; i < workload_.sources.size(); ++i)
+        source_of_connection_[workload_.sources[i]->connection()] = i;
+    }
   }
 
   nics_.reserve(config_.ports);
@@ -97,13 +123,40 @@ void MmrSimulation::step_one() {
   const trace::TraceScope trace_scope(tracer);
   if (tracer != nullptr) tracer->set_now(now);
 
-  // 1. Flits whose link transfer completes this cycle enter the VCM.
+  // 1. Flits whose link transfer completes this cycle enter the VCM —
+  // gated, under flow=shared, by the MMU's pool accounting.
   {
     MMR_PERF_SCOPE(perf::Phase::kCredits);
     for (std::uint32_t port = 0; port < config_.ports; ++port) {
       arrival_buffer_.clear();
       input_links_[port].pop_due(now, arrival_buffer_);
       for (const LinkTransfer& transfer : arrival_buffer_) {
+        if (mmu_) {
+          const Flit& flit = transfer.flit;
+          const auto admit = mmu_->admit(port, loss_class(flit), now);
+          if (admit.pool == mmu::AdmitPool::kDropped) {
+            // The VCM slot this flit was charged a credit for stays free;
+            // return the credit so the NIC's ledger keeps balancing.
+            nics_[port].return_credit(transfer.vc, now);
+            MMR_TRACE_EVENT(trace::mmu_drop_event(now, port, transfer.vc,
+                                                  flit.connection, flit.seq,
+                                                  mmu_->occupancy()));
+            continue;
+          }
+          if (admit.marked) {
+            MMR_TRACE_EVENT(trace::ecn_mark_event(now, port, transfer.vc,
+                                                  flit.connection, flit.seq,
+                                                  mmu_->shared_used()));
+            if (ecn_ && ecn_->on_mark(flit.connection))
+              apply_ecn_factor(flit.connection);
+          }
+          if (admit.fire_xoff) {
+            const Cycle effective = now + config_.credit_latency;
+            pause_frames_.push_back({effective, port, /*xoff=*/true});
+            MMR_TRACE_EVENT(trace::mmu_pause_event(
+                now, port, mmu_->port_usage(port), effective));
+          }
+        }
         router_.accept(port, transfer.vc, transfer.flit, now);
       }
     }
@@ -203,9 +256,24 @@ void MmrSimulation::step_one() {
     }
   }
 
-  // 3. Each NIC's link controller forwards at most one flit.
+  // 2c. ECN recovery: factors step back towards 1.0 once per window.
+  if (ecn_) {
+    ecn_changed_.clear();
+    ecn_->on_cycle(now, ecn_changed_);
+    for (const ConnectionId connection : ecn_changed_)
+      apply_ecn_factor(connection);
+  }
+
+  // 3. Pause frames whose credit-channel propagation completes take effect,
+  // then each NIC's link controller forwards at most one flit.
   {
     MMR_PERF_SCOPE(perf::Phase::kCredits);
+    while (!pause_frames_.empty() &&
+           pause_frames_.front().effective_at <= now) {
+      const PauseFrame frame = pause_frames_.front();
+      pause_frames_.pop_front();
+      nics_[frame.port].set_paused(frame.xoff);
+    }
     for (std::uint32_t port = 0; port < config_.ports; ++port) {
       if (auto transfer = nics_[port].select_and_send(now)) {
         input_links_[port].push(*transfer, now);
@@ -224,6 +292,17 @@ void MmrSimulation::step_one() {
   for (const MmrRouter::Departure& departure : departure_buffer_) {
     collector_.on_delivered(departure, now + 1);
     nics_[departure.input].return_credit(departure.vc, now);
+    if (mmu_) {
+      const auto released =
+          mmu_->release(departure.input, loss_class(departure.flit), now);
+      if (released.fire_xon) {
+        const Cycle effective = now + config_.credit_latency;
+        pause_frames_.push_back({effective, departure.input, /*xoff=*/false});
+        MMR_TRACE_EVENT(trace::mmu_resume_event(
+            now, departure.input, mmu_->port_usage(departure.input),
+            released.paused_cycles));
+      }
+    }
     if (MMR_TRACE_ON()) {
       const Flit& flit = departure.flit;
       const std::uint64_t delay = now + 1 - flit.generated_at;
@@ -261,14 +340,19 @@ void MmrSimulation::step_one() {
     }
   }
 
+  if (mmu_) mmu_->on_cycle(now);
+
   if (watchdog_) {
     const std::uint64_t sample =
         watchdog_->wants_sample(now) ? backlog() : 0;
     watchdog_->on_cycle(now, sample, *policer_);
+    if (mmu_)
+      watchdog_->on_mmu_pause(now, mmu_->longest_open_pause(now), *policer_);
   }
 
   if (auditor_)
-    auditor_->on_cycle(now, router_, nics_, input_links_, departure_buffer_);
+    auditor_->on_cycle(now, router_, nics_, input_links_, departure_buffer_,
+                       mmu_.get());
 
   if ((now + 1) % kInvariantCheckPeriod == 0) check_invariants();
   ++now_;
@@ -287,6 +371,26 @@ SimulationMetrics MmrSimulation::run() {
 SimulationMetrics MmrSimulation::finalize() const {
   SimulationMetrics m =
       collector_.finalize(router_, generated_load_nominal_, backlog());
+
+  if (mmu_) {
+    MmuMetrics& mm = m.mmu;
+    mm.enabled = true;
+    mm.admitted_reserved = mmu_->admitted_reserved();
+    mm.admitted_shared = mmu_->admitted_shared();
+    mm.admitted_headroom = mmu_->admitted_headroom();
+    mm.drops_lossless = mmu_->drops_lossless();
+    mm.drops_lossy = mmu_->drops_lossy();
+    mm.pause_events = mmu_->pause_events();
+    mm.resume_events = mmu_->resume_events();
+    mm.pause_cycles_total = mmu_->pause_cycles_total(now_);
+    mm.pause_cycles_max = mmu_->pause_cycles_max(now_);
+    mm.headroom_highwater = mmu_->headroom_highwater();
+    mm.pool_highwater = mmu_->pool_highwater();
+    mm.pool_occupancy = mmu_->pool_occupancy();
+    mm.ecn_marked = mmu_->ecn_marked();
+    mm.ecn_eligible = mmu_->ecn_eligible();
+    if (ecn_) mm.ecn_cuts = ecn_->cuts();
+  }
 
   OverloadMetrics& o = m.overload;
   o.enabled = policer_ != nullptr || !rogue_ids_.empty();
@@ -322,6 +426,7 @@ SimulationMetrics MmrSimulation::finalize() const {
     o.watchdog_escalations = watchdog_->escalations();
     o.watchdog_recoveries = watchdog_->recoveries();
     o.watchdog_alarms = watchdog_->alarms();
+    o.watchdog_pause_alarms = watchdog_->pause_alarms();
     for (std::size_t s = 0; s < 4; ++s)
       o.cycles_in_stage[s] = watchdog_->cycles_in_stage(
           static_cast<overload::WatchdogStage>(s));
@@ -329,10 +434,28 @@ SimulationMetrics MmrSimulation::finalize() const {
   return m;
 }
 
+TrafficClass MmrSimulation::loss_class(const Flit& flit) const {
+  return flit.demoted ? TrafficClass::kBestEffort
+                      : workload_.table.get(flit.connection).traffic_class;
+}
+
+void MmrSimulation::apply_ecn_factor(ConnectionId connection) {
+  const double factor = ecn_->factor(connection);
+  const std::uint32_t source = source_of_connection_[connection];
+  if (source != kNoSource) workload_.sources[source]->throttle(factor);
+  if (policer_) policer_->set_rate_factor(connection, factor);
+}
+
 void MmrSimulation::check_invariants() const {
   router_.check_invariants();
   for (const Nic& n : nics_) n.check_invariants();
   if (policer_) policer_->check_invariants();
+  if (mmu_) {
+    mmu_->check_invariants();
+    // Every flit buffered in the router is charged to exactly one pool.
+    MMR_ASSERT_MSG(mmu_->occupancy() == router_.flits_buffered(),
+                   "mmu occupancy disagrees with the router's buffered flits");
+  }
 }
 
 }  // namespace mmr

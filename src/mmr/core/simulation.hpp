@@ -4,6 +4,7 @@
 // warmup + measurement and returns the paper's metrics.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <queue>
@@ -21,6 +22,11 @@ namespace mmr {
 namespace audit {
 class SimAuditor;
 }  // namespace audit
+
+namespace mmu {
+class SharedBufferMmu;
+class EcnReactor;
+}  // namespace mmu
 
 namespace overload {
 class InjectionPolicer;
@@ -81,6 +87,15 @@ class MmrSimulation {
     return rogue_ids_;
   }
 
+  /// The shared-buffer MMU, or nullptr when `flow=` is unset or "credit".
+  [[nodiscard]] const mmu::SharedBufferMmu* shared_mmu() const {
+    return mmu_.get();
+  }
+  /// The ECN reactor, or nullptr when the MMU is off or marking disabled.
+  [[nodiscard]] const mmu::EcnReactor* ecn_reactor() const {
+    return ecn_.get();
+  }
+
   /// The event tracer, or nullptr when `trace=` is unset.  Non-const so
   /// tests can snapshot/export after a run; emission itself never touches
   /// simulation state.
@@ -90,6 +105,21 @@ class MmrSimulation {
   void check_invariants() const;
 
  private:
+  /// Normalizes the flow regime before member construction: `flow=shared`
+  /// re-sizes the per-VC buffer/credit allowance to the MMU's admission
+  /// allowance (MmuSpec::vc_slots), because a single field feeds both the
+  /// router's VCM capacity and the NIC's credit budget.  Unset / "credit"
+  /// returns the config untouched.
+  [[nodiscard]] static SimConfig with_flow_regime(SimConfig config);
+
+  /// A flit's loss class at the MMU: policed-demoted excess is lossy
+  /// best-effort regardless of the VC's traffic class.
+  [[nodiscard]] TrafficClass loss_class(const Flit& flit) const;
+
+  /// Pushes the reactor's current factor for `connection` into its traffic
+  /// source and the policer's token bucket.
+  void apply_ecn_factor(ConnectionId connection);
+
   SimConfig config_;
   Workload workload_;
   MmrRouter router_;
@@ -112,13 +142,29 @@ class MmrSimulation {
   std::unique_ptr<overload::SaturationWatchdog> watchdog_;
   std::vector<ConnectionId> rogue_ids_;
   std::vector<char> is_rogue_;  ///< per-connection flag (empty = none)
-  double qos_deadline_cycles_ = 250.0;  ///< violation split threshold
+  double qos_deadline_cycles_ = kQosDeadlineCycles;  ///< violation split
   std::uint64_t compliant_delivered_ = 0;
   std::uint64_t compliant_violations_ = 0;
   std::uint64_t rogue_delivered_ = 0;
   std::uint64_t rogue_violations_ = 0;
   StreamingStats shape_delay_us_;
   std::vector<Flit> release_buffer_;
+
+  // Shared-buffer MMU backpressure (set only when flow=shared; null pointers
+  // leave the credit-regime hot path bit-identical to a pre-MMU build).
+  std::unique_ptr<mmu::SharedBufferMmu> mmu_;
+  std::unique_ptr<mmu::EcnReactor> ecn_;
+  /// In-flight Xon/Xoff frames on the credit channel; effective times are
+  /// non-decreasing (every frame is stamped now + credit_latency), so a
+  /// front-drain applies them in emission order.
+  struct PauseFrame {
+    Cycle effective_at = 0;
+    std::uint32_t port = 0;
+    bool xoff = false;
+  };
+  std::deque<PauseFrame> pause_frames_;
+  std::vector<std::uint32_t> source_of_connection_;  ///< ECN throttle lookup
+  std::vector<ConnectionId> ecn_changed_;            ///< recovery scratch
 
   Cycle now_ = 0;
   bool ran_ = false;

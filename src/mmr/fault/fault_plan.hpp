@@ -67,7 +67,7 @@ struct FaultPlan {
   /// A delivered flit whose end-to-end delay exceeds this many flit cycles
   /// counts as a QoS violation (tallied separately inside and outside fault
   /// windows).
-  double qos_deadline_cycles = 250.0;
+  double qos_deadline_cycles = kQosDeadlineCycles;
 
   /// True when the plan cannot produce any fault event — the network layer
   /// then skips the fault machinery entirely.

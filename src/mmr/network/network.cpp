@@ -227,6 +227,9 @@ MmrNetworkSimulation::MmrNetworkSimulation(SimConfig config,
       warmup_(config.warmup_cycles) {
   config_.validate();
   workload_.check_invariants();
+  MMR_ASSERT_MSG(!config_.shared_flow(),
+                 "flow=shared is a single-router regime; the network layer "
+                 "runs credit flow control only");
   const NetworkTopology& topology = workload_.topology;
   MMR_ASSERT(topology.ports_per_router() == config_.ports);
 

@@ -90,7 +90,8 @@ struct NetworkMetrics {
   DegradationMetrics degradation;
 
   [[nodiscard]] bool saturated(double deficit_tolerance = 0.995,
-                               double delay_threshold_cycles = 500.0) const {
+                               double delay_threshold_cycles =
+                                   kQosDeadlineCycles) const {
     if (static_cast<double>(flits_delivered) <
         static_cast<double>(flits_generated) * deficit_tolerance) {
       return true;

@@ -59,9 +59,12 @@ double InjectionPolicer::depth_of(const Bucket& bucket) const {
 
 void InjectionPolicer::refill(Bucket& bucket, Cycle now) const {
   MMR_ASSERT(now >= bucket.last_refill);
-  const double rate = (clamp_noncompliant_ && bucket.noncompliant)
-                          ? bucket.mean_rate
-                          : bucket.rate;
+  // x * 1.0 is IEEE-exact, so an unmarked connection refills bit-identically
+  // to a build without the ECN hook.
+  const double rate = ((clamp_noncompliant_ && bucket.noncompliant)
+                           ? bucket.mean_rate
+                           : bucket.rate) *
+                      bucket.ecn_factor;
   bucket.tokens = std::min(
       depth_of(bucket),
       bucket.tokens + rate * static_cast<double>(now - bucket.last_refill));
@@ -140,6 +143,18 @@ void InjectionPolicer::release_due(Cycle now, std::vector<Flit>& out) {
     if (!bucket.penalty.empty()) shapers_[keep++] = shapers_[i];
   }
   shapers_.resize(keep);
+}
+
+void InjectionPolicer::set_rate_factor(ConnectionId id, double factor) {
+  MMR_ASSERT(id < buckets_.size());
+  MMR_ASSERT_MSG(factor > 0.0 && factor <= 1.0,
+                 "ECN rate factor must lie in (0, 1]");
+  buckets_[id].ecn_factor = factor;
+}
+
+double InjectionPolicer::rate_factor(ConnectionId id) const {
+  MMR_ASSERT(id < buckets_.size());
+  return buckets_[id].ecn_factor;
 }
 
 std::uint32_t InjectionPolicer::noncompliant_connections() const {

@@ -69,6 +69,15 @@ class InjectionPolicer {
   [[nodiscard]] bool shedding() const { return shed_best_effort_; }
   [[nodiscard]] bool clamping() const { return clamp_noncompliant_; }
 
+  // ECN reaction -------------------------------------------------------------
+  /// Scales a connection's refill rate by `factor` in (0, 1] — the token
+  /// bucket's contribution to congestion backoff (sources stretch their IATs
+  /// via TrafficSource::throttle; the bucket shrinks in step so the shaped
+  /// envelope tracks the throttled source instead of policing it).  1.0
+  /// restores the admitted contract exactly.
+  void set_rate_factor(ConnectionId id, double factor);
+  [[nodiscard]] double rate_factor(ConnectionId id) const;
+
   // Introspection -----------------------------------------------------------
   [[nodiscard]] const PoliceSpec& spec() const { return spec_; }
   [[nodiscard]] const ClassTally& tally(TrafficClass cls) const {
@@ -96,6 +105,7 @@ class InjectionPolicer {
     double mean_rate = 0.0;  ///< clamped refill, flits per flit cycle
     double depth = 0.0;      ///< burst tolerance, flits
     Cycle last_refill = 0;
+    double ecn_factor = 1.0;   ///< ECN backoff scale on the refill rate
     std::deque<Flit> penalty;  ///< shape policy: delayed excess
     bool noncompliant = false;
     bool qos = false;

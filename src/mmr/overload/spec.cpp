@@ -105,12 +105,14 @@ PoliceSpec PoliceSpec::parse(const std::string& spec) {
     } else if (key == "wd_recover") {
       parsed.wd_recover_after =
           static_cast<std::uint32_t>(parse_u64(value, token));
+    } else if (key == "wd_pause_limit") {
+      parsed.wd_pause_limit = parse_u64(value, token);
     } else {
       throw std::invalid_argument(
           "unknown police spec token '" + token +
           "'; expected drop|shape|demote, burst, vbr_burst, penalty, "
           "deadline, wd_window, wd_alpha, wd_high, wd_low, wd_escalate, "
-          "wd_recover");
+          "wd_recover, wd_pause_limit");
     }
   }
   if (!policy_seen)

@@ -39,7 +39,7 @@ struct PoliceSpec {
   double burst_rounds = 2.0;       ///< CBR bucket depth, rounds of mean slots
   double vbr_burst_rounds = 24.0;  ///< VBR bucket depth, rounds of peak slots
   std::uint32_t penalty_flits = 64;  ///< shape queue bound per connection
-  double qos_deadline_cycles = 250.0;  ///< QoS-violation threshold (flit cyc)
+  double qos_deadline_cycles = kQosDeadlineCycles;  ///< violation threshold
 
   // Saturation watchdog (staged degradation; 0 disables it).
   Cycle wd_window = 512;        ///< backlog sample period, cycles
@@ -48,10 +48,13 @@ struct PoliceSpec {
   double wd_low = 12.0;         ///< recover below this backlog/port (flits)
   std::uint32_t wd_escalate_after = 4;  ///< windows over high before +1 stage
   std::uint32_t wd_recover_after = 16;  ///< windows under low before -1 stage
+  /// MMU escalation (flow=shared runs): an Xoff pause still open after this
+  /// many cycles jumps the watchdog straight to kAlarm.  0 disables.
+  Cycle wd_pause_limit = 0;
 
   /// Parses "drop|shape|demote[,key:value...]", e.g.
   ///   "demote,burst:2,vbr_burst:24,penalty:64,deadline:250,
-  ///    wd_window:512,wd_high:48,wd_low:12"
+  ///    wd_window:512,wd_high:48,wd_low:12,wd_pause_limit:20000"
   /// `wd_window:0` disables the watchdog.  Throws std::invalid_argument on
   /// unknown or malformed tokens.
   [[nodiscard]] static PoliceSpec parse(const std::string& spec);

@@ -75,4 +75,27 @@ void SaturationWatchdog::on_cycle(Cycle now, std::uint64_t backlog_flits,
   }
 }
 
+void SaturationWatchdog::on_mmu_pause(Cycle now, Cycle longest_open_pause,
+                                      InjectionPolicer& policer) {
+  if (spec_.wd_pause_limit == 0) return;
+  if (longest_open_pause == 0) {
+    pause_alarmed_ = false;  // every pause closed: re-arm
+    return;
+  }
+  if (pause_alarmed_ || longest_open_pause < spec_.wd_pause_limit) return;
+
+  pause_alarmed_ = true;
+  ++pause_alarms_;
+  if (stage_ < WatchdogStage::kAlarm) {
+    stage_ = WatchdogStage::kAlarm;
+    ++alarms_;
+    over_windows_ = 0;
+    calm_windows_ = 0;
+    apply(policer);
+  }
+  MMR_TRACE_EVENT(trace::watchdog_event(
+      now, static_cast<std::uint8_t>(stage_), /*escalated=*/true,
+      static_cast<std::uint64_t>(longest_open_pause)));
+}
+
 }  // namespace mmr::overload

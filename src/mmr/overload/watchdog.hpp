@@ -48,6 +48,16 @@ class SaturationWatchdog {
   void on_cycle(Cycle now, std::uint64_t backlog_flits,
                 InjectionPolicer& policer);
 
+  /// MMU backpressure escalation (flow=shared runs only): call once per
+  /// cycle with the age of the oldest still-open Xoff pause.  A pause held
+  /// longer than wd_pause_limit means backpressure is not draining — the
+  /// watchdog jumps straight to kAlarm and applies the full ladder (shed +
+  /// clamp).  Re-arms once every pause has closed.  wd_pause_limit == 0
+  /// disables the check.
+  void on_mmu_pause(Cycle now, Cycle longest_open_pause,
+                    InjectionPolicer& policer);
+  [[nodiscard]] std::uint32_t pause_alarms() const { return pause_alarms_; }
+
   [[nodiscard]] WatchdogStage stage() const { return stage_; }
   [[nodiscard]] double ewma() const { return ewma_; }
   [[nodiscard]] std::uint32_t escalations() const { return escalations_; }
@@ -75,6 +85,8 @@ class SaturationWatchdog {
   std::uint32_t escalations_ = 0;
   std::uint32_t recoveries_ = 0;
   std::uint32_t alarms_ = 0;
+  std::uint32_t pause_alarms_ = 0;
+  bool pause_alarmed_ = false;  ///< latched until all pauses clear
   Cycle cycles_in_stage_[4] = {0, 0, 0, 0};
 };
 

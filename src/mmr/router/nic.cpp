@@ -18,7 +18,7 @@ void Nic::deposit(std::uint32_t vc, const Flit& flit) {
 
 std::optional<LinkTransfer> Nic::select_and_send(Cycle now) {
   credits_.tick(now);
-  if (nonempty_ == 0) return std::nullopt;
+  if (paused_ || nonempty_ == 0) return std::nullopt;
   const std::uint32_t n = vcs();
   for (std::uint32_t k = 0; k < n; ++k) {
     const std::uint32_t vc = (rr_next_ + k) % n;

@@ -40,6 +40,13 @@ class Nic {
   /// the flit to put on the link, or nothing if no connection is eligible.
   [[nodiscard]] std::optional<LinkTransfer> select_and_send(Cycle now);
 
+  /// Xon/Xoff pause from the shared-buffer MMU (flow=shared only).  While
+  /// paused the NIC stalls — flits stay queued in the infinite source
+  /// buffers, nothing is ever dropped here — which is the lossless half of
+  /// the pause contract.  Credits still tick while paused.
+  void set_paused(bool paused) { paused_ = paused; }
+  [[nodiscard]] bool paused() const { return paused_; }
+
   /// Fault recovery: moves every queued flit of `from_vc` to the back of
   /// `to_vc`'s queue (the connection was re-admitted on a different VC of a
   /// rerouted path; flits still in host memory follow it).
@@ -59,6 +66,7 @@ class Nic {
   std::uint64_t total_queued_ = 0;
   std::uint64_t total_sent_ = 0;
   std::uint32_t nonempty_ = 0;
+  bool paused_ = false;  ///< Xoff asserted by the shared-buffer MMU
 };
 
 }  // namespace mmr

@@ -76,8 +76,8 @@ std::uint64_t parse_u64(std::string_view v, const std::string& key) {
 constexpr const char* kValidKeys =
     "ports, vcs, link_bps, flit_bits, phit_bits, buffer_flits, levels, "
     "link_latency, credit_latency, round_multiple, concurrency_factor, "
-    "priority, arbiter, seed, warmup, measure, fault, audit, police, rogue, "
-    "trace";
+    "priority, arbiter, seed, warmup, measure, fault, flow, audit, police, "
+    "rogue, trace";
 
 }  // namespace
 
@@ -133,6 +133,8 @@ std::vector<std::string> apply_overrides(
       config.measure_cycles = parse_u64(value, key);
     } else if (key == "fault") {
       config.fault_spec = value;
+    } else if (key == "flow") {
+      config.flow_spec = value;
     } else if (key == "police") {
       config.police_spec = value;
     } else if (key == "rogue") {

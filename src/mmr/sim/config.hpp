@@ -69,6 +69,15 @@ struct SimConfig {
   /// inflate past their admitted contract.  Empty = no rogue sources.
   std::string rogue_spec;
 
+  // --- flow-control regime (mmr/mmu/) ---------------------------------------
+  /// Textual MmuSpec (see mmr/mmu/spec.hpp): "credit" for the paper's
+  /// dedicated per-VC buffers + credit flow control, or
+  /// "shared[,key:value...]" for the shared-buffer MMU regime (dynamic-
+  /// threshold admission, Xon/Xoff pause, ECN marking).  Empty = credit
+  /// regime with no MMU machinery at all; results are bit-identical to a
+  /// build without the subsystem.
+  std::string flow_spec;
+
   // --- event tracing (mmr/trace/) -------------------------------------------
   /// Textual TraceSpec (see mmr/trace/spec.hpp): structured lifecycle-event
   /// tracing, either full-stream export or a flight-recorder ring dumped on
@@ -93,6 +102,12 @@ struct SimConfig {
   }
   [[nodiscard]] Cycle total_cycles() const {
     return warmup_cycles + measure_cycles;
+  }
+  /// True when flow= selects the shared-buffer MMU regime.  (Cheap prefix
+  /// test; full parsing and validation live in mmr::mmu::MmuSpec, above
+  /// this layer.)
+  [[nodiscard]] bool shared_flow() const {
+    return flow_spec.rfind("shared", 0) == 0;
   }
 
   /// Aborts with a readable message when a field combination is nonsense.

@@ -20,6 +20,13 @@ using Cycle = std::uint64_t;
 /// Sentinel for "not yet" timestamps.
 inline constexpr Cycle kNever = ~Cycle{0};
 
+/// Default QoS deadline in flit cycles: a delivered QoS flit later than this
+/// counts as a deadline violation, and mean delays beyond it mark a run as
+/// saturated.  Single source of truth shared by the single-router metrics,
+/// the network metrics, the overload policer and the fault plan — the
+/// regression test in test_metrics.cpp keeps every path in agreement.
+inline constexpr double kQosDeadlineCycles = 250.0;
+
 /// Converts between flit cycles, router cycles and wall-clock time for a
 /// given link technology.
 class TimeBase {

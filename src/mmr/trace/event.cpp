@@ -21,6 +21,10 @@ const char* to_string(EventType type) {
     case EventType::kAuditSweep: return "audit_sweep";
     case EventType::kAdmit: return "admit";
     case EventType::kRelease: return "release";
+    case EventType::kMmuPause: return "pause";
+    case EventType::kMmuResume: return "resume";
+    case EventType::kEcnMark: return "ecn_mark";
+    case EventType::kMmuDrop: return "mmu_drop";
   }
   return "unknown";
 }

@@ -36,9 +36,13 @@ enum class EventType : std::uint8_t {
   kAuditSweep,    ///< runtime auditor completed a conservation sweep
   kAdmit,         ///< admission control accepted a connection
   kRelease,       ///< admission control released a connection
+  kMmuPause,      ///< shared-buffer MMU fired Xoff towards a NIC
+  kMmuResume,     ///< shared-buffer MMU fired Xon towards a NIC
+  kEcnMark,       ///< admission marked a flit (occupancy past kmin)
+  kMmuDrop,       ///< MMU refused admission (lossy class, buffers full)
 };
 
-inline constexpr std::size_t kEventTypeCount = 17;
+inline constexpr std::size_t kEventTypeCount = 21;
 
 /// `level` codes for kPolice events.
 enum class PoliceAction : std::uint8_t {
@@ -291,6 +295,68 @@ inline Event admission_event(Cycle now, bool admitted, std::uint32_t input,
   e.vc = vc;
   e.connection = connection;
   e.a = slots;
+  return e;
+}
+
+/// Xoff towards `input`'s NIC.  a = port buffer usage when the pause fired,
+/// b = cycle the pause frame takes effect at the sender (now + credit
+/// latency; informational — `cycle` stays the emission cycle).
+inline Event mmu_pause_event(Cycle now, std::uint32_t input,
+                             std::uint64_t port_usage,
+                             std::uint64_t effective_at) {
+  Event e;
+  e.cycle = now;
+  e.type = EventType::kMmuPause;
+  e.input = static_cast<std::uint16_t>(input);
+  e.a = port_usage;
+  e.b = effective_at;
+  return e;
+}
+
+/// Xon towards `input`'s NIC.  a = port buffer usage at resume,
+/// b = pause duration in cycles (Xoff emission to Xon emission).
+inline Event mmu_resume_event(Cycle now, std::uint32_t input,
+                              std::uint64_t port_usage,
+                              std::uint64_t paused_cycles) {
+  Event e;
+  e.cycle = now;
+  e.type = EventType::kMmuResume;
+  e.input = static_cast<std::uint16_t>(input);
+  e.a = port_usage;
+  e.b = paused_cycles;
+  return e;
+}
+
+/// ECN-style congestion mark on an admitted flit.  a = flit seq,
+/// b = shared-pool occupancy that produced the marking probability.
+inline Event ecn_mark_event(Cycle now, std::uint32_t input, std::uint32_t vc,
+                            std::uint32_t connection, std::uint64_t seq,
+                            std::uint64_t pool_occupancy) {
+  Event e;
+  e.cycle = now;
+  e.type = EventType::kEcnMark;
+  e.input = static_cast<std::uint16_t>(input);
+  e.vc = vc;
+  e.connection = connection;
+  e.a = seq;
+  e.b = pool_occupancy;
+  return e;
+}
+
+/// MMU refused admission at the router input (lossy class with reserved,
+/// shared and — for lossless — headroom exhausted).  a = flit seq,
+/// b = total MMU occupancy at the drop.
+inline Event mmu_drop_event(Cycle now, std::uint32_t input, std::uint32_t vc,
+                            std::uint32_t connection, std::uint64_t seq,
+                            std::uint64_t occupancy) {
+  Event e;
+  e.cycle = now;
+  e.type = EventType::kMmuDrop;
+  e.input = static_cast<std::uint16_t>(input);
+  e.vc = vc;
+  e.connection = connection;
+  e.a = seq;
+  e.b = occupancy;
   return e;
 }
 

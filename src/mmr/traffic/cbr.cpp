@@ -32,8 +32,15 @@ void CbrSource::generate(Cycle now, std::vector<Flit>& out) {
     flit.generated_at = next_emission();
     flit.frame_origin = flit.generated_at;
     out.push_back(flit);
-    next_time_ += iat_cycles_;
+    // x / 1.0 is IEEE-exact, so an unthrottled source stays bit-identical
+    // to one built without the ECN hook.
+    next_time_ += iat_cycles_ / throttle_;
   }
+}
+
+void CbrSource::throttle(double factor) {
+  MMR_ASSERT(factor > 0.0 && factor <= 1.0);
+  throttle_ = factor;
 }
 
 }  // namespace mmr

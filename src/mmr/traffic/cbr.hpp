@@ -28,6 +28,7 @@ class CbrSource final : public TrafficSource {
   [[nodiscard]] Cycle next_emission() const override;
   void generate(Cycle now, std::vector<Flit>& out) override;
   [[nodiscard]] double mean_bps() const override { return bps_; }
+  void throttle(double factor) override;
 
   /// Flit inter-arrival time in flit cycles (= link_bps / connection_bps).
   [[nodiscard]] double iat_cycles() const { return iat_cycles_; }
@@ -37,6 +38,7 @@ class CbrSource final : public TrafficSource {
   double bps_;
   double iat_cycles_;
   double next_time_;  ///< fractional cycles; emitted at ceil()
+  double throttle_ = 1.0;  ///< ECN rate factor; 1.0 = nominal rate
   std::uint64_t seq_ = 0;
 };
 

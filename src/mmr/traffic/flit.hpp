@@ -41,6 +41,12 @@ class TrafficSource {
 
   /// Long-run average offered bandwidth (bps) — used for load accounting.
   [[nodiscard]] virtual double mean_bps() const = 0;
+
+  /// ECN-style congestion signal: scale the injection rate by `factor` in
+  /// (0, 1].  Default is a no-op; rate-based sources stretch their
+  /// inter-arrival times, and deliberately non-reactive sources (rogues)
+  /// keep the default to model endpoints that ignore congestion marks.
+  virtual void throttle(double factor) { (void)factor; }
 };
 
 }  // namespace mmr

@@ -108,6 +108,7 @@ void add_cbr_mix(Workload& workload, const SimConfig& config,
   MMR_ASSERT(spec.classes.size() == spec.class_weights.size());
   MMR_ASSERT(spec.target_load >= 0.0);
   MMR_ASSERT(workload.table.ports() == config.ports);
+  MMR_ASSERT(spec.hot_output < static_cast<std::int32_t>(config.ports));
 
   const TimeBase time_base = config.time_base();
   std::optional<AdmissionController> admission;
@@ -153,7 +154,9 @@ void add_cbr_mix(Workload& workload, const SimConfig& config,
       ConnectionDescriptor descriptor;
       descriptor.traffic_class = TrafficClass::kCbr;
       descriptor.input_link = link;
-      descriptor.output_link = destinations.choose(bps, link_rng);
+      descriptor.output_link =
+          spec.hot_output >= 0 ? static_cast<std::uint32_t>(spec.hot_output)
+                               : destinations.choose(bps, link_rng);
       descriptor.mean_bandwidth_bps = bps;
       descriptor.peak_bandwidth_bps = bps;
 

@@ -46,6 +46,10 @@ struct CbrMixSpec {
   std::vector<CbrClass> classes = {kCbrLow, kCbrMedium, kCbrHigh};
   std::vector<double> class_weights = {1.0, 1.0, 1.0};
   DestinationPolicy destinations = DestinationPolicy::kUniformRandom;
+  /// >= 0 pins every connection of this mix onto that output link,
+  /// overriding `destinations` — the incast pattern the MMU benches lean on
+  /// (many inputs converging on one hot output).
+  std::int32_t hot_output = -1;
   /// When true, connections failing the CAC test are dropped (the paper's
   /// sweeps push load to 100%, which CBR admission permits).  Admission is
   /// scoped to one add_* call: it does not see reservations made by earlier

@@ -39,6 +39,9 @@ class RogueSource final : public TrafficSource {
   void generate(Cycle now, std::vector<Flit>& out) override;
   /// The *declared* (contracted) rate, not the inflated one.
   [[nodiscard]] double mean_bps() const override { return inner_->mean_bps(); }
+  // throttle() deliberately keeps the base-class no-op: a rogue endpoint
+  // ignores ECN congestion marks just like it lies to admission control,
+  // leaving containment to the policer and the MMU's lossy-class drops.
 
   [[nodiscard]] const TrafficSource& inner() const { return *inner_; }
   [[nodiscard]] double scale() const { return scale_; }

@@ -62,7 +62,12 @@ void VbrSource::advance_frame() {
       iat_this_frame_ = period_cycles_ / flits_this_frame_;
       break;
   }
-  next_time_ = frame_boundary(frame_index_);
+  const double boundary = frame_boundary(frame_index_);
+  // A throttled frame may overrun its period; the next frame then starts
+  // where the stretched one ended rather than bursting to catch up.  The
+  // unthrottled path always takes the boundary, bit-identical to before.
+  next_time_ = (throttle_ != 1.0 && next_time_ > boundary) ? next_time_
+                                                           : boundary;
 }
 
 Cycle VbrSource::next_emission() const {
@@ -86,9 +91,15 @@ void VbrSource::generate(Cycle now, std::vector<Flit>& out) {
       ++frame_index_;
       advance_frame();
     } else {
-      next_time_ += iat_this_frame_;
+      // x / 1.0 is IEEE-exact: unthrottled sources stay bit-identical.
+      next_time_ += iat_this_frame_ / throttle_;
     }
   }
+}
+
+void VbrSource::throttle(double factor) {
+  MMR_ASSERT(factor > 0.0 && factor <= 1.0);
+  throttle_ = factor;
 }
 
 }  // namespace mmr

@@ -37,6 +37,7 @@ class VbrSource final : public TrafficSource {
   [[nodiscard]] Cycle next_emission() const override;
   void generate(Cycle now, std::vector<Flit>& out) override;
   [[nodiscard]] double mean_bps() const override { return mean_bps_; }
+  void throttle(double factor) override;
 
   [[nodiscard]] const MpegTrace& trace() const { return trace_; }
   [[nodiscard]] InjectionModel model() const { return model_; }
@@ -64,6 +65,7 @@ class VbrSource final : public TrafficSource {
   std::uint32_t flits_this_frame_ = 0;
   double iat_this_frame_ = 0.0;
   double next_time_ = 0.0;
+  double throttle_ = 1.0;  ///< ECN rate factor; 1.0 = nominal rate
   std::uint64_t seq_ = 0;
 };
 

@@ -198,7 +198,20 @@ TEST(CreditsDeath, RestoreBeyondCapacityAborts) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   CreditManager credits(1, 2, 1);
   credits.consume(0);
-  EXPECT_DEATH(credits.restore(0, 2), "");
+  EXPECT_DEATH(credits.restore(0, 2), "exceed the per-VC credit budget");
+}
+
+TEST(CreditsDeath, RestoreWhilePendingCountsInFlightReturns) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // A credit still travelling back is part of the budget: restoring it a
+  // second time would mint a credit out of thin air once the return lands.
+  CreditManager credits(1, 2, 4);
+  credits.consume(0);
+  credits.consume(0);
+  credits.release(0, 1);  // in flight until cycle 5, not yet granted
+  EXPECT_EQ(credits.pending_for(0), 1u);
+  credits.restore(0, 1);  // the one genuinely lost credit: fine
+  EXPECT_DEATH(credits.restore(0, 1), "exceed the per-VC credit budget");
 }
 
 }  // namespace
