@@ -59,7 +59,7 @@ void register_benchmarks() {
     auto* bench = benchmark::RegisterBenchmark(
         ("arbitrate/" + name).c_str(),
         [name](benchmark::State& state) { BM_Arbitrate(state, name); });
-    bench->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+    bench->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
   }
 }
 

@@ -1,19 +1,42 @@
 // Differential audit soak: every registered arbiter x every load profile x
 // many seeds, invariants checked on every arbitration (validity,
 // maximality / exact-maximum vs the Hopcroft-Karp oracle, iteration bounds,
-// COA/greedy priority ordering, iSLIP/WWFA rotation fairness).  Any failure
-// is shrunk and dumped as a replayable spec.  Exit status 0 only on a clean
-// soak, so scripts/check.sh and CI can gate on it.
+// COA/greedy priority ordering, iSLIP/WFA/WWFA rotation fairness).  Any
+// failure is shrunk and dumped as a replayable spec.  `twins` additionally
+// replays every (optimised, reference) pair from arbiter_twin_pairs() over
+// the same case corpus and demands bit-identical grants.  `ports` accepts a
+// comma-separated list; the invariant audit and the twin diff run at every
+// listed width.  Exit status 0 only on a clean soak, so scripts/check.sh and
+// CI can gate on it.
 
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "mmr/audit/harness.hpp"
+
+namespace {
+
+std::vector<std::uint32_t> parse_ports_list(const std::string& text) {
+  std::vector<std::uint32_t> ports;
+  std::stringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty())
+      ports.push_back(static_cast<std::uint32_t>(std::stoul(item)));
+  }
+  return ports;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace mmr::audit;
   AuditOptions options;
   options.seeds = 1000;
+  std::vector<std::uint32_t> ports_list = {4};
+  bool twins = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto eat = [&](const char* key) -> const char* {
@@ -25,7 +48,11 @@ int main(int argc, char** argv) {
     if ((v = eat("seeds")) != nullptr) {
       options.seeds = static_cast<std::uint32_t>(std::stoul(v));
     } else if ((v = eat("ports")) != nullptr) {
-      options.ports = static_cast<std::uint32_t>(std::stoul(v));
+      ports_list = parse_ports_list(v);
+      if (ports_list.empty()) {
+        std::cerr << "ports= needs a comma-separated list of widths\n";
+        return 2;
+      }
     } else if ((v = eat("levels")) != nullptr) {
       options.levels = static_cast<std::uint32_t>(std::stoul(v));
     } else if ((v = eat("steps")) != nullptr) {
@@ -34,25 +61,56 @@ int main(int argc, char** argv) {
       options.seed_base = std::stoull(v);
     } else if ((v = eat("arbiter")) != nullptr) {
       options.arbiters.push_back(v);
+    } else if (arg == "twins") {
+      twins = true;
     } else {
-      std::cerr << "usage: audit_soak [seeds=N] [ports=N] [levels=N] "
-                   "[steps=N] [seed_base=N] [arbiter=name ...]\n";
+      std::cerr << "usage: audit_soak [seeds=N] [ports=N[,N...]] [levels=N] "
+                   "[steps=N] [seed_base=N] [arbiter=name ...] [twins]\n";
       return 2;
     }
   }
 
+  std::ostringstream ports_text;
+  for (std::size_t i = 0; i < ports_list.size(); ++i)
+    ports_text << (i == 0 ? "" : ",") << ports_list[i];
+
   std::cout << "==== Differential arbiter audit soak ====\n"
             << "seeds per (arbiter, profile): " << options.seeds
-            << ", ports: " << options.ports << ", levels: " << options.levels
-            << ", steps per case: " << options.steps << "\n\n";
+            << ", ports: " << ports_text.str()
+            << ", levels: " << options.levels
+            << ", steps per case: " << options.steps
+            << (twins ? ", twin bit-identity diff: on" : "") << "\n\n";
 
-  const AuditReport report = run_audit(options);
-  std::cout << report.summary();
-  if (!report.clean()) {
-    std::cout << "\nsoak FAILED: replay a dumped spec with "
-                 "mmr::audit::parse_case + run_case\n";
-    return 1;
+  bool clean = true;
+  for (const std::uint32_t ports : ports_list) {
+    options.ports = ports;
+    const AuditReport report = run_audit(options);
+    std::cout << "[ports=" << ports << "] " << report.summary();
+    if (!report.clean()) {
+      clean = false;
+      std::cout << "\nsoak FAILED at ports=" << ports
+                << ": replay a dumped spec with mmr::audit::parse_case + "
+                   "run_case\n";
+    }
   }
+
+  if (twins) {
+    TwinDiffOptions diff;
+    diff.seed_base = options.seed_base;
+    diff.seeds = options.seeds;
+    diff.ports = ports_list;
+    diff.levels = options.levels;
+    diff.steps = options.steps;
+    const TwinDiffReport report = run_twin_diff(diff);
+    std::cout << report.summary();
+    if (!report.clean()) {
+      clean = false;
+      std::cout << "\ntwin diff FAILED: the optimised engine diverges from "
+                   "its reference twin\n";
+    }
+  }
+
+  if (!clean) return 1;
   std::cout << "soak clean\n";
   return 0;
 }

@@ -14,18 +14,24 @@
 //   out=FILE         write the JSON baseline here (default BENCH_perf.json)
 //   mode=MODE        quick (default) | full | smoke  -- run length preset
 //   arbiters=a,b     arbiters to measure (default coa,coa-scan,wfa,islip)
-//   ports=4,8        port counts to measure
+//   ports=4,8        port counts for the sim-cbr section (full simulations)
+//   micro_ports=...  port counts for the arbitrate-micro section (defaults
+//                    to 4,8,16,32,64,128 — the micro loop is cheap enough to
+//                    chart the wide-port scaling the bitset engines target)
 //   threads=N        sweep worker threads (0 = hardware concurrency)
-//   alias=FROM:TO    relabel arbiter FROM as TO in record labels; lets a
-//                    reference implementation (coa-scan) be recorded under
-//                    the labels of its optimized twin (coa) so two baselines
-//                    diff cleanly:  perf_baseline arbiters=coa-scan
-//                    alias=coa-scan:coa out=BENCH_perf_before.json
+//   alias=F:T[,F:T]  relabel arbiter FROM as TO in record labels; lets the
+//                    reference engines (coa-scan, wfa-scan, islip-scan,
+//                    pim-scan) be recorded under the labels of their
+//                    optimized twins so two baselines diff cleanly:
+//                      perf_baseline arbiters=coa-scan,wfa-scan
+//                        alias=coa-scan:coa,wfa-scan:wfa
+//                        out=BENCH_perf_before.json
 
 #include <chrono>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -42,9 +48,9 @@ struct PerfBenchArgs {
   std::string mode = "quick";  // quick | full | smoke
   std::vector<std::string> arbiters = {"coa", "coa-scan", "wfa", "islip"};
   std::vector<std::uint32_t> ports = {4, 8};
+  std::vector<std::uint32_t> micro_ports = {4, 8, 16, 32, 64, 128};
   std::size_t threads = 0;
-  std::string alias_from;
-  std::string alias_to;
+  std::vector<std::pair<std::string, std::string>> aliases;
 };
 
 PerfBenchArgs parse(int argc, char** argv) {
@@ -67,16 +73,25 @@ PerfBenchArgs parse(int argc, char** argv) {
         args.ports.push_back(
             static_cast<std::uint32_t>(std::stoul(part)));
       }
+    } else if (key == "micro_ports") {
+      args.micro_ports.clear();
+      for (const std::string& part : bench::split(value, ',')) {
+        args.micro_ports.push_back(
+            static_cast<std::uint32_t>(std::stoul(part)));
+      }
     } else if (key == "threads") {
       args.threads = std::stoul(value);
     } else if (key == "alias") {
-      const auto colon = value.find(':');
-      if (colon == std::string::npos) {
-        std::cerr << "alias wants FROM:TO, got '" << value << "'\n";
-        std::exit(2);
+      for (const std::string& pair : bench::split(value, ',')) {
+        const auto colon = pair.find(':');
+        if (colon == std::string::npos) {
+          std::cerr << "alias wants FROM:TO[,FROM:TO...], got '" << value
+                    << "'\n";
+          std::exit(2);
+        }
+        args.aliases.emplace_back(pair.substr(0, colon),
+                                  pair.substr(colon + 1));
       }
-      args.alias_from = value.substr(0, colon);
-      args.alias_to = value.substr(colon + 1);
     } else {
       std::cerr << "unknown argument '" << arg << "'\n";
       std::exit(2);
@@ -103,7 +118,10 @@ RunScale scale_for(const std::string& mode) {
 }
 
 std::string labeled(const PerfBenchArgs& args, const std::string& arbiter) {
-  return arbiter == args.alias_from ? args.alias_to : arbiter;
+  for (const auto& [from, to] : args.aliases) {
+    if (arbiter == from) return to;
+  }
+  return arbiter;
 }
 
 SimConfig sim_config(std::uint32_t ports, const std::string& arbiter,
@@ -231,6 +249,8 @@ int main(int argc, char** argv) {
     for (const std::uint32_t ports : args.ports) {
       records.push_back(sim_cbr_record(args, arbiter, ports, scale));
       std::cout << perf::render_phase_summary(records.back()) << "\n";
+    }
+    for (const std::uint32_t ports : args.micro_ports) {
       records.push_back(micro_record(args, arbiter, ports, scale));
       std::cout << perf::render_phase_summary(records.back()) << "\n";
     }

@@ -7,8 +7,13 @@ Usage:
 
 Compare mode matches records by `label`, prints a speedup table
 (after/before cycles-per-second ratio), and exits 1 if any shared label
-regressed by more than the threshold (default 10%).  Labels present in only
-one file are listed but never fail the comparison.
+regressed by more than the threshold (default 10%).  Two baselines need not
+cover the same sections, arbiters, or port counts: only the intersection of
+labels is diffed, every skipped label is summarised (grouped by section and
+port count) so partial coverage is visible, and the exit status reflects
+real regressions only.  Zero shared labels is the one unusable case — each
+file's inventory is printed so the mismatch is obvious, and the tool exits 2
+(cannot compare, which is different from "regressed").
 
 Check mode validates that FILE.json is a well-formed mmr-perf-v1 baseline
 (used by ctest and check.sh --perf after a smoke run) and exits non-zero on
@@ -100,6 +105,47 @@ def check_schema(doc, path):
     return problems
 
 
+def inventory(doc):
+    """{kind: {"ports": sorted set, "arbiters": sorted set, "count": N}}."""
+    kinds = {}
+    for record in doc["records"]:
+        entry = kinds.setdefault(
+            record["kind"], {"ports": set(), "arbiters": set(), "count": 0}
+        )
+        entry["ports"].add(record["ports"])
+        entry["arbiters"].add(record["arbiter"])
+        entry["count"] += 1
+    return kinds
+
+
+def describe_inventory(doc, path):
+    print(f"  {path} ({len(doc['records'])} records):")
+    for kind, entry in sorted(inventory(doc).items()):
+        ports = ",".join(str(p) for p in sorted(entry["ports"]))
+        arbiters = ",".join(sorted(entry["arbiters"]))
+        print(
+            f"    {kind}: {entry['count']} records, "
+            f"ports [{ports}], arbiters [{arbiters}]"
+        )
+
+
+def summarize_skipped(labels, by_label, source):
+    """Groups labels unique to one file by (kind, ports) so a missing
+    section or port axis reads as one line, not one line per arbiter."""
+    if not labels:
+        return
+    groups = {}
+    for label in labels:
+        record = by_label[label]
+        groups.setdefault((record["kind"], record["ports"]), []).append(
+            record["arbiter"]
+        )
+    print(f"skipped (only in {source}): {len(labels)} label(s)")
+    for (kind, ports), arbiters in sorted(groups.items()):
+        names = ",".join(sorted(arbiters))
+        print(f"  {kind} p{ports}: {names}")
+
+
 def compare(before_path, after_path, threshold):
     before = load(before_path)
     after = load(after_path)
@@ -116,7 +162,12 @@ def compare(before_path, after_path, threshold):
     only_after = [l for l in after_by_label if l not in before_by_label]
 
     if not shared:
-        print("no shared labels between the two baselines", file=sys.stderr)
+        print(
+            "no shared labels between the two baselines; inventories:",
+            file=sys.stderr,
+        )
+        describe_inventory(before, before_path)
+        describe_inventory(after, after_path)
         return 2
 
     width = max(len(l) for l in shared)
@@ -137,10 +188,8 @@ def compare(before_path, after_path, threshold):
         print(f"{label:<{width}}  {b:>12.3e}  {a:>12.3e}  "
               f"{speedup:>7.2f}x{flag}")
 
-    for label in sorted(only_before):
-        print(f"only in {before_path}: {label}")
-    for label in sorted(only_after):
-        print(f"only in {after_path}: {label}")
+    summarize_skipped(only_before, before_by_label, before_path)
+    summarize_skipped(only_after, after_by_label, after_path)
 
     if regressions:
         worst = min(regressions, key=lambda r: r[1])

@@ -40,8 +40,13 @@ if [[ "${RUN_PERF}" == "1" ]]; then
   echo
   echo "=== perf smoke (perf_baseline + schema check) ==="
   ./build/bench/perf_baseline mode=smoke ports=4 arbiters=coa,coa-scan \
-    out=build/BENCH_perf_smoke.json
+    micro_ports=4,32,128 out=build/BENCH_perf_smoke.json
   python3 scripts/bench_compare.py --check build/BENCH_perf_smoke.json
+  echo
+  echo "=== wide-port arbitration micro (bitset engines, p16..p128) ==="
+  ./build/bench/arbiter_micro \
+    --benchmark_filter='/(16|32|64|128)$' \
+    --benchmark_min_time=0.05
 fi
 
 echo

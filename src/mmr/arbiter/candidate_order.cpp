@@ -25,28 +25,36 @@ void CandidateOrderArbiter::arbitrate_into(const CandidateSet& candidates,
 
   // Conflict vector: pending request count per (level, output), plus the
   // per-output / per-input candidate buckets every later step walks instead
-  // of the full candidate list.
+  // of the full candidate list.  The buckets are CSR flat arrays filled by
+  // counting sort — ascending candidate order within each bucket, zero
+  // per-bucket allocations.
   const std::size_t conflict_slots =
       static_cast<std::size_t>(levels) * ports_;
-  if (conflict_slots > conflict_.capacity())
+  if (conflict_slots > conflict_.capacity() ||
+      all.size() > out_items_.capacity())
     MMR_PERF_COUNT(perf::Counter::kScratchRealloc, 1);
   conflict_.assign(conflict_slots, 0);
   output_free_.assign(ports_, 1);
   request_live_.assign(all.size(), 1);
-  if (by_output_.size() < ports_) {
-    MMR_PERF_COUNT(perf::Counter::kScratchRealloc, 1);
-    by_output_.resize(ports_);
-    by_input_.resize(ports_);
+  out_begin_.assign(static_cast<std::size_t>(ports_) + 1, 0);
+  in_begin_.assign(static_cast<std::size_t>(ports_) + 1, 0);
+  for (const Candidate& c : all) {
+    ++conflict_[static_cast<std::size_t>(c.level) * ports_ + c.output];
+    ++out_begin_[static_cast<std::size_t>(c.output) + 1];
+    ++in_begin_[static_cast<std::size_t>(c.input) + 1];
   }
   for (std::uint32_t port = 0; port < ports_; ++port) {
-    by_output_[port].clear();
-    by_input_[port].clear();
+    out_begin_[port + 1] += out_begin_[port];
+    in_begin_[port + 1] += in_begin_[port];
   }
+  out_items_.resize(all.size());
+  in_items_.resize(all.size());
+  out_fill_.assign(out_begin_.begin(), out_begin_.end() - 1);
+  in_fill_.assign(in_begin_.begin(), in_begin_.end() - 1);
   for (std::size_t idx = 0; idx < all.size(); ++idx) {
     const Candidate& c = all[idx];
-    ++conflict_[static_cast<std::size_t>(c.level) * ports_ + c.output];
-    by_output_[c.output].push_back(static_cast<std::uint32_t>(idx));
-    by_input_[c.input].push_back(static_cast<std::uint32_t>(idx));
+    out_items_[out_fill_[c.output]++] = static_cast<std::uint32_t>(idx);
+    in_items_[in_fill_[c.input]++] = static_cast<std::uint32_t>(idx);
   }
 
   std::size_t live = all.size();
@@ -90,7 +98,9 @@ void CandidateOrderArbiter::arbitrate_into(const CandidateSet& candidates,
     std::int32_t winner = -1;
     Priority best_priority = 0;
     std::uint32_t prio_ties = 0;
-    for (const std::uint32_t idx : by_output_[best_output]) {
+    for (std::uint32_t k = out_begin_[best_output];
+         k < out_begin_[best_output + 1]; ++k) {
+      const std::uint32_t idx = out_items_[k];
       if (!request_live_[idx]) continue;
       const Candidate& c = all[idx];
       const Priority effective = use_priority_ ? c.priority : 0;
@@ -114,14 +124,18 @@ void CandidateOrderArbiter::arbitrate_into(const CandidateSet& candidates,
 
     // Drop every request involving the matched input or output, updating
     // the conflict vector — only the two affected buckets are touched.
-    for (const std::uint32_t idx : by_input_[granted.input]) {
+    for (std::uint32_t k = in_begin_[granted.input];
+         k < in_begin_[granted.input + 1]; ++k) {
+      const std::uint32_t idx = in_items_[k];
       if (!request_live_[idx]) continue;
       const Candidate& c = all[idx];
       request_live_[idx] = 0;
       --conflict_[static_cast<std::size_t>(c.level) * ports_ + c.output];
       --live;
     }
-    for (const std::uint32_t idx : by_output_[granted.output]) {
+    for (std::uint32_t k = out_begin_[granted.output];
+         k < out_begin_[granted.output + 1]; ++k) {
+      const std::uint32_t idx = out_items_[k];
       if (!request_live_[idx]) continue;
       const Candidate& c = all[idx];
       request_live_[idx] = 0;

@@ -17,7 +17,10 @@
 //  * CandidateOrderArbiter ("coa") — per-output / per-input candidate
 //    buckets built once per arbitration, so each grant touches only the
 //    candidates of the selected output and each removal only the two
-//    affected buckets.
+//    affected buckets.  Buckets live in a structure-of-arrays CSR layout
+//    (two flat index arrays plus offset tables) built by counting sort, so
+//    a whole arbitration performs no per-bucket allocations and walks
+//    contiguous memory.
 //  * CandidateOrderScanArbiter ("coa-scan") — the reference formulation:
 //    every grant and removal scans the full candidate list.  Kept as the
 //    perf baseline (bench/perf_baseline) and differential-audit reference.
@@ -55,11 +58,16 @@ class CandidateOrderArbiter final : public SwitchArbiter {
   std::vector<std::uint32_t> conflict_;     ///< (level, output) -> pending
   std::vector<std::uint8_t> output_free_;
   std::vector<std::uint8_t> request_live_;  ///< per candidate
-  /// Candidate indices per output / per input, in ascending index order (the
-  /// scan order of the reference implementation, so RNG tie-break draws
-  /// happen in the same sequence).
-  std::vector<std::vector<std::uint32_t>> by_output_;
-  std::vector<std::vector<std::uint32_t>> by_input_;
+  /// Candidate indices per output / per input in CSR form: bucket of port p
+  /// is items[begin[p] .. begin[p + 1]).  Counting sort fills each bucket in
+  /// ascending candidate-index order (the scan order of the reference
+  /// implementation, so RNG tie-break draws happen in the same sequence).
+  std::vector<std::uint32_t> out_begin_;  ///< ports_ + 1 offsets
+  std::vector<std::uint32_t> out_items_;
+  std::vector<std::uint32_t> in_begin_;
+  std::vector<std::uint32_t> in_items_;
+  std::vector<std::uint32_t> out_fill_;  ///< counting-sort cursors
+  std::vector<std::uint32_t> in_fill_;
 };
 
 /// Reference COA: identical algorithm and RNG stream, full-list scans per

@@ -23,11 +23,18 @@ std::unique_ptr<SwitchArbiter> make_arbiter(const std::string& name,
   if (name == "coa-scan")
     return std::make_unique<CandidateOrderScanArbiter>(ports, rng);
   if (name == "wfa") return std::make_unique<WaveFrontArbiter>(ports);
+  if (name == "wfa-scan")
+    return std::make_unique<WaveFrontScanArbiter>(ports, /*rotate=*/true);
+  if (name == "wfa-fixed")
+    return std::make_unique<WaveFrontScanArbiter>(ports, /*rotate=*/false);
   if (name == "wwfa") return std::make_unique<WrappedWaveFrontArbiter>(ports);
   if (name == "islip") return std::make_unique<IslipArbiter>(ports);
   if (name == "islip1") return std::make_unique<IslipArbiter>(ports, 1);
+  if (name == "islip-scan")
+    return std::make_unique<IslipScanArbiter>(ports);
   if (name == "pim") return std::make_unique<PimArbiter>(ports, rng);
   if (name == "pim1") return std::make_unique<PimArbiter>(ports, rng, 1);
+  if (name == "pim-scan") return std::make_unique<PimScanArbiter>(ports, rng);
   if (name == "greedy")
     return std::make_unique<GreedyPriorityArbiter>(ports, rng);
   if (name == "maxmatch") return std::make_unique<MaxMatchArbiter>(ports);
@@ -43,9 +50,20 @@ std::unique_ptr<SwitchArbiter> make_arbiter(const std::string& name,
 
 const std::vector<std::string>& arbiter_names() {
   static const std::vector<std::string> names = {
-      "coa", "coa-np", "coa-scan", "wfa", "wwfa", "islip",
-      "islip1", "pim", "pim1", "greedy", "maxmatch"};
+      "coa",  "coa-np", "coa-scan",   "wfa", "wfa-scan", "wfa-fixed",
+      "wwfa", "islip",  "islip1",     "islip-scan",      "pim",
+      "pim1", "pim-scan", "greedy",   "maxmatch"};
   return names;
+}
+
+const std::vector<std::pair<std::string, std::string>>& arbiter_twin_pairs() {
+  static const std::vector<std::pair<std::string, std::string>> pairs = {
+      {"coa", "coa-scan"},
+      {"wfa", "wfa-scan"},
+      {"islip", "islip-scan"},
+      {"pim", "pim-scan"},
+  };
+  return pairs;
 }
 
 const ArbiterTraits& arbiter_traits(const std::string& name) {
@@ -55,18 +73,26 @@ const ArbiterTraits& arbiter_traits(const std::string& name) {
   // freedom only decreases, so they are maximal too.  iSLIP/PIM terminate
   // either converged (maximal) or after their iteration budget, gaining at
   // least one match per iteration.  Rotation fairness: iSLIP's
-  // grant/accept-pointer desynchronisation and WWFA's rotating diagonal;
-  // plain WFA is intentionally corner-biased (that is the paper's point).
+  // grant/accept-pointer desynchronisation, WWFA's rotating diagonal, and
+  // WFA's rotating corner row (under a full request matrix the corner row
+  // walks every input, so the diagonal matchings cover each pair once per P
+  // cycles).  "wfa-fixed" keeps the legacy fixed corner and is intentionally
+  // corner-biased — that starvation is the bug the rotation fixes, and the
+  // corner bias the paper measures.
   static const std::map<std::string, ArbiterTraits> traits = {
       {"coa", {.maximal = true, .priority_ordered = true}},
       {"coa-np", {.maximal = true}},
       {"coa-scan", {.maximal = true, .priority_ordered = true}},
-      {"wfa", {.maximal = true}},
+      {"wfa", {.maximal = true, .rotation_fair = true}},
+      {"wfa-scan", {.maximal = true, .rotation_fair = true}},
+      {"wfa-fixed", {.maximal = true}},
       {"wwfa", {.maximal = true, .rotation_fair = true}},
       {"islip", {.iteration_bounded = true, .rotation_fair = true}},
       {"islip1", {.iteration_bounded = true}},
+      {"islip-scan", {.iteration_bounded = true, .rotation_fair = true}},
       {"pim", {.iteration_bounded = true}},
       {"pim1", {.iteration_bounded = true}},
+      {"pim-scan", {.iteration_bounded = true}},
       {"greedy", {.maximal = true, .priority_ordered = true}},
       {"maxmatch", {.maximal = true, .exact_maximum = true}},
   };
@@ -82,7 +108,9 @@ std::uint32_t arbiter_iterations(const std::string& name,
                                  std::uint32_t ports) {
   // Mirrors the iteration defaults the constructors above apply.
   if (name == "islip1" || name == "pim1") return 1;
-  if (name == "islip" || name == "pim") return std::bit_width(ports) + 1u;
+  if (name == "islip" || name == "pim" || name == "islip-scan" ||
+      name == "pim-scan")
+    return std::bit_width(ports) + 1u;
   return 0;
 }
 

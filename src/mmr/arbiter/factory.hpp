@@ -4,6 +4,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "mmr/arbiter/matching.hpp"
@@ -12,13 +13,22 @@
 namespace mmr {
 
 /// Known names: "coa", "wfa", "islip", "islip1" (single iteration), "pim",
-/// "pim1", "greedy", "maxmatch".  Throws std::invalid_argument on unknown
-/// names (listing the valid ones).
+/// "pim1", "greedy", "maxmatch", plus legacy/reference engines "coa-scan",
+/// "wfa-scan", "wfa-fixed" (the pre-rotation fixed-corner WFA), "islip-scan"
+/// and "pim-scan".  Throws std::invalid_argument on unknown names (listing
+/// the valid ones).
 std::unique_ptr<SwitchArbiter> make_arbiter(const std::string& name,
                                             std::uint32_t ports, Rng rng);
 
 /// All registered arbiter names (for sweeps and help text).
 const std::vector<std::string>& arbiter_names();
+
+/// (optimised, reference) name pairs that must produce bit-identical
+/// matchings from identical inputs and RNG seeds: the word-parallel bitset /
+/// SoA engines and the straightforward scan formulations they replaced.  The
+/// differential audit (mmr/audit, bench/audit_soak --twins) replays both
+/// sides of every pair and aborts on the first diverging grant.
+const std::vector<std::pair<std::string, std::string>>& arbiter_twin_pairs();
 
 /// The documented correctness envelope of a registered arbiter — what the
 /// differential audit harness (mmr/audit) may assert about its matchings.

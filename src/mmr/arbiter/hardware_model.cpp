@@ -68,14 +68,21 @@ HardwareEstimate estimate_arbiter(const std::string& name,
   const double l = levels;
   const double iterations_log = std::floor(std::log2(p)) + 1.0;
 
-  if (name == "wfa" || name == "wwfa") {
+  // wfa-scan/wfa-fixed are software-implementation variants of wfa (scan
+  // loop vs bitset engine; rotating vs fixed corner is a control register,
+  // not datapath); the synthesised crosspoint array is the same, except the
+  // rotating corner adds a row-select barrel stage.
+  if (name == "wfa" || name == "wfa-scan" || name == "wfa-fixed" ||
+      name == "wwfa") {
     // One arbitration cell per crosspoint (~6 GE: request/grant logic);
     // the wave crosses 2P-1 (plain) or P (wrapped, plus the rotating
     // start mux) cell rows, 2 gate delays per cell.
     const double cells = p * p;
-    const double rows = name == "wfa" ? 2.0 * p - 1.0 : p;
+    const double rows = name == "wwfa" ? p : 2.0 * p - 1.0;
     const double mux = name == "wwfa" ? 3.0 * p * p : 0.0;  // wrap select
-    return {6.0 * cells + mux, 2.0 * rows};
+    const double rotate =                                   // corner select
+        name == "wfa" || name == "wfa-scan" ? 3.0 * p * p : 0.0;
+    return {6.0 * cells + mux + rotate, 2.0 * rows};
   }
   // coa-scan is a software-implementation variant of coa (reference scan
   // loop vs bucketed); the synthesised circuit is the same.
@@ -110,14 +117,14 @@ HardwareEstimate estimate_arbiter(const std::string& name,
         p * (ordering.critical_path_gates + arbitration.critical_path_gates);
     return total;
   }
-  if (name == "islip" || name == "islip1") {
+  if (name == "islip" || name == "islip1" || name == "islip-scan") {
     const double iterations = name == "islip1" ? 1.0 : iterations_log;
     const HardwareEstimate enc = hw::priority_encoder(ports);
     // P grant + P accept encoders, plus pointer registers (~8 GE each).
     return {2.0 * p * enc.gate_equivalents + 16.0 * p,
             iterations * 2.0 * enc.critical_path_gates};
   }
-  if (name == "pim" || name == "pim1") {
+  if (name == "pim" || name == "pim1" || name == "pim-scan") {
     const double iterations = name == "pim1" ? 1.0 : iterations_log;
     const HardwareEstimate enc = hw::priority_encoder(ports);
     // Like iSLIP but with per-port LFSRs (~10 GE) instead of pointers.

@@ -2,8 +2,16 @@
 // accept pointers; a classic input-queued switch scheduler included as a
 // baseline.  Priorities are ignored (like WFA); the candidate set is treated
 // as a VOQ request matrix.
+//
+// The default engine grants from word-parallel bitset request rows
+// (BitRequestMatrix): each output's grant stage is a cyclic first-set-bit
+// search from its grant pointer over `inputs_of(out) & free_inputs`, one AND
+// and a ctz per word instead of a cell-by-cell walk.  IslipScanArbiter keeps
+// the original dense-array engine as the differential-audit twin proving the
+// bitset engine bit-identical.
 #pragma once
 
+#include "mmr/arbiter/bitreq.hpp"
 #include "mmr/arbiter/candidate.hpp"
 #include "mmr/arbiter/matching.hpp"
 
@@ -35,10 +43,37 @@ class IslipArbiter final : public SwitchArbiter {
 
  private:
   std::uint32_t ports_;
+  std::uint32_t words_;
   std::uint32_t iterations_;
   std::vector<std::uint32_t> grant_ptr_;   ///< per output
   std::vector<std::uint32_t> accept_ptr_;  ///< per input
-  std::vector<std::int32_t> request_;      ///< (input, output) -> candidate
+  BitRequestMatrix requests_;
+  std::vector<std::uint64_t> free_in_;   ///< unmatched inputs with requests
+  std::vector<std::uint64_t> free_out_;  ///< unmatched outputs with requests
+  std::vector<std::uint64_t> granted_;   ///< inputs granted this iteration
+  std::vector<std::uint64_t> scratch_;   ///< per-output grant-row workspace
+  std::vector<std::int32_t> grant_of_input_;
+};
+
+/// The original dense-array iSLIP engine, kept registered ("islip-scan") as
+/// the differential-audit twin of the bitset "islip".
+class IslipScanArbiter final : public SwitchArbiter {
+ public:
+  IslipScanArbiter(std::uint32_t ports, std::uint32_t iterations = 0);
+
+  [[nodiscard]] const char* name() const override { return "islip-scan"; }
+
+  void arbitrate_into(const CandidateSet& candidates,
+                      Matching& matching) override;
+
+  [[nodiscard]] std::uint32_t iterations() const { return iterations_; }
+
+ private:
+  std::uint32_t ports_;
+  std::uint32_t iterations_;
+  std::vector<std::uint32_t> grant_ptr_;
+  std::vector<std::uint32_t> accept_ptr_;
+  std::vector<std::int32_t> request_;  ///< (input, output) -> candidate
 };
 
 }  // namespace mmr

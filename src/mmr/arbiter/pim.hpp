@@ -1,8 +1,15 @@
 // Parallel Iterative Matching (Anderson et al., 1993): outputs grant a
 // uniformly random requesting input, inputs accept a uniformly random grant,
 // repeated for a fixed number of iterations.  QoS-blind baseline.
+//
+// The default engine walks word-parallel bitset request rows
+// (BitRequestMatrix); reservoir draws are consumed in the exact ascending
+// (output, input) order of the original cell-by-cell scan, so the RNG stream
+// — and therefore every matching — is bit-identical to PimScanArbiter, the
+// dense-array twin kept registered ("pim-scan") for differential audits.
 #pragma once
 
+#include "mmr/arbiter/bitreq.hpp"
 #include "mmr/arbiter/candidate.hpp"
 #include "mmr/arbiter/matching.hpp"
 #include "mmr/sim/rng.hpp"
@@ -18,6 +25,33 @@ class PimArbiter final : public SwitchArbiter {
   [[nodiscard]] const char* name() const override {
     return iterations_ == 1 ? "pim1" : "pim";
   }
+
+  void arbitrate_into(const CandidateSet& candidates,
+                      Matching& matching) override;
+
+  [[nodiscard]] std::uint32_t iterations() const { return iterations_; }
+
+ private:
+  std::uint32_t ports_;
+  std::uint32_t words_;
+  Rng rng_;
+  std::uint32_t iterations_;
+  BitRequestMatrix requests_;
+  std::vector<std::uint64_t> free_in_;
+  std::vector<std::uint64_t> free_out_;
+  std::vector<std::uint64_t> granted_;  ///< inputs granted this iteration
+  std::vector<std::uint64_t> scratch_;
+  std::vector<std::int32_t> grant_of_input_;
+  std::vector<std::uint32_t> grants_seen_;
+};
+
+/// The original dense-array PIM engine, kept registered ("pim-scan") as the
+/// differential-audit twin of the bitset "pim".
+class PimScanArbiter final : public SwitchArbiter {
+ public:
+  PimScanArbiter(std::uint32_t ports, Rng rng, std::uint32_t iterations = 0);
+
+  [[nodiscard]] const char* name() const override { return "pim-scan"; }
 
   void arbitrate_into(const CandidateSet& candidates,
                       Matching& matching) override;

@@ -1,5 +1,7 @@
 #include "mmr/arbiter/wavefront.hpp"
 
+#include <algorithm>
+
 #include "mmr/trace/event.hpp"
 #include "mmr/trace/tracer.hpp"
 
@@ -26,22 +28,103 @@ void collapse_requests(const CandidateSet& candidates, std::uint32_t ports,
 
 }  // namespace detail
 
-WaveFrontArbiter::WaveFrontArbiter(std::uint32_t ports) : ports_(ports) {
+WaveFrontArbiter::WaveFrontArbiter(std::uint32_t ports)
+    : ports_(ports), words_(bit_words(ports)) {
   MMR_ASSERT(ports_ > 0);
+  MMR_ASSERT(ports_ <= kMaxPorts);
 }
 
 void WaveFrontArbiter::arbitrate_into(const CandidateSet& candidates,
                                       Matching& matching) {
   MMR_ASSERT(candidates.ports() == ports_);
   matching.reset(ports_);
-  detail::collapse_requests(candidates, ports_, request_);
+  const std::uint32_t offset = offset_;
+  offset_ = offset_ + 1 == ports_ ? 0 : offset_ + 1;
+  requests_.build(candidates);
 
-  // 2P-1 partial anti-diagonals i + j == wave, from the top-left corner.
+  // Rotated row coordinates: wave row r corresponds to physical input
+  // (r + offset) mod P, so the corner starts at input `offset` and the sweep
+  // is otherwise the standard partial anti-diagonal walk.  free_rows_ holds
+  // the *rotated* indices of inputs that still have a pending request and no
+  // grant; free_cols_ the physical outputs likewise.
+  free_rows_.assign(words_, 0);
+  free_cols_.assign(words_, 0);
+  std::copy_n(requests_.live_outputs(), words_, free_cols_.data());
+  {
+    const std::uint64_t* live = requests_.live_inputs();
+    for (std::uint32_t w = 0; w < words_; ++w) {
+      std::uint64_t bits = live[w];
+      const std::uint32_t base = w * kBitsPerWord;
+      while (bits != 0) {
+        const std::uint32_t input =
+            base + static_cast<std::uint32_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        const std::uint32_t rotated =
+            input >= offset ? input - offset : input + ports_ - offset;
+        bits_set(free_rows_.data(), rotated);
+      }
+    }
+  }
+
+  // 2P-1 partial anti-diagonals row + col == wave, from the rotated corner.
   for (std::uint32_t wave = 0; wave <= 2 * (ports_ - 1); ++wave) {
-    const std::uint32_t i_begin = wave < ports_ ? 0 : wave - (ports_ - 1);
-    const std::uint32_t i_end = wave < ports_ ? wave : ports_ - 1;
-    for (std::uint32_t i = i_begin; i <= i_end; ++i) {
-      const std::uint32_t j = wave - i;
+    const std::uint32_t r_begin = wave < ports_ ? 0 : wave - (ports_ - 1);
+    const std::uint32_t r_end = wave < ports_ ? wave : ports_ - 1;
+    // ctz walk over the free rotated rows clipped to [r_begin, r_end].
+    const std::uint32_t w_begin = r_begin >> 6;
+    const std::uint32_t w_end = r_end >> 6;
+    for (std::uint32_t w = w_begin; w <= w_end; ++w) {
+      std::uint64_t bits = free_rows_[w];
+      if (w == w_begin) bits &= ~std::uint64_t{0} << (r_begin & 63u);
+      if (w == w_end && (r_end & 63u) != 63u)
+        bits &= (std::uint64_t{1} << ((r_end & 63u) + 1)) - 1;
+      const std::uint32_t base = w * kBitsPerWord;
+      while (bits != 0) {
+        const std::uint32_t row =
+            base + static_cast<std::uint32_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        const std::uint32_t col = wave - row;
+        if (!bits_test(free_cols_.data(), col)) continue;
+        const std::uint32_t input =
+            row + offset >= ports_ ? row + offset - ports_ : row + offset;
+        if (!bits_test(requests_.outputs_of(input), col)) continue;
+        const std::int32_t cell = requests_.cell(input, col);
+        matching.match(input, col, cell);
+        bits_clear(free_rows_.data(), row);
+        bits_clear(free_cols_.data(), col);
+        if (MMR_TRACE_ON()) {
+          const Candidate& granted =
+              candidates.at(static_cast<std::size_t>(cell));
+          MMR_TRACE_EMIT_NOW(trace::grant_reason_event, input, col, granted.vc,
+                             granted.level, granted.priority, wave);
+        }
+      }
+    }
+  }
+}
+
+WaveFrontScanArbiter::WaveFrontScanArbiter(std::uint32_t ports, bool rotate)
+    : ports_(ports), rotate_(rotate) {
+  MMR_ASSERT(ports_ > 0);
+}
+
+void WaveFrontScanArbiter::arbitrate_into(const CandidateSet& candidates,
+                                          Matching& matching) {
+  MMR_ASSERT(candidates.ports() == ports_);
+  matching.reset(ports_);
+  detail::collapse_requests(candidates, ports_, request_);
+  const std::uint32_t offset = offset_;
+  if (rotate_) offset_ = offset_ + 1 == ports_ ? 0 : offset_ + 1;
+
+  // 2P-1 partial anti-diagonals row + col == wave; row r is physical input
+  // (r + offset) mod P (offset stays 0 for the legacy fixed corner).
+  for (std::uint32_t wave = 0; wave <= 2 * (ports_ - 1); ++wave) {
+    const std::uint32_t r_begin = wave < ports_ ? 0 : wave - (ports_ - 1);
+    const std::uint32_t r_end = wave < ports_ ? wave : ports_ - 1;
+    for (std::uint32_t row = r_begin; row <= r_end; ++row) {
+      const std::uint32_t j = wave - row;
+      const std::uint32_t i =
+          row + offset >= ports_ ? row + offset - ports_ : row + offset;
       if (matching.input_matched(i) || matching.output_matched(j)) continue;
       const std::int32_t cell =
           request_[static_cast<std::size_t>(i) * ports_ + j];

@@ -8,15 +8,30 @@
 // Connection priorities are ignored — that is precisely the property the
 // paper investigates.
 //
-// Two variants:
-//  * WaveFrontArbiter ("wfa") — as the paper describes it: the wave always
-//    starts at the top-left corner and moves to the bottom-right, so
-//    crosspoints near the origin are structurally favoured.
+// Corner placement is a fairness decision, not a detail.  With the corner
+// fixed at row 0, a contested output is served in strict input-index order:
+// under a sustained hotspot the highest-index requester waits until every
+// lower-index one stops requesting, which bench/incast_survival showed can
+// be the whole run (a paused high-index port starved for >100k cycles while
+// COA bounded every pause at <= 250).  The default "wfa" therefore rotates
+// the corner one row per arbitration — input (offset) is swept first, so
+// every input's wait at a contested output is bounded by P arbitrations —
+// and grants from word-parallel bitset request rows (BitRequestMatrix).
+//
+// Variants:
+//  * WaveFrontArbiter ("wfa") — bitset engine, rotating corner row.
+//  * WaveFrontScanArbiter("wfa-scan") — reference scan engine with the same
+//    rotating-corner semantics; the differential-audit twin proving the
+//    bitset engine bit-identical.
+//  * WaveFrontScanArbiter("wfa-fixed") — the paper's fixed top-left corner,
+//    exactly as "wfa" behaved before the rotation fix; kept registered so
+//    the starvation bug stays measurable (and the paper's corner-bias
+//    results stay reproducible).
 //  * WrappedWaveFrontArbiter ("wwfa") — Tamir & Chi's wrapped variant: P
-//    full diagonals, with the starting diagonal rotating every arbitration,
-//    removing the positional bias.
+//    full diagonals, with the starting diagonal rotating every arbitration.
 #pragma once
 
+#include "mmr/arbiter/bitreq.hpp"
 #include "mmr/arbiter/candidate.hpp"
 #include "mmr/arbiter/matching.hpp"
 
@@ -31,7 +46,8 @@ void collapse_requests(const CandidateSet& candidates, std::uint32_t ports,
 
 }  // namespace detail
 
-/// Plain WFA: fixed top-left priority corner (the paper's description).
+/// Default WFA: word-parallel bitset engine, corner rotating one row per
+/// arbitration (the starvation fix).
 class WaveFrontArbiter final : public SwitchArbiter {
  public:
   explicit WaveFrontArbiter(std::uint32_t ports);
@@ -41,8 +57,38 @@ class WaveFrontArbiter final : public SwitchArbiter {
   void arbitrate_into(const CandidateSet& candidates,
                       Matching& matching) override;
 
+  /// The row the next arbitration's wave starts from (exposed for tests).
+  [[nodiscard]] std::uint32_t next_corner_row() const { return offset_; }
+
  private:
   std::uint32_t ports_;
+  std::uint32_t words_;
+  std::uint32_t offset_ = 0;
+  BitRequestMatrix requests_;
+  std::vector<std::uint64_t> free_rows_;  ///< rotated-row indices still free
+  std::vector<std::uint64_t> free_cols_;
+};
+
+/// Reference scan engine (dense request array, cell-by-cell sweep) with a
+/// selectable corner policy.  rotate=true is the audit twin of the bitset
+/// "wfa"; rotate=false is the legacy fixed-corner arbiter ("wfa-fixed").
+class WaveFrontScanArbiter final : public SwitchArbiter {
+ public:
+  WaveFrontScanArbiter(std::uint32_t ports, bool rotate);
+
+  [[nodiscard]] const char* name() const override {
+    return rotate_ ? "wfa-scan" : "wfa-fixed";
+  }
+
+  void arbitrate_into(const CandidateSet& candidates,
+                      Matching& matching) override;
+
+  [[nodiscard]] std::uint32_t next_corner_row() const { return offset_; }
+
+ private:
+  std::uint32_t ports_;
+  bool rotate_;
+  std::uint32_t offset_ = 0;
   std::vector<std::int32_t> request_;  ///< (input, output) -> candidate index
 };
 

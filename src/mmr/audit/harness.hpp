@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "mmr/audit/invariants.hpp"
@@ -54,5 +55,33 @@ std::vector<Violation> run_case(const CaseSpec& spec);
 /// The full differential audit: arbiters x profiles x seeds, plus the
 /// fairness windows.  Deterministic for fixed options.
 AuditReport run_audit(const AuditOptions& options);
+
+/// Bit-identity soak over arbiter_twin_pairs(): both sides of each pair
+/// replay identical candidate sequences from identical RNG seeds, and every
+/// grant must agree exactly — (input, output) pairing and the granted
+/// candidate index.  A single diverging grant is an implementation bug in
+/// the optimised engine (or a semantics change that needs a new twin).
+struct TwinDiffOptions {
+  /// (optimised, reference) pairs; empty selects arbiter_twin_pairs().
+  std::vector<std::pair<std::string, std::string>> pairs;
+  std::uint64_t seed_base = 1;
+  std::uint32_t seeds = 200;  ///< random cases per (pair, port count, profile)
+  std::vector<std::uint32_t> ports = {4};
+  std::uint32_t levels = 2;
+  std::uint32_t steps = 12;
+  std::size_t max_failures = 8;
+};
+
+struct TwinDiffReport {
+  std::uint64_t cases = 0;
+  std::uint64_t steps_checked = 0;
+  std::uint64_t failure_count = 0;
+  /// Replayable descriptions of the first max_failures divergences.
+  std::vector<std::string> mismatches;
+  [[nodiscard]] bool clean() const { return failure_count == 0; }
+  [[nodiscard]] std::string summary() const;
+};
+
+TwinDiffReport run_twin_diff(const TwinDiffOptions& options);
 
 }  // namespace mmr::audit

@@ -14,6 +14,13 @@ namespace mmr {
 void SweepSpec::validate() const {
   if (loads.empty()) throw std::invalid_argument("sweep has no loads");
   if (arbiters.empty()) throw std::invalid_argument("sweep has no arbiters");
+  if (base.ports < 2 || base.ports > kMaxPorts) {
+    std::ostringstream msg;
+    msg << "sweep ports = " << base.ports
+        << " out of range: arbiters represent 2.." << kMaxPorts
+        << " ports in a sweep (kMaxPorts, mmr/sim/config.hpp)";
+    throw std::invalid_argument(msg.str());
+  }
   for (std::size_t i = 0; i < loads.size(); ++i) {
     const double load = loads[i];
     if (!(load > 0.0) || !(load <= 2.0) || !std::isfinite(load)) {

@@ -29,7 +29,8 @@ PriorityScheme priority_scheme_from_string(const std::string& s) {
 }
 
 void SimConfig::validate() const {
-  MMR_ASSERT_MSG(ports >= 2 && ports <= 1024, "ports out of range");
+  MMR_ASSERT_MSG(ports >= 2 && ports <= kMaxPorts,
+                 "ports out of range (2..kMaxPorts)");
   MMR_ASSERT_MSG(vcs_per_link >= 1, "need at least one VC per link");
   MMR_ASSERT_MSG(std::isfinite(link_bandwidth_bps) && link_bandwidth_bps > 0.0,
                  "link bandwidth must be finite and positive");
@@ -91,7 +92,15 @@ std::vector<std::string> apply_overrides(
     const std::string key = kv.substr(0, eq);
     const std::string value = kv.substr(eq + 1);
     if (key == "ports") {
-      config.ports = static_cast<std::uint32_t>(parse_u64(value, key));
+      const std::uint64_t ports = parse_u64(value, key);
+      // Reject unrepresentable port counts here, at parse time, with the
+      // limit in the message — not deep inside arbiter construction.
+      if (ports < 1 || ports > kMaxPorts)
+        throw std::invalid_argument(
+            "ports=" + value + " out of range: arbiters represent 1.." +
+            std::to_string(kMaxPorts) +
+            " ports (kMaxPorts, mmr/sim/config.hpp)");
+      config.ports = static_cast<std::uint32_t>(ports);
     } else if (key == "vcs") {
       config.vcs_per_link = static_cast<std::uint32_t>(parse_u64(value, key));
     } else if (key == "link_bps") {

@@ -22,6 +22,13 @@ enum class PriorityScheme : std::uint8_t {
 [[nodiscard]] const char* to_string(PriorityScheme s);
 [[nodiscard]] PriorityScheme priority_scheme_from_string(const std::string& s);
 
+/// Largest port count any arbiter can represent: the bitset engines cap
+/// their multi-word request rows at kMaxPorts / 64 words, and Candidate
+/// stores ports in 16 bits.  Port counts outside [1, kMaxPorts] are rejected
+/// at parse time (apply_overrides, SweepSpec::validate), not deep inside
+/// arbiter construction.
+inline constexpr std::uint32_t kMaxPorts = 1024;
+
 struct SimConfig {
   // --- geometry -----------------------------------------------------------
   std::uint32_t ports = 4;            ///< physical input = output links

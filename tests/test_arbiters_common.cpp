@@ -163,8 +163,9 @@ TEST_P(MaximalArbiter, ProducesMaximalMatchings) {
 }
 
 INSTANTIATE_TEST_SUITE_P(MaximalByConstruction, MaximalArbiter,
-                         ::testing::Values("coa", "coa-np", "wfa", "wwfa",
-                                           "greedy", "maxmatch"));
+                         ::testing::Values("coa", "coa-np", "wfa", "wfa-scan",
+                                           "wfa-fixed", "wwfa", "greedy",
+                                           "maxmatch"));
 
 }  // namespace
 }  // namespace mmr

@@ -173,11 +173,12 @@ TEST(AuditInvariants, RotationFairArbitersPassTheWindowCheck) {
   }
 }
 
-TEST(AuditInvariants, PlainWavefrontIsNotRotationFair) {
-  // Plain WFA repeats the same corner-biased perfect matching every cycle —
-  // the check must see starvation, which is why wfa does not claim the
-  // rotation_fair trait.
-  const auto arbiter = make_arbiter("wfa", 4, Rng(1, 0));
+TEST(AuditInvariants, FixedCornerWavefrontIsNotRotationFair) {
+  // The legacy fixed-corner WFA repeats the same corner-biased perfect
+  // matching every cycle — the check must see starvation, which is why
+  // wfa-fixed does not claim the rotation_fair trait.  (The default "wfa"
+  // rotates its corner and passes the window check above.)
+  const auto arbiter = make_arbiter("wfa-fixed", 4, Rng(1, 0));
   EXPECT_FALSE(check_rotation_fairness(*arbiter, 4).empty());
 }
 

@@ -1,0 +1,131 @@
+// Bit-identity proofs for the word-parallel bitset / SoA arbitration
+// engines: every (optimised, reference) pair from arbiter_twin_pairs() must
+// grant exactly alike — same (input, output) pairing, same candidate index —
+// over identical candidate sequences and RNG seeds, across every load
+// profile and port widths from tiny through multi-word (>64).  The heavier
+// 1000-seed soak lives in bench/audit_soak (tier-2 ctest target
+// bench_audit_soak_wide); this suite is the fast tier-1 slice.
+
+#include <gtest/gtest.h>
+
+#include "mmr/arbiter/bitreq.hpp"
+#include "mmr/arbiter/factory.hpp"
+#include "mmr/audit/harness.hpp"
+
+namespace mmr {
+namespace {
+
+TEST(BitsetTwins, RegistryPairsAreRegistered) {
+  // Both sides of every twin pair must be constructible registry names so
+  // the audit harness (and a replayed CaseSpec) can always build them.
+  const auto& names = arbiter_names();
+  for (const auto& [fast, ref] : arbiter_twin_pairs()) {
+    EXPECT_NE(std::find(names.begin(), names.end(), fast), names.end())
+        << fast;
+    EXPECT_NE(std::find(names.begin(), names.end(), ref), names.end())
+        << ref;
+    EXPECT_NE(fast, ref);
+  }
+}
+
+TEST(BitsetTwins, BitIdenticalAcrossProfilesAndWidths) {
+  // Ports straddle the word boundary on purpose: 5 (partial word), 64
+  // (exactly one word), 65 and 128 (multi-word rows).
+  audit::TwinDiffOptions options;
+  options.ports = {2, 5, 8, 16, 32, 64, 65, 128};
+  options.seeds = 8;
+  options.steps = 20;
+  options.levels = 3;
+  const audit::TwinDiffReport report = run_twin_diff(options);
+  EXPECT_TRUE(report.clean()) << report.summary();
+  EXPECT_GT(report.cases, 0u);
+}
+
+TEST(BitsetTwins, WfaFixedPreservesLegacyBehaviourNotRotation) {
+  // "wfa-fixed" is the pre-rotation arbiter: under full contention for one
+  // output it must keep granting input 0 forever — i.e. it must NOT match
+  // the rotating "wfa" stream.  (Guards against accidentally registering
+  // the rotating engine under the legacy name.)
+  const std::uint32_t ports = 4;
+  auto fixed = make_arbiter("wfa-fixed", ports, Rng(1, 0));
+  auto rotating = make_arbiter("wfa", ports, Rng(1, 0));
+  bool diverged = false;
+  for (int cycle = 0; cycle < 8; ++cycle) {
+    CandidateSet set(ports, 1);
+    for (std::uint32_t in = 0; in < ports; ++in) {
+      Candidate c;
+      c.input = static_cast<std::uint16_t>(in);
+      c.output = 0;
+      c.level = 0;
+      c.priority = 10;
+      set.add(c);
+    }
+    const Matching mf = fixed->arbitrate(set);
+    const Matching mr = rotating->arbitrate(set);
+    EXPECT_EQ(mf.input_of(0), 0) << "wfa-fixed must stay corner-biased";
+    if (mr.input_of(0) != mf.input_of(0)) diverged = true;
+  }
+  EXPECT_TRUE(diverged) << "rotating wfa never left the corner";
+}
+
+TEST(BitRequestMatrix, CyclicFirstBitSearch) {
+  std::uint64_t words[2] = {0, 0};
+  EXPECT_EQ(bits_first_cyclic(words, 2, 0), -1);
+  bits_set(words, 3);
+  bits_set(words, 70);
+  EXPECT_EQ(bits_first_cyclic(words, 2, 0), 3);
+  EXPECT_EQ(bits_first_cyclic(words, 2, 3), 3);
+  EXPECT_EQ(bits_first_cyclic(words, 2, 4), 70);   // scan into word 1
+  EXPECT_EQ(bits_first_cyclic(words, 2, 71), 3);   // wraps around
+  bits_clear(words, 3);
+  EXPECT_EQ(bits_first_cyclic(words, 2, 71), 70);  // wraps to own word
+}
+
+TEST(BitRequestMatrix, CollapsesLevelsAndTracksLiveMasks) {
+  CandidateSet set(70, 3);  // multi-word width
+  const auto add = [&](std::uint32_t in, std::uint32_t out,
+                       std::uint32_t level) {
+    Candidate c;
+    c.input = static_cast<std::uint16_t>(in);
+    c.output = static_cast<std::uint16_t>(out);
+    c.level = static_cast<std::uint8_t>(level);
+    c.priority = 1;
+    set.add(c);
+  };
+  add(2, 69, 0);
+  add(67, 5, 0);  // levels must be contiguous per input, so seed level 0
+  add(67, 1, 1);
+  add(67, 1, 2);  // same pair, deeper level: must collapse to level 1
+  BitRequestMatrix matrix;
+  matrix.build(set);
+  EXPECT_EQ(matrix.ports(), 70u);
+  EXPECT_EQ(matrix.words(), 2u);
+  EXPECT_TRUE(bits_test(matrix.outputs_of(2), 69));
+  EXPECT_TRUE(bits_test(matrix.inputs_of(69), 2));
+  EXPECT_TRUE(bits_test(matrix.inputs_of(1), 67));
+  EXPECT_TRUE(bits_test(matrix.live_inputs(), 67));
+  EXPECT_TRUE(bits_test(matrix.live_outputs(), 69));
+  EXPECT_FALSE(bits_test(matrix.live_outputs(), 0));
+  EXPECT_EQ(set.at(static_cast<std::size_t>(matrix.cell(67, 1))).level, 1u);
+
+  // Rebuild from a different set: the sparse clear must leave no stale
+  // cells or bits behind.
+  CandidateSet next(70, 3);
+  {
+    Candidate c;
+    c.input = 5;
+    c.output = 6;
+    c.level = 0;
+    c.priority = 1;
+    next.add(c);
+  }
+  matrix.build(next);
+  EXPECT_EQ(matrix.cell(2, 69), -1);
+  EXPECT_EQ(matrix.cell(67, 1), -1);
+  EXPECT_FALSE(bits_test(matrix.live_inputs(), 67));
+  EXPECT_TRUE(bits_test(matrix.outputs_of(5), 6));
+  EXPECT_EQ(set.at(0).input, 2);  // original set untouched
+}
+
+}  // namespace
+}  // namespace mmr

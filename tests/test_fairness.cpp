@@ -87,6 +87,8 @@ TEST(FairnessMetric, NearOneBelowSaturation) {
 
 TEST(FairnessMetric, FixedWfaLessFairThanCoaUnderContention) {
   // The positional-starvation scenario: inputs 0 and 3 overload output 0.
+  // Only the legacy fixed-corner engine ("wfa-fixed") shows the bias; the
+  // default "wfa" rotates its corner and shares the hotspot like COA does.
   auto fairness = [](const char* arbiter) {
     SimConfig config = fairness_config(arbiter);
     Workload workload(config.ports);
@@ -96,9 +98,11 @@ TEST(FairnessMetric, FixedWfaLessFairThanCoaUnderContention) {
     return simulation.run().fairness_index;
   };
   const double coa = fairness("coa");
+  const double wfa_fixed = fairness("wfa-fixed");
   const double wfa = fairness("wfa");
   EXPECT_GT(coa, 0.98);
-  EXPECT_LT(wfa, coa - 0.05);
+  EXPECT_LT(wfa_fixed, coa - 0.05);
+  EXPECT_GT(wfa, wfa_fixed + 0.04);  // rotation recovers most of the gap
 }
 
 TEST(FairnessMetric, MergeKeepsPooledIndexDropsVectors) {
