@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "mmr/audit/harness.hpp"
+#include "mmr/snapshot/signals.hpp"
 
 namespace {
 
@@ -81,8 +82,19 @@ int main(int argc, char** argv) {
             << ", steps per case: " << options.steps
             << (twins ? ", twin bit-identity diff: on" : "") << "\n\n";
 
+  // SIGINT/SIGTERM stop the soak at the next ports-width boundary with the
+  // partial report flushed and the conventional 128+signo exit status.
+  mmr::snapshot::SignalGuard signals;
+  const auto interrupted = [](int sig) {
+    std::cout << "soak interrupted by signal " << sig
+              << "; partial report above\n";
+    return mmr::snapshot::exit_status_for_signal(sig);
+  };
+
   bool clean = true;
   for (const std::uint32_t ports : ports_list) {
+    if (const int sig = mmr::snapshot::SignalGuard::consume())
+      return interrupted(sig);
     options.ports = ports;
     const AuditReport report = run_audit(options);
     std::cout << "[ports=" << ports << "] " << report.summary();
@@ -95,6 +107,8 @@ int main(int argc, char** argv) {
   }
 
   if (twins) {
+    if (const int sig = mmr::snapshot::SignalGuard::consume())
+      return interrupted(sig);
     TwinDiffOptions diff;
     diff.seed_base = options.seed_base;
     diff.seeds = options.seeds;

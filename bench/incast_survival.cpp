@@ -21,6 +21,8 @@
 
 #include "bench_util.hpp"
 
+#include "mmr/snapshot/signals.hpp"
+
 namespace {
 
 mmr::Workload incast_workload(const mmr::SimConfig& config, double hot_load) {
@@ -45,6 +47,11 @@ mmr::Workload incast_workload(const mmr::SimConfig& config, double hot_load) {
 int main(int argc, char** argv) {
   using namespace mmr;
   bench::BenchArgs args = bench::parse_args(argc, argv);
+
+  // Ctrl-C / SIGTERM: finish nothing mid-write.  Between runs the pending
+  // flag is polled; mid-run a `snap=` override makes the managed loop write
+  // a signal-tagged post-mortem checkpoint and throw snapshot::Interrupted.
+  snapshot::SignalGuard signals;
 
   SimConfig base;
   base.ports = 4;
@@ -75,6 +82,11 @@ int main(int argc, char** argv) {
                       "delivered %"});
 
     for (const bool shared : {false, true}) {
+      if (const int sig = snapshot::SignalGuard::consume()) {
+        std::cout << "interrupted by signal " << sig
+                  << "; partial results above\n";
+        return snapshot::exit_status_for_signal(sig);
+      }
       SimConfig config = base;
       config.arbiter = arbiter;
       config.rogue_spec = rogue;
@@ -82,7 +94,18 @@ int main(int argc, char** argv) {
       config.police_spec = shared ? "demote" : "";
 
       MmrSimulation simulation(config, incast_workload(config, hot_load));
-      const SimulationMetrics m = simulation.run();
+      SimulationMetrics m;
+      try {
+        m = simulation.run();
+      } catch (const snapshot::Interrupted& stop) {
+        std::cout << "interrupted by signal " << stop.signal_number()
+                  << " mid-run";
+        if (!stop.checkpoint().empty())
+          std::cout << "; post-mortem checkpoint: " << stop.checkpoint()
+                    << " (resume with snap=resume:<path>)";
+        std::cout << '\n';
+        return snapshot::exit_status_for_signal(stop.signal_number());
+      }
       simulation.check_invariants();
       const MmuMetrics& mmu = m.mmu;
       const OverloadMetrics& o = m.overload;

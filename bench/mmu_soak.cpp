@@ -13,19 +13,37 @@
 #include <string>
 
 #include "mmr/core/simulation.hpp"
+#include "mmr/snapshot/signals.hpp"
+#include "mmr/snapshot/spec.hpp"
 
 int main(int argc, char** argv) {
   using namespace mmr;
   std::uint32_t seeds = 200;
+  std::string snap_spec;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("seeds=", 0) == 0) {
       seeds = static_cast<std::uint32_t>(std::stoul(arg.substr(6)));
+    } else if (arg.rfind("snap=", 0) == 0) {
+      snap_spec = arg.substr(5);
     } else {
-      std::cerr << "usage: mmu_soak [seeds=N]\n";
+      std::cerr << "usage: mmu_soak [seeds=N] [snap=SPEC]\n";
       return 2;
     }
   }
+  if (!snap_spec.empty()) {
+    try {
+      (void)snapshot::SnapSpec::parse(snap_spec);  // fail fast on bad grammar
+    } catch (const std::exception& error) {
+      std::cerr << "error: " << error.what() << '\n';
+      return 2;
+    }
+  }
+
+  // A soak is exactly the run one wants to stop cleanly: poll for
+  // SIGINT/SIGTERM between seeds so a partial soak still reports its
+  // verdict-so-far and exits with the conventional 128+signo status.
+  snapshot::SignalGuard signals;
 
   const char* arbiters[2] = {"coa", "wfa"};
 
@@ -40,6 +58,12 @@ int main(int argc, char** argv) {
   };
 
   for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    if (const int sig = snapshot::SignalGuard::consume()) {
+      std::cout << "soak interrupted by signal " << sig << " after "
+                << (seed - 1) << "/" << seeds << " seeds, " << failures
+                << " violations so far\n";
+      return snapshot::exit_status_for_signal(sig);
+    }
     for (const bool shared : {false, true}) {
       SimConfig config;
       config.ports = 4;
@@ -66,8 +90,20 @@ int main(int argc, char** argv) {
       mix.target_load =
           (1.2 + 0.2 * static_cast<double>(seed % 5)) /
           static_cast<double>(config.ports);
+      config.snap_spec = snap_spec;
       MmrSimulation simulation(config, build_cbr_mix(config, mix, rng));
-      const SimulationMetrics m = simulation.run();
+      SimulationMetrics m;
+      try {
+        m = simulation.run();
+      } catch (const snapshot::Interrupted& stop) {
+        std::cout << "soak interrupted by signal " << stop.signal_number()
+                  << " mid-run (seed " << seed << "), " << failures
+                  << " violations so far";
+        if (!stop.checkpoint().empty())
+          std::cout << "; post-mortem checkpoint: " << stop.checkpoint();
+        std::cout << '\n';
+        return snapshot::exit_status_for_signal(stop.signal_number());
+      }
       simulation.check_invariants();
       const std::string regime = shared ? "shared" : "credit";
 

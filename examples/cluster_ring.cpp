@@ -10,6 +10,8 @@
 
 #include "mmr/network/network.hpp"
 #include "mmr/sim/table.hpp"
+#include "mmr/snapshot/signals.hpp"
+#include "mmr/snapshot/spec.hpp"
 #include "mmr/trace/spec.hpp"
 
 int main(int argc, char** argv) {
@@ -40,6 +42,7 @@ int main(int argc, char** argv) {
     // Fail fast on a bad trace= spec (parsed again at construction).
     if (!config.trace_spec.empty())
       (void)trace::TraceSpec::parse(config.trace_spec);
+    snapshot::validate_spec(config);
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << '\n';
     return 1;
@@ -68,7 +71,12 @@ int main(int argc, char** argv) {
               config.arbiter.c_str(), load * 100);
 
   MmrNetworkSimulation simulation(config, std::move(workload));
-  const NetworkMetrics metrics = simulation.run();
+  NetworkMetrics metrics;
+  try {
+    metrics = simulation.run();
+  } catch (const snapshot::Interrupted& stop) {
+    return snapshot::report_interrupted(stop);
+  }
 
   std::printf("\nAfter %llu measured cycles:\n",
               static_cast<unsigned long long>(config.measure_cycles));

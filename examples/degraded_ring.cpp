@@ -13,6 +13,8 @@
 #include <iostream>
 
 #include "mmr/network/network.hpp"
+#include "mmr/snapshot/signals.hpp"
+#include "mmr/snapshot/spec.hpp"
 #include "mmr/trace/spec.hpp"
 
 int main(int argc, char** argv) {
@@ -41,6 +43,7 @@ int main(int argc, char** argv) {
     (void)FaultPlan::parse(fault_spec);  // fail fast on a bad fault= spec
     if (!config.trace_spec.empty())
       (void)trace::TraceSpec::parse(config.trace_spec);
+    snapshot::validate_spec(config);
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << '\n';
     return 1;
@@ -69,7 +72,12 @@ int main(int argc, char** argv) {
               load * 100, fault_spec.c_str());
 
   MmrNetworkSimulation simulation(config, std::move(workload));
-  const NetworkMetrics metrics = simulation.run();
+  NetworkMetrics metrics;
+  try {
+    metrics = simulation.run();
+  } catch (const snapshot::Interrupted& stop) {
+    return snapshot::report_interrupted(stop);
+  }
   const DegradationMetrics& deg = metrics.degradation;
 
   std::printf("\nAfter %llu measured cycles:\n",

@@ -14,6 +14,8 @@
 
 #include "mmr/core/simulation.hpp"
 #include "mmr/sim/table.hpp"
+#include "mmr/snapshot/signals.hpp"
+#include "mmr/snapshot/spec.hpp"
 #include "mmr/trace/spec.hpp"
 
 int main(int argc, char** argv) {
@@ -39,6 +41,7 @@ int main(int argc, char** argv) {
     // Fail fast on a bad trace= spec (parsed again at construction).
     if (!config.trace_spec.empty())
       (void)trace::TraceSpec::parse(config.trace_spec);
+    snapshot::validate_spec(config);
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << '\n';
     return 1;
@@ -70,7 +73,12 @@ int main(int argc, char** argv) {
               workload.generated_load(config.time_base()) * 100);
 
   MmrSimulation simulation(config, std::move(workload));
-  const SimulationMetrics metrics = simulation.run();
+  SimulationMetrics metrics;
+  try {
+    metrics = simulation.run();
+  } catch (const snapshot::Interrupted& stop) {
+    return snapshot::report_interrupted(stop);
+  }
 
   AsciiTable table({"class", "delivered flits", "mean delay (us)",
                     "p99 (us)", "max (us)"});

@@ -12,6 +12,8 @@
 #include "mmr/mmu/spec.hpp"
 #include "mmr/overload/spec.hpp"
 #include "mmr/sim/table.hpp"
+#include "mmr/snapshot/signals.hpp"
+#include "mmr/snapshot/spec.hpp"
 #include "mmr/trace/spec.hpp"
 
 int main(int argc, char** argv) {
@@ -28,6 +30,7 @@ int main(int argc, char** argv) {
       (void)mmr::overload::RogueSpec::parse(config.rogue_spec);
     if (!config.trace_spec.empty())
       (void)mmr::trace::TraceSpec::parse(config.trace_spec);
+    mmr::snapshot::validate_spec(config);
     if (!config.flow_spec.empty())
       (void)mmr::mmu::MmuSpec::parse(config.flow_spec);
   } catch (const std::exception& error) {
@@ -50,7 +53,12 @@ int main(int argc, char** argv) {
               workload.generated_load(config.time_base()) * 100.0);
 
   mmr::MmrSimulation simulation(config, std::move(workload));
-  const mmr::SimulationMetrics metrics = simulation.run();
+  mmr::SimulationMetrics metrics;
+  try {
+    metrics = simulation.run();
+  } catch (const mmr::snapshot::Interrupted& stop) {
+    return mmr::snapshot::report_interrupted(stop);
+  }
 
   std::printf("\nafter %llu warmup + %llu measured cycles (flit cycle %.3f us):\n",
               static_cast<unsigned long long>(config.warmup_cycles),

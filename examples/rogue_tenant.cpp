@@ -19,6 +19,8 @@
 #include "mmr/core/simulation.hpp"
 #include "mmr/mmu/spec.hpp"
 #include "mmr/overload/spec.hpp"
+#include "mmr/snapshot/signals.hpp"
+#include "mmr/snapshot/spec.hpp"
 #include "mmr/trace/spec.hpp"
 
 namespace {
@@ -55,6 +57,7 @@ int main(int argc, char** argv) {
       (void)mmr::overload::RogueSpec::parse(config.rogue_spec);
     if (!config.trace_spec.empty())
       (void)mmr::trace::TraceSpec::parse(config.trace_spec);
+    mmr::snapshot::validate_spec(config);
     if (!config.flow_spec.empty())
       (void)mmr::mmu::MmuSpec::parse(config.flow_spec);
   } catch (const std::exception& error) {
@@ -70,19 +73,25 @@ int main(int argc, char** argv) {
   // Pass 1: same rogues, no protection.
   mmr::SimConfig unprotected = config;
   unprotected.police_spec.clear();
-  const mmr::SimulationMetrics before = run_once(unprotected);
-  std::printf("--- unprotected ---\n");
-  std::printf("  compliant deadline violations: %.2f%% (%llu of %llu)\n",
-              before.overload.compliant_violation_rate() * 100.0,
-              static_cast<unsigned long long>(
-                  before.overload.compliant_violations),
-              static_cast<unsigned long long>(
-                  before.overload.compliant_delivered));
-  std::printf("  end-of-run backlog: %llu flits\n\n",
-              static_cast<unsigned long long>(before.backlog_flits));
+  mmr::SimulationMetrics before;
+  mmr::SimulationMetrics after;
+  try {
+    before = run_once(unprotected);
+    std::printf("--- unprotected ---\n");
+    std::printf("  compliant deadline violations: %.2f%% (%llu of %llu)\n",
+                before.overload.compliant_violation_rate() * 100.0,
+                static_cast<unsigned long long>(
+                    before.overload.compliant_violations),
+                static_cast<unsigned long long>(
+                    before.overload.compliant_delivered));
+    std::printf("  end-of-run backlog: %llu flits\n\n",
+                static_cast<unsigned long long>(before.backlog_flits));
 
-  // Pass 2: injection policing on.
-  const mmr::SimulationMetrics after = run_once(config);
+    // Pass 2: injection policing on.
+    after = run_once(config);
+  } catch (const mmr::snapshot::Interrupted& stop) {
+    return mmr::snapshot::report_interrupted(stop);
+  }
   std::printf("--- police=%s ---\n", config.police_spec.c_str());
   mmr::print_overload_summary(std::cout, after);
   std::cout << '\n' << mmr::overload_table(after).render() << '\n';

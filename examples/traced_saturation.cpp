@@ -18,6 +18,8 @@
 #include <iostream>
 
 #include "mmr/core/simulation.hpp"
+#include "mmr/snapshot/signals.hpp"
+#include "mmr/snapshot/spec.hpp"
 #include "mmr/trace/export.hpp"
 #include "mmr/trace/tracer.hpp"
 
@@ -34,6 +36,7 @@ int main(int argc, char** argv) {
     mmr::apply_overrides(config, overrides);
     // Fail fast on a bad trace= spec (parsed again at construction).
     (void)mmr::trace::TraceSpec::parse(config.trace_spec);
+    mmr::snapshot::validate_spec(config);
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << '\n';
     return 1;
@@ -54,7 +57,12 @@ int main(int argc, char** argv) {
   mix.class_weights = {3.0, 1.0};
   mmr::MmrSimulation simulation(config,
                                 mmr::build_cbr_mix(config, mix, rng));
-  const mmr::SimulationMetrics metrics = simulation.run();
+  mmr::SimulationMetrics metrics;
+  try {
+    metrics = simulation.run();
+  } catch (const mmr::snapshot::Interrupted& stop) {
+    return mmr::snapshot::report_interrupted(stop);
+  }
 
   std::printf("generated %llu flits, delivered %llu, backlog %llu\n",
               static_cast<unsigned long long>(metrics.flits_generated),

@@ -12,6 +12,8 @@
 
 #include "mmr/core/simulation.hpp"
 #include "mmr/sim/table.hpp"
+#include "mmr/snapshot/signals.hpp"
+#include "mmr/snapshot/spec.hpp"
 #include "mmr/trace/spec.hpp"
 
 int main(int argc, char** argv) {
@@ -39,6 +41,7 @@ int main(int argc, char** argv) {
     // Fail fast on a bad trace= spec (parsed again at construction).
     if (!config.trace_spec.empty())
       (void)trace::TraceSpec::parse(config.trace_spec);
+    snapshot::validate_spec(config);
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << '\n';
     return 1;
@@ -80,7 +83,12 @@ int main(int argc, char** argv) {
   std::cout << census.render() << '\n';
 
   MmrSimulation simulation(config, std::move(workload));
-  const SimulationMetrics metrics = simulation.run();
+  SimulationMetrics metrics;
+  try {
+    metrics = simulation.run();
+  } catch (const snapshot::Interrupted& stop) {
+    return snapshot::report_interrupted(stop);
+  }
 
   std::printf("Results over %llu measured cycles (%.1f ms of video):\n",
               static_cast<unsigned long long>(config.measure_cycles),

@@ -36,6 +36,12 @@ python3 scripts/trace_lint.py --check
   out=build/TRACE_smoke.jsonl
 python3 scripts/trace_lint.py build/TRACE_smoke.jsonl
 
+echo
+echo "=== snapshot stage (lint self-test + resume-equivalence smoke) ==="
+python3 scripts/snap_lint.py --check
+./build/bench/snapshot_soak seeds=2 keep=build/SNAP_smoke.snap
+python3 scripts/snap_lint.py build/SNAP_smoke.snap
+
 if [[ "${RUN_PERF}" == "1" ]]; then
   echo
   echo "=== perf smoke (perf_baseline + schema check) ==="

@@ -1,5 +1,7 @@
 #include "mmr/arbiter/bitreq.hpp"
 
+#include "mmr/snapshot/walker.hpp"
+
 #include <algorithm>
 
 #include "mmr/perf/probe.hpp"
@@ -84,6 +86,16 @@ void BitRequestMatrix::build(const CandidateSet& candidates) {
       cell = static_cast<std::int32_t>(idx);
     }
   }
+}
+
+void BitRequestMatrix::snap(snapshot::Walker& w) {
+  snapshot::value(w, ports_);
+  snapshot::value(w, words_);
+  snapshot::walk_vector_pod(w, in_rows_);
+  snapshot::walk_vector_pod(w, out_rows_);
+  snapshot::walk_vector_pod(w, in_live_);
+  snapshot::walk_vector_pod(w, out_live_);
+  snapshot::walk_vector_pod(w, cell_);
 }
 
 }  // namespace mmr

@@ -17,6 +17,10 @@
 
 namespace mmr {
 
+namespace snapshot {
+class Walker;
+}
+
 inline constexpr std::uint32_t kBitsPerWord = 64;
 
 /// Words per bit-row for a given port count.
@@ -79,6 +83,12 @@ class BitRequestMatrix {
                                   std::uint32_t output) const {
     return cell_[static_cast<std::size_t>(input) * ports_ + output];
   }
+
+  /// Checkpoint walk.  The whole matrix persists across cycles: build()
+  /// sparse-clears using the *previous* rows' set bits, so resetting any of
+  /// this to zero on restore would change the next build's work (and the
+  /// state hash).  Serialize verbatim.
+  void snap(snapshot::Walker& w);
 
  private:
   std::uint32_t ports_ = 0;

@@ -1,5 +1,7 @@
 #include "mmr/arbiter/candidate_order.hpp"
 
+#include "mmr/snapshot/walker.hpp"
+
 #include <limits>
 
 #include "mmr/perf/probe.hpp"
@@ -246,5 +248,9 @@ void CandidateOrderScanArbiter::arbitrate_into(const CandidateSet& candidates,
     }
   }
 }
+
+void CandidateOrderArbiter::snap(snapshot::Walker& w) { rng_.snap(w); }
+
+void CandidateOrderScanArbiter::snap(snapshot::Walker& w) { rng_.snap(w); }
 
 }  // namespace mmr

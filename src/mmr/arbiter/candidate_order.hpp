@@ -48,6 +48,8 @@ class CandidateOrderArbiter final : public SwitchArbiter {
   void arbitrate_into(const CandidateSet& candidates,
                       Matching& matching) override;
 
+  void snap(snapshot::Walker& w) override;
+
  private:
   std::uint32_t ports_;
   Rng rng_;
@@ -82,6 +84,8 @@ class CandidateOrderScanArbiter final : public SwitchArbiter {
 
   void arbitrate_into(const CandidateSet& candidates,
                       Matching& matching) override;
+
+  void snap(snapshot::Walker& w) override;
 
  private:
   std::uint32_t ports_;

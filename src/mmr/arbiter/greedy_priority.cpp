@@ -1,5 +1,7 @@
 #include "mmr/arbiter/greedy_priority.hpp"
 
+#include "mmr/snapshot/walker.hpp"
+
 #include <algorithm>
 #include <numeric>
 
@@ -34,5 +36,7 @@ void GreedyPriorityArbiter::arbitrate_into(const CandidateSet& candidates,
     matching.match(c.input, c.output, static_cast<std::int32_t>(idx));
   }
 }
+
+void GreedyPriorityArbiter::snap(snapshot::Walker& w) { rng_.snap(w); }
 
 }  // namespace mmr

@@ -19,6 +19,8 @@ class GreedyPriorityArbiter final : public SwitchArbiter {
   void arbitrate_into(const CandidateSet& candidates,
                       Matching& matching) override;
 
+  void snap(snapshot::Walker& w) override;
+
  private:
   std::uint32_t ports_;
   Rng rng_;

@@ -1,5 +1,7 @@
 #include "mmr/arbiter/islip.hpp"
 
+#include "mmr/snapshot/walker.hpp"
+
 #include <algorithm>
 #include <bit>
 
@@ -163,6 +165,17 @@ void IslipScanArbiter::arbitrate_into(const CandidateSet& candidates,
     }
     if (!any_accept) break;
   }
+}
+
+void IslipArbiter::snap(snapshot::Walker& w) {
+  snapshot::walk_vector_pod(w, grant_ptr_);
+  snapshot::walk_vector_pod(w, accept_ptr_);
+  requests_.snap(w);
+}
+
+void IslipScanArbiter::snap(snapshot::Walker& w) {
+  snapshot::walk_vector_pod(w, grant_ptr_);
+  snapshot::walk_vector_pod(w, accept_ptr_);
 }
 
 }  // namespace mmr

@@ -30,6 +30,8 @@ class IslipArbiter final : public SwitchArbiter {
   void arbitrate_into(const CandidateSet& candidates,
                       Matching& matching) override;
 
+  void snap(snapshot::Walker& w) override;
+
   [[nodiscard]] std::uint32_t iterations() const { return iterations_; }
 
   /// Rotating pointers (exposed for tests and the audit harness; standard
@@ -65,6 +67,8 @@ class IslipScanArbiter final : public SwitchArbiter {
 
   void arbitrate_into(const CandidateSet& candidates,
                       Matching& matching) override;
+
+  void snap(snapshot::Walker& w) override;
 
   [[nodiscard]] std::uint32_t iterations() const { return iterations_; }
 

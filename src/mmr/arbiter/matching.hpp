@@ -6,6 +6,10 @@
 
 namespace mmr {
 
+namespace snapshot {
+class Walker;
+}
+
 class CandidateSet;
 
 class Matching {
@@ -57,6 +61,12 @@ class SwitchArbiter {
 
   /// Convenience wrapper building a fresh Matching (tests, audit tooling).
   [[nodiscard]] Matching arbitrate(const CandidateSet& candidates);
+
+  /// Checkpoint walk of the arbiter's internal state (rotation pointers,
+  /// RNG lanes, cached request matrices).  The default no-op is correct
+  /// only for genuinely stateless arbiters (maximal matching recomputed
+  /// from scratch each cycle); every stateful arbiter must override.
+  virtual void snap(snapshot::Walker& w) { (void)w; }
 };
 
 }  // namespace mmr

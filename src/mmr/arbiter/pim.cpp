@@ -1,5 +1,7 @@
 #include "mmr/arbiter/pim.hpp"
 
+#include "mmr/snapshot/walker.hpp"
+
 #include <algorithm>
 #include <bit>
 
@@ -145,5 +147,12 @@ void PimScanArbiter::arbitrate_into(const CandidateSet& candidates,
     }
   }
 }
+
+void PimArbiter::snap(snapshot::Walker& w) {
+  rng_.snap(w);
+  requests_.snap(w);
+}
+
+void PimScanArbiter::snap(snapshot::Walker& w) { rng_.snap(w); }
 
 }  // namespace mmr

@@ -29,6 +29,8 @@ class PimArbiter final : public SwitchArbiter {
   void arbitrate_into(const CandidateSet& candidates,
                       Matching& matching) override;
 
+  void snap(snapshot::Walker& w) override;
+
   [[nodiscard]] std::uint32_t iterations() const { return iterations_; }
 
  private:
@@ -55,6 +57,8 @@ class PimScanArbiter final : public SwitchArbiter {
 
   void arbitrate_into(const CandidateSet& candidates,
                       Matching& matching) override;
+
+  void snap(snapshot::Walker& w) override;
 
   [[nodiscard]] std::uint32_t iterations() const { return iterations_; }
 

@@ -1,5 +1,7 @@
 #include "mmr/arbiter/wavefront.hpp"
 
+#include "mmr/snapshot/walker.hpp"
+
 #include <algorithm>
 
 #include "mmr/trace/event.hpp"
@@ -172,6 +174,19 @@ void WrappedWaveFrontArbiter::arbitrate_into(const CandidateSet& candidates,
   }
 
   start_ = (start_ + 1) % ports_;
+}
+
+void WaveFrontArbiter::snap(snapshot::Walker& w) {
+  snapshot::value(w, offset_);
+  requests_.snap(w);
+}
+
+void WaveFrontScanArbiter::snap(snapshot::Walker& w) {
+  snapshot::value(w, offset_);
+}
+
+void WrappedWaveFrontArbiter::snap(snapshot::Walker& w) {
+  snapshot::value(w, start_);
 }
 
 }  // namespace mmr

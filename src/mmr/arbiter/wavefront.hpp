@@ -57,6 +57,8 @@ class WaveFrontArbiter final : public SwitchArbiter {
   void arbitrate_into(const CandidateSet& candidates,
                       Matching& matching) override;
 
+  void snap(snapshot::Walker& w) override;
+
   /// The row the next arbitration's wave starts from (exposed for tests).
   [[nodiscard]] std::uint32_t next_corner_row() const { return offset_; }
 
@@ -83,6 +85,8 @@ class WaveFrontScanArbiter final : public SwitchArbiter {
   void arbitrate_into(const CandidateSet& candidates,
                       Matching& matching) override;
 
+  void snap(snapshot::Walker& w) override;
+
   [[nodiscard]] std::uint32_t next_corner_row() const { return offset_; }
 
  private:
@@ -101,6 +105,8 @@ class WrappedWaveFrontArbiter final : public SwitchArbiter {
 
   void arbitrate_into(const CandidateSet& candidates,
                       Matching& matching) override;
+
+  void snap(snapshot::Walker& w) override;
 
   /// The diagonal the next arbitration will start from (exposed for tests).
   [[nodiscard]] std::uint32_t next_start_diagonal() const { return start_; }

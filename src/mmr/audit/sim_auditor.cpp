@@ -1,5 +1,7 @@
 #include "mmr/audit/sim_auditor.hpp"
 
+#include "mmr/snapshot/walker.hpp"
+
 #include <algorithm>
 
 #include "mmr/mmu/mmu.hpp"
@@ -114,6 +116,17 @@ void SimAuditor::sweep(const MmrRouter& router, const std::vector<Nic>& nics,
     MMR_ASSERT_MSG(mmu->occupancy() == buffered,
                    "audit: mmu pool charges disagree with buffered flits");
   }
+}
+
+void SimAuditor::snap(mmr::snapshot::Walker& w) {
+  namespace snap = mmr::snapshot;
+  snap::walk_vector(w, tails_, [](snap::Walker& v, VcTail& tail) {
+    snap::value(v, tail.connection);
+    snap::value(v, tail.seq);
+  });
+  snap::value(w, departed_seen_);
+  snap::value(w, cycles_);
+  snap::value(w, sweeps_);
 }
 
 }  // namespace mmr::audit

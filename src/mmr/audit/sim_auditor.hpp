@@ -26,6 +26,10 @@ namespace mmr::mmu {
 class SharedBufferMmu;
 }  // namespace mmr::mmu
 
+namespace mmr::snapshot {
+class Walker;
+}
+
 namespace mmr::audit {
 
 /// Buffer slots of (channel, vc) that are accounted for: available credits,
@@ -55,6 +59,11 @@ class SimAuditor {
 
   [[nodiscard]] std::uint64_t cycles_audited() const { return cycles_; }
   [[nodiscard]] std::uint64_t sweeps() const { return sweeps_; }
+
+  /// Checkpoint walk: departure tails and counters.  Without this a resumed
+  /// run's auditor would start blank and flag the first departure of every
+  /// in-flight connection as an order violation.
+  void snap(mmr::snapshot::Walker& w);
 
  private:
   struct VcTail {

@@ -1,5 +1,7 @@
 #include "mmr/core/metrics.hpp"
 
+#include "mmr/snapshot/walker.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -296,6 +298,60 @@ SimulationMetrics MetricsCollector::finalize(const MmrRouter& router,
   m.fairness_index = jain_fairness_index(
       normalized_shares(delivered_per_connection_, generated_per_connection_));
   return m;
+}
+
+void ClassMetrics::snap(snapshot::Walker& w) {
+  snapshot::value(w, flits_generated);
+  snapshot::value(w, flits_delivered);
+  flit_delay_us.snap(w);
+  flit_delay_hist.snap(w);
+}
+
+void DegradationMetrics::snap(snapshot::Walker& w) {
+  snapshot::value(w, enabled);
+  snapshot::value(w, flits_dropped);
+  snapshot::value(w, flits_corrupted);
+  snapshot::value(w, flits_flushed);
+  snapshot::value(w, source_flits_discarded);
+  snapshot::value(w, credits_lost);
+  snapshot::value(w, credits_restored);
+  snapshot::value(w, resync_events);
+  snapshot::value(w, teardowns);
+  snapshot::value(w, reroutes);
+  snapshot::value(w, readmissions);
+  snapshot::value(w, connections_lost);
+  recovery_latency_us.snap(w);
+  recovery_latency_hist.snap(w);
+  snapshot::value(w, delivered_during_fault);
+  snapshot::value(w, delivered_outside_fault);
+  snapshot::value(w, qos_violations_during_fault);
+  snapshot::value(w, qos_violations_outside_fault);
+}
+
+void MetricsCollector::snap(snapshot::Walker& w) {
+  // classes_ and frame_jitter_ are sized (and labelled) at construction from
+  // the connection table; walk the accumulators in place so a restore keeps
+  // the labels instead of default-reconstructing the elements.
+  std::uint64_t count = classes_.size();
+  snapshot::value(w, count);
+  if (w.loading())
+    MMR_ASSERT_MSG(count == classes_.size(),
+                   "metrics snapshot class count mismatch");
+  for (ClassMetrics& c : classes_) c.snap(w);
+  count = frame_jitter_.size();
+  snapshot::value(w, count);
+  if (w.loading())
+    MMR_ASSERT_MSG(count == frame_jitter_.size(),
+                   "metrics snapshot jitter-tracker count mismatch");
+  for (JitterTracker& j : frame_jitter_) j.snap(w);
+  snapshot::walk_vector_pod(w, generated_per_connection_);
+  snapshot::walk_vector_pod(w, delivered_per_connection_);
+  snapshot::value(w, generated_);
+  snapshot::value(w, delivered_);
+  flit_delay_us_.snap(w);
+  snapshot::value(w, frames_completed_);
+  frame_delay_us_.snap(w);
+  frame_delay_hist_.snap(w);
 }
 
 }  // namespace mmr

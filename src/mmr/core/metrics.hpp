@@ -18,6 +18,10 @@
 
 namespace mmr {
 
+namespace snapshot {
+class Walker;
+}
+
 /// Statistics for one traffic class (e.g. "CBR 64 Kbps", "VBR", "BE").
 struct ClassMetrics {
   std::string label;
@@ -25,6 +29,10 @@ struct ClassMetrics {
   std::uint64_t flits_delivered = 0;
   StreamingStats flit_delay_us;
   LogHistogram flit_delay_hist{0.1, 1.15};
+
+  /// Checkpoint walk: the accumulators only (label and histogram shape are
+  /// construction-time constants).
+  void snap(snapshot::Walker& w);
 };
 
 /// Graceful-degradation accounting produced by fault-injection runs (see
@@ -63,6 +71,9 @@ struct DegradationMetrics {
 
   [[nodiscard]] double violation_rate_during_fault() const;
   [[nodiscard]] double violation_rate_outside_fault() const;
+
+  /// Checkpoint walk (fault-injection runs accumulate these live).
+  void snap(snapshot::Walker& w);
 };
 
 /// Delivered fraction of generated flits for a class (1.0 when nothing was
@@ -242,6 +253,9 @@ class MetricsCollector {
   [[nodiscard]] SimulationMetrics finalize(const MmrRouter& router,
                                            double generated_load_nominal,
                                            std::uint64_t backlog) const;
+
+  /// Checkpoint walk: every accumulator that feeds finalize().
+  void snap(snapshot::Walker& w);
 
  private:
   [[nodiscard]] bool measured(Cycle cycle) const {

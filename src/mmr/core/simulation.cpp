@@ -1,5 +1,7 @@
 #include "mmr/core/simulation.hpp"
 
+#include <optional>
+
 #include "mmr/audit/sim_auditor.hpp"
 #include "mmr/mmu/mmu.hpp"
 #include "mmr/overload/policer.hpp"
@@ -8,6 +10,10 @@
 #include "mmr/perf/probe.hpp"
 #include "mmr/sim/assert.hpp"
 #include "mmr/sim/log.hpp"
+#include "mmr/snapshot/format.hpp"
+#include "mmr/snapshot/manager.hpp"
+#include "mmr/snapshot/signals.hpp"
+#include "mmr/snapshot/walker.hpp"
 #include "mmr/trace/event.hpp"
 #include "mmr/trace/tracer.hpp"
 
@@ -93,6 +99,16 @@ MmrSimulation::MmrSimulation(SimConfig config, Workload workload)
     tracer_ = std::make_unique<trace::Tracer>(
         trace::TraceSpec::parse(config_.trace_spec),
         trace::TraceMeta::from_config(config_));
+
+  // Last: every subsystem the walk visits must already exist before a
+  // `resume:` checkpoint is overlaid.
+  if (!config_.snap_spec.empty()) {
+    const snapshot::SnapSpec spec =
+        snapshot::SnapSpec::parse(config_.snap_spec);
+    snap_mgr_ = std::make_unique<snapshot::SnapshotManager>(
+        spec, snapshot::config_digest(config_));
+    if (!spec.resume.empty()) restore_checkpoint(spec.resume);
+  }
 }
 
 MmrSimulation::~MmrSimulation() = default;
@@ -362,10 +378,153 @@ SimulationMetrics MmrSimulation::run() {
   MMR_ASSERT_MSG(!ran_, "run() may only be called once");
   ran_ = true;
   const Cycle total = config_.total_cycles();
+  if (snap_mgr_) return run_managed(total);
   while (now_ < total) step_one();
   check_invariants();
   if (tracer_) tracer_->write_outputs();
   return finalize();
+}
+
+SimulationMetrics MmrSimulation::run_managed(Cycle total) {
+  const auto walk = [this](snapshot::Walker& w) { snap_walk(w); };
+
+  // Crash path: on MMR_ASSERT the post-mortem checkpoint is written first,
+  // then the previously installed hook (the tracer's flight-recorder dump)
+  // runs — one crash, one bundle.  SIGINT/SIGTERM are polled cooperatively
+  // at cycle boundaries below.
+  std::optional<snapshot::SignalGuard> signals;
+  std::optional<snapshot::CrashScope> crash;
+  if (snap_mgr_->spec().on_crash) {
+    signals.emplace();
+    crash.emplace([this, walk] {
+      snap_mgr_->write_checkpoint(now_, walk, "crash", /*nothrow=*/true);
+    });
+  }
+
+  while (now_ < total) {
+    step_one();
+    snap_mgr_->after_cycle(now_, walk);
+    if (watchdog_ && snap_mgr_->spec().on_crash)
+      snap_mgr_->on_alarm_count(
+          now_, walk, watchdog_->alarms() + watchdog_->pause_alarms(),
+          "watchdog");
+    if (signals && snapshot::SignalGuard::pending() != 0) {
+      const int signal_number = snapshot::SignalGuard::consume();
+      const std::string path =
+          snap_mgr_->write_checkpoint(now_, walk, "signal", /*nothrow=*/true);
+      if (tracer_) tracer_->write_outputs();
+      snap_mgr_->write_hash_log();
+      throw snapshot::Interrupted(signal_number, path);
+    }
+  }
+  check_invariants();
+  if (tracer_) tracer_->write_outputs();
+  snap_mgr_->write_hash_log();
+  return finalize();
+}
+
+std::uint64_t MmrSimulation::state_hash() {
+  snapshot::HashWalker hasher;
+  snap_walk(hasher);
+  return hasher.digest();
+}
+
+void MmrSimulation::save_checkpoint(const std::string& path) {
+  snapshot::Snapshot snap;
+  snap.config_digest = snapshot::config_digest(config_);
+  snap.cycle = now_;
+  snapshot::SaveWalker writer(snap);
+  snap_walk(writer);
+  snapshot::save_file(path, snap);
+}
+
+void MmrSimulation::restore_checkpoint(const std::string& path) {
+  const snapshot::Snapshot snap = snapshot::load_file(path);
+  const std::uint64_t digest = snapshot::config_digest(config_);
+  if (snap.config_digest != digest)
+    throw snapshot::SnapshotError(
+        "checkpoint " + path + " was written under a different SimConfig (" +
+        std::to_string(snap.config_digest) + " vs " + std::to_string(digest) +
+        "); resume requires the identical config and workload");
+  snapshot::LoadWalker reader(snap);
+  snap_walk(reader);
+  reader.finish();
+  MMR_ASSERT_MSG(now_ == snap.cycle,
+                 "restored clock disagrees with the snapshot header");
+}
+
+void MmrSimulation::snap_walk(snapshot::Walker& w) {
+  using snapshot::value;
+
+  w.section("sim");
+  value(w, now_);
+  value(w, compliant_delivered_);
+  value(w, compliant_violations_);
+  value(w, rogue_delivered_);
+  value(w, rogue_violations_);
+  shape_delay_us_.snap(w);
+  snapshot::walk_deque(w, pause_frames_,
+                       [](snapshot::Walker& wk, PauseFrame& frame) {
+                         value(wk, frame.effective_at);
+                         value(wk, frame.port);
+                         value(wk, frame.xoff);
+                       });
+  // The emission heap's raw array: rebuilding it from the restored sources'
+  // next_emission() would not reproduce the original heap layout (and a
+  // source that already queued its next emission must not emit twice).
+  {
+    auto& heap = snapshot::queue_container(heap_);
+    std::uint64_t n = heap.size();
+    value(w, n);
+    if (w.loading()) heap.assign(static_cast<std::size_t>(n), Emission{});
+    for (Emission& emission : heap) {
+      value(w, emission.first);
+      value(w, emission.second);
+    }
+  }
+
+  w.section("sources");
+  for (const auto& source : workload_.sources) source->snap(w);
+
+  w.section("nics");
+  for (Nic& nic : nics_) nic.snap(w);
+
+  w.section("links");
+  for (LinkPipeline& link : input_links_) link.snap(w);
+
+  w.section("router");
+  router_.snap(w);
+
+  w.section("metrics");
+  collector_.snap(w);
+
+  // Conditional subsystems: present exactly when the config constructs them,
+  // which the config digest pins — a section-name mismatch means a digest
+  // bug, and LoadWalker throws rather than misaligning.
+  if (policer_) {
+    w.section("policer");
+    policer_->snap(w);
+  }
+  if (watchdog_) {
+    w.section("watchdog");
+    watchdog_->snap(w);
+  }
+  if (mmu_) {
+    w.section("mmu");
+    mmu_->snap(w);
+  }
+  if (ecn_) {
+    w.section("ecn");
+    ecn_->snap(w);
+  }
+  if (auditor_) {
+    w.section("audit");
+    auditor_->snap(w);
+  }
+  if (tracer_) {
+    w.section("trace");
+    tracer_->snap(w);
+  }
 }
 
 SimulationMetrics MmrSimulation::finalize() const {

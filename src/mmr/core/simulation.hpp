@@ -33,6 +33,11 @@ class InjectionPolicer;
 class SaturationWatchdog;
 }  // namespace overload
 
+namespace snapshot {
+class SnapshotManager;
+class Walker;
+}  // namespace snapshot
+
 namespace trace {
 class Tracer;
 }  // namespace trace
@@ -104,7 +109,37 @@ class MmrSimulation {
 
   void check_invariants() const;
 
+  // --- checkpoint/restore (mmr/snapshot/, `snap=` override) -----------------
+  /// The one serialization walk: every mutable piece of simulation state, in
+  /// a fixed order, serving SaveWalker, LoadWalker and HashWalker alike.
+  /// Conditional sections (policer, MMU, tracer, ...) appear exactly when
+  /// the config constructs the subsystem, which the config digest pins.
+  void snap_walk(snapshot::Walker& w);
+
+  /// 64-bit FNV-1a StateHash of the current state (the per-cycle divergence
+  /// fingerprint).  Works with or without `snap=`.
+  [[nodiscard]] std::uint64_t state_hash();
+
+  /// Writes an mmr-snap-v1 checkpoint of the current state to `path`
+  /// (atomic: temp file + rename).
+  void save_checkpoint(const std::string& path);
+
+  /// Overlays a checkpoint onto this freshly constructed simulation and
+  /// fast-forwards the clock.  The (config, workload) must match the saving
+  /// run; a config-digest mismatch throws SnapshotError.  `snap=resume:PATH`
+  /// calls this from the constructor.
+  void restore_checkpoint(const std::string& path);
+
+  /// The snapshot manager, or nullptr when `snap=` is unset.
+  [[nodiscard]] const snapshot::SnapshotManager* snapshot_manager() const {
+    return snap_mgr_.get();
+  }
+
  private:
+  /// run() with snapshot duties armed: periodic checkpoints + state hashes,
+  /// crash/watchdog post-mortems, cooperative SIGINT/SIGTERM shutdown.
+  SimulationMetrics run_managed(Cycle total);
+
   /// Normalizes the flow regime before member construction: `flow=shared`
   /// re-sizes the per-VC buffer/credit allowance to the MMU's admission
   /// allowance (MmuSpec::vc_slots), because a single field feeds both the
@@ -135,6 +170,7 @@ class MmrSimulation {
   DepartureObserver observer_;
   std::unique_ptr<audit::SimAuditor> auditor_;  ///< set when audit_every > 0
   std::unique_ptr<trace::Tracer> tracer_;       ///< set when trace= is present
+  std::unique_ptr<snapshot::SnapshotManager> snap_mgr_;  ///< snap= present
 
   // Overload protection (set only when police= / rogue= are present; an
   // unset spec leaves every pointer null and the hot path untouched).

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "mmr/sim/assert.hpp"
+#include "mmr/snapshot/walker.hpp"
 #include "mmr/trace/event.hpp"
 #include "mmr/trace/tracer.hpp"
 
@@ -77,6 +78,23 @@ bool FaultInjector::lose_credit(std::uint32_t channel) {
   MMR_ASSERT(channel < rates_.size());
   const double p = rates_[channel].credit_loss_probability;
   return p > 0.0 && rngs_[channel].chance(p);
+}
+
+void FaultInjector::snap(snapshot::Walker& w) {
+  // Rng is not default-constructible; the per-channel streams are walked in
+  // place (the count is fixed at construction from the channel count).
+  std::uint64_t streams = rngs_.size();
+  snapshot::value(w, streams);
+  if (w.loading())
+    MMR_ASSERT_MSG(streams == rngs_.size(),
+                   "fault snapshot channel count mismatch");
+  for (Rng& rng : rngs_) rng.snap(w);
+  std::uint64_t next = next_event_;
+  snapshot::value(w, next);
+  if (w.loading()) next_event_ = static_cast<std::size_t>(next);
+  snapshot::walk_vector_bool(w, down_);
+  snapshot::value(w, down_count_);
+  snapshot::value(w, last_advance_);
 }
 
 }  // namespace mmr

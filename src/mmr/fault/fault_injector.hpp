@@ -15,6 +15,10 @@
 
 namespace mmr {
 
+namespace snapshot {
+class Walker;
+}
+
 class FaultInjector {
  public:
   FaultInjector(FaultPlan plan, std::uint32_t channels);
@@ -40,6 +44,10 @@ class FaultInjector {
   [[nodiscard]] bool drop_flit(std::uint32_t channel);
   [[nodiscard]] bool corrupt_flit(std::uint32_t channel);
   [[nodiscard]] bool lose_credit(std::uint32_t channel);
+
+  /// Checkpoint walk: per-channel RNG streams and the outage-schedule cursor
+  /// (plan, rates and the event list are construction-time constants).
+  void snap(snapshot::Walker& w);
 
  private:
   struct Event {

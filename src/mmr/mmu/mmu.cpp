@@ -1,5 +1,7 @@
 #include "mmr/mmu/mmu.hpp"
 
+#include "mmr/snapshot/walker.hpp"
+
 #include <algorithm>
 
 #include "mmr/sim/assert.hpp"
@@ -253,6 +255,40 @@ void EcnReactor::on_cycle(Cycle now, std::vector<ConnectionId>& changed) {
 double EcnReactor::factor(ConnectionId id) const {
   MMR_ASSERT(id < factors_.size());
   return factors_[id];
+}
+
+void SharedBufferMmu::snap(snapshot::Walker& w) {
+  snapshot::walk_vector(w, per_port_class_,
+                        [](snapshot::Walker& v, PortClass& pc) {
+                          snapshot::value(v, pc.reserved_used);
+                          snapshot::value(v, pc.shared_used);
+                        });
+  snapshot::walk_vector_pod(w, headroom_used_);
+  snapshot::value(w, shared_used_);
+  snapshot::value(w, occupancy_);
+  snapshot::walk_vector_pod(w, paused_);
+  snapshot::walk_vector_pod(w, pause_started_);
+  snapshot::value(w, paused_ports_);
+  mark_rng_.snap(w);
+  snapshot::value(w, admitted_reserved_);
+  snapshot::value(w, admitted_shared_);
+  snapshot::value(w, admitted_headroom_);
+  snapshot::value(w, drops_lossless_);
+  snapshot::value(w, drops_lossy_);
+  snapshot::value(w, pause_events_);
+  snapshot::value(w, resume_events_);
+  snapshot::value(w, closed_pause_cycles_);
+  snapshot::value(w, max_closed_pause_);
+  snapshot::value(w, headroom_highwater_);
+  snapshot::value(w, pool_highwater_);
+  snapshot::value(w, ecn_marked_);
+  snapshot::value(w, ecn_eligible_);
+  pool_occupancy_.snap(w);
+}
+
+void EcnReactor::snap(snapshot::Walker& w) {
+  snapshot::walk_vector_pod(w, factors_);
+  snapshot::value(w, cuts_);
 }
 
 }  // namespace mmr::mmu

@@ -34,6 +34,10 @@
 #include "mmr/sim/stats.hpp"
 #include "mmr/sim/time.hpp"
 
+namespace mmr::snapshot {
+class Walker;
+}
+
 namespace mmr::mmu {
 
 /// Pool a flit was charged to at admission.
@@ -118,6 +122,10 @@ class SharedBufferMmu {
 
   void check_invariants() const;
 
+  /// Checkpoint walk: pool accounting, pause state, the marking RNG lane,
+  /// and lifetime counters.
+  void snap(snapshot::Walker& w);
+
  private:
   struct PortClass {
     std::uint32_t reserved_used = 0;
@@ -180,6 +188,8 @@ class EcnReactor {
 
   [[nodiscard]] double factor(ConnectionId id) const;
   [[nodiscard]] std::uint64_t cuts() const { return cuts_; }
+
+  void snap(snapshot::Walker& w);
 
  private:
   double cut_;

@@ -1,10 +1,15 @@
 #include "mmr/network/network.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "mmr/audit/sim_auditor.hpp"
 #include "mmr/qos/rounds.hpp"
 #include "mmr/sim/log.hpp"
+#include "mmr/snapshot/format.hpp"
+#include "mmr/snapshot/manager.hpp"
+#include "mmr/snapshot/signals.hpp"
+#include "mmr/snapshot/walker.hpp"
 #include "mmr/trace/event.hpp"
 #include "mmr/trace/tracer.hpp"
 
@@ -375,6 +380,16 @@ MmrNetworkSimulation::MmrNetworkSimulation(SimConfig config,
     tracer_ = std::make_unique<trace::Tracer>(
         trace::TraceSpec::parse(config_.trace_spec),
         trace::TraceMeta::from_config(config_));
+
+  // Last: the fault runtime and tracer must exist before a `resume:`
+  // checkpoint is overlaid.
+  if (!config_.snap_spec.empty()) {
+    const snapshot::SnapSpec spec =
+        snapshot::SnapSpec::parse(config_.snap_spec);
+    snap_mgr_ = std::make_unique<snapshot::SnapshotManager>(
+        spec, snapshot::config_digest(config_));
+    if (!spec.resume.empty()) restore_checkpoint(spec.resume);
+  }
 }
 
 MmrNetworkSimulation::~MmrNetworkSimulation() = default;
@@ -899,10 +914,175 @@ NetworkMetrics MmrNetworkSimulation::run() {
   MMR_ASSERT_MSG(!ran_, "run() may only be called once");
   ran_ = true;
   const Cycle total = config_.total_cycles();
+  if (snap_mgr_) return run_managed(total);
   while (now_ < total) step_one();
   check_invariants();
   if (tracer_) tracer_->write_outputs();
+  return finalize_metrics();
+}
 
+NetworkMetrics MmrNetworkSimulation::run_managed(Cycle total) {
+  const auto walk = [this](snapshot::Walker& w) { snap_walk(w); };
+
+  std::optional<snapshot::SignalGuard> signals;
+  std::optional<snapshot::CrashScope> crash;
+  if (snap_mgr_->spec().on_crash) {
+    signals.emplace();
+    crash.emplace([this, walk] {
+      snap_mgr_->write_checkpoint(now_, walk, "crash", /*nothrow=*/true);
+    });
+  }
+
+  while (now_ < total) {
+    step_one();
+    snap_mgr_->after_cycle(now_, walk);
+    if (signals && snapshot::SignalGuard::pending() != 0) {
+      const int signal_number = snapshot::SignalGuard::consume();
+      const std::string path =
+          snap_mgr_->write_checkpoint(now_, walk, "signal", /*nothrow=*/true);
+      if (tracer_) tracer_->write_outputs();
+      snap_mgr_->write_hash_log();
+      throw snapshot::Interrupted(signal_number, path);
+    }
+  }
+  check_invariants();
+  if (tracer_) tracer_->write_outputs();
+  snap_mgr_->write_hash_log();
+  return finalize_metrics();
+}
+
+std::uint64_t MmrNetworkSimulation::state_hash() {
+  snapshot::HashWalker hasher;
+  snap_walk(hasher);
+  return hasher.digest();
+}
+
+void MmrNetworkSimulation::save_checkpoint(const std::string& path) {
+  snapshot::Snapshot snap;
+  snap.config_digest = snapshot::config_digest(config_);
+  snap.cycle = now_;
+  snapshot::SaveWalker writer(snap);
+  snap_walk(writer);
+  snapshot::save_file(path, snap);
+}
+
+void MmrNetworkSimulation::restore_checkpoint(const std::string& path) {
+  const snapshot::Snapshot snap = snapshot::load_file(path);
+  const std::uint64_t digest = snapshot::config_digest(config_);
+  if (snap.config_digest != digest)
+    throw snapshot::SnapshotError(
+        "checkpoint " + path + " was written under a different SimConfig (" +
+        std::to_string(snap.config_digest) + " vs " + std::to_string(digest) +
+        "); resume requires the identical config and workload");
+  snapshot::LoadWalker reader(snap);
+  snap_walk(reader);
+  reader.finish();
+  MMR_ASSERT_MSG(now_ == snap.cycle,
+                 "restored clock disagrees with the snapshot header");
+}
+
+void MmrNetworkSimulation::snap_walk(snapshot::Walker& w) {
+  using snapshot::value;
+  const auto walk_hop = [](snapshot::Walker& v, Hop& hop) {
+    value(v, hop.router);
+    value(v, hop.in_port);
+    value(v, hop.out_port);
+    value(v, hop.vc);
+  };
+
+  w.section("sim");
+  value(w, now_);
+  value(w, generated_);
+  value(w, delivered_);
+  value(w, frames_completed_);
+  flit_delay_us_.snap(w);
+  delivered_hops_.snap(w);
+  frame_delay_us_.snap(w);
+  // classes_ is sized (and labelled) at construction from the workload; walk
+  // the accumulators in place so a restore keeps the labels.
+  {
+    std::uint64_t count = classes_.size();
+    value(w, count);
+    if (w.loading())
+      MMR_ASSERT_MSG(count == classes_.size(),
+                     "network snapshot class count mismatch");
+    for (ClassMetrics& c : classes_) c.snap(w);
+  }
+  {
+    auto& heap = snapshot::queue_container(heap_);
+    std::uint64_t n = heap.size();
+    value(w, n);
+    if (w.loading()) heap.assign(static_cast<std::size_t>(n), Emission{});
+    for (Emission& emission : heap) {
+      value(w, emission.first);
+      value(w, emission.second);
+    }
+  }
+
+  w.section("sources");
+  for (const auto& source : workload_.sources) source->snap(w);
+
+  w.section("nics");
+  for (const auto& nic : nics_) nic->snap(w);
+  for (LinkPipeline& link : nic_links_) link.snap(w);
+
+  w.section("channels");
+  for (Channel& channel : channels_) {
+    channel.pipe.snap(w);
+    channel.credits.snap(w);
+  }
+
+  w.section("routers");
+  for (MmrRouter& router : routers_) router.snap(w);
+
+  // Tables, routing maps and reserved paths all mutate when fault recovery
+  // re-admits a connection on fresh VCs; fault-free they are constants, but
+  // walking them unconditionally keeps one walk shape per config.
+  w.section("tables");
+  for (ConnectionTable& table : tables_) table.snap(w);
+
+  w.section("routing");
+  for (auto& per_router : next_hop_) {
+    for (auto& per_input : per_router) {
+      snapshot::walk_vector(w, per_input,
+                            [](snapshot::Walker& v, NextHop& next) {
+                              value(v, next.local);
+                              value(v, next.channel);
+                              value(v, next.downstream_vc);
+                            });
+    }
+  }
+  for (auto& per_router : hop_index_) {
+    for (auto& per_input : per_router) snapshot::walk_vector_pod(w, per_input);
+  }
+  for (NetworkConnection& connection : workload_.connections)
+    snapshot::walk_vector(w, connection.path, walk_hop);
+
+  if (fault_) {
+    w.section("fault");
+    FaultRuntime& f = *fault_;
+    f.injector.snap(w);
+    for (AdmissionController& admission : f.admission) admission.snap(w);
+    snapshot::walk_vector_pod(w, f.state);
+    snapshot::walk_vector_pod(w, f.dropped_at);
+    snapshot::walk_vector(w, f.hop_admitted,
+                          [](snapshot::Walker& v, std::vector<bool>& hops) {
+                            snapshot::walk_vector_bool(v, hops);
+                          });
+    snapshot::walk_vector(w, f.leak_since,
+                          [](snapshot::Walker& v, std::vector<Cycle>& leaks) {
+                            snapshot::walk_vector_pod(v, leaks);
+                          });
+    f.metrics.snap(w);
+  }
+
+  if (tracer_) {
+    w.section("trace");
+    tracer_->snap(w);
+  }
+}
+
+NetworkMetrics MmrNetworkSimulation::finalize_metrics() {
   NetworkMetrics metrics;
   metrics.arbiter = config_.arbiter;
   metrics.flit_cycle_us = config_.time_base().flit_cycle_us();

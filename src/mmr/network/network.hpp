@@ -28,6 +28,11 @@ namespace trace {
 class Tracer;
 }  // namespace trace
 
+namespace snapshot {
+class SnapshotManager;
+class Walker;
+}  // namespace snapshot
+
 /// A multi-hop connection: class, rates and the reserved path.
 struct NetworkConnection {
   ConnectionId id = kInvalidConnection;
@@ -140,7 +145,36 @@ class MmrNetworkSimulation {
 
   void check_invariants() const;
 
+  // --- checkpoint/restore (mmr/snapshot/, `snap=` override) -----------------
+  /// The network's serialization walk — see MmrSimulation::snap_walk.  Covers
+  /// routers, channels (wire + credit loops), NICs, per-router connection
+  /// tables and routing maps (both mutate under fault recovery), and the
+  /// full fault runtime including the injector's RNG streams.
+  void snap_walk(snapshot::Walker& w);
+
+  /// 64-bit FNV-1a StateHash of the current network state.
+  [[nodiscard]] std::uint64_t state_hash();
+
+  /// Writes an mmr-snap-v1 checkpoint of the current state to `path`.
+  void save_checkpoint(const std::string& path);
+
+  /// Overlays a checkpoint onto this freshly constructed simulation; the
+  /// (config, workload) must match the saving run.
+  void restore_checkpoint(const std::string& path);
+
+  /// The snapshot manager, or nullptr when `snap=` is unset.
+  [[nodiscard]] const snapshot::SnapshotManager* snapshot_manager() const {
+    return snap_mgr_.get();
+  }
+
  private:
+  /// run() with snapshot duties armed (periodic checkpoints and hashes,
+  /// crash post-mortems, cooperative SIGINT/SIGTERM shutdown).
+  NetworkMetrics run_managed(Cycle total);
+
+  /// The metrics block shared by run() and run_managed().
+  [[nodiscard]] NetworkMetrics finalize_metrics();
+
   /// Where a flit popped from (router, input, vc) goes next.
   struct NextHop {
     bool local = true;            ///< delivered to the attached host
@@ -217,6 +251,7 @@ class MmrNetworkSimulation {
   std::vector<ConnectionTable> tables_;
   std::unique_ptr<FaultRuntime> fault_;  ///< null = fault-free run
   std::unique_ptr<trace::Tracer> tracer_;  ///< set when trace= is present
+  std::unique_ptr<snapshot::SnapshotManager> snap_mgr_;  ///< snap= present
   /// (router, out_port) -> channel index or -1 (local).
   std::vector<std::int32_t> channel_of_output_;
   /// NICs on local input ports; -1 elsewhere.

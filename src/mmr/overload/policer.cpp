@@ -1,5 +1,7 @@
 #include "mmr/overload/policer.hpp"
 
+#include "mmr/snapshot/walker.hpp"
+
 #include <algorithm>
 
 #include "mmr/sim/assert.hpp"
@@ -184,6 +186,34 @@ void InjectionPolicer::check_invariants() const {
   for (std::uint32_t id : shapers_)
     MMR_ASSERT_MSG(!buckets_[id].penalty.empty(),
                    "policer shaper list references an empty penalty queue");
+}
+
+void InjectionPolicer::snap(snapshot::Walker& w) {
+  snapshot::walk_vector(w, buckets_, [](snapshot::Walker& v, Bucket& b) {
+    snapshot::value(v, b.tokens);
+    snapshot::value(v, b.rate);
+    snapshot::value(v, b.mean_rate);
+    snapshot::value(v, b.depth);
+    snapshot::value(v, b.last_refill);
+    snapshot::value(v, b.ecn_factor);
+    snapshot::walk_deque(v, b.penalty, snap_flit);
+    snapshot::value(v, b.noncompliant);
+    snapshot::value(v, b.qos);
+    snapshot::value(v, b.cls);
+  });
+  for (ClassTally& tally : tallies_) {
+    snapshot::value(w, tally.conforming);
+    snapshot::value(w, tally.dropped);
+    snapshot::value(w, tally.demoted);
+    snapshot::value(w, tally.shaped);
+    snapshot::value(w, tally.penalty_overflow);
+    snapshot::value(w, tally.shed);
+  }
+  snapshot::walk_vector_pod(w, policed_per_connection_);
+  snapshot::walk_vector_pod(w, shapers_);
+  snapshot::value(w, penalty_backlog_);
+  snapshot::value(w, shed_best_effort_);
+  snapshot::value(w, clamp_noncompliant_);
 }
 
 }  // namespace mmr::overload

@@ -28,6 +28,10 @@
 #include "mmr/overload/spec.hpp"
 #include "mmr/traffic/flit.hpp"
 
+namespace mmr::snapshot {
+class Walker;
+}
+
 namespace mmr::overload {
 
 /// Outcome of policing one flit at injection.
@@ -97,6 +101,10 @@ class InjectionPolicer {
   [[nodiscard]] double tokens(ConnectionId id) const;
 
   void check_invariants() const;
+
+  /// Checkpoint walk: token buckets (penalty flits included), tallies, and
+  /// watchdog-applied switches.
+  void snap(snapshot::Walker& w);
 
  private:
   struct Bucket {

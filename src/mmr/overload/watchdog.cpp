@@ -1,5 +1,7 @@
 #include "mmr/overload/watchdog.hpp"
 
+#include "mmr/snapshot/walker.hpp"
+
 #include <cmath>
 
 #include "mmr/sim/assert.hpp"
@@ -96,6 +98,20 @@ void SaturationWatchdog::on_mmu_pause(Cycle now, Cycle longest_open_pause,
   MMR_TRACE_EVENT(trace::watchdog_event(
       now, static_cast<std::uint8_t>(stage_), /*escalated=*/true,
       static_cast<std::uint64_t>(longest_open_pause)));
+}
+
+void SaturationWatchdog::snap(snapshot::Walker& w) {
+  snapshot::value(w, stage_);
+  snapshot::value(w, ewma_);
+  snapshot::value(w, seeded_);
+  snapshot::value(w, over_windows_);
+  snapshot::value(w, calm_windows_);
+  snapshot::value(w, escalations_);
+  snapshot::value(w, recoveries_);
+  snapshot::value(w, alarms_);
+  snapshot::value(w, pause_alarms_);
+  snapshot::value(w, pause_alarmed_);
+  for (Cycle& cycles : cycles_in_stage_) snapshot::value(w, cycles);
 }
 
 }  // namespace mmr::overload

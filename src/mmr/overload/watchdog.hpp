@@ -72,6 +72,9 @@ class SaturationWatchdog {
     return cycles_in_stage_[1] + cycles_in_stage_[2] + cycles_in_stage_[3];
   }
 
+  /// Checkpoint walk: ladder position, EWMA, hysteresis counters.
+  void snap(snapshot::Walker& w);
+
  private:
   void apply(InjectionPolicer& policer) const;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "mmr/snapshot/walker.hpp"
 #include "mmr/trace/event.hpp"
 #include "mmr/trace/tracer.hpp"
 
@@ -128,6 +129,37 @@ double AdmissionController::max_mean_utilization() const {
   }
   return static_cast<double>(busiest) /
          static_cast<double>(rounds_.flit_cycles_per_round());
+}
+
+void AdmissionController::snap(snapshot::Walker& w) {
+  const auto walk_budget = [](snapshot::Walker& v, LinkBudget& budget) {
+    snapshot::value(v, budget.mean_slots);
+    snapshot::value(v, budget.peak_slots);
+  };
+  snapshot::walk_vector(w, input_budget_, walk_budget);
+  snapshot::walk_vector(w, output_budget_, walk_budget);
+  // std::map walks in key order, which is deterministic; on load the ledger
+  // is rebuilt entry by entry.
+  std::uint64_t entries = ledger_.size();
+  snapshot::value(w, entries);
+  if (w.loading()) {
+    ledger_.clear();
+    for (std::uint64_t i = 0; i < entries; ++i) {
+      ReservationKey key{};
+      std::uint32_t count = 0;
+      for (std::uint32_t& part : key) snapshot::value(w, part);
+      snapshot::value(w, count);
+      ledger_.emplace(key, count);
+    }
+  } else {
+    for (auto& [key, count] : ledger_) {
+      for (const std::uint32_t part : key) {
+        std::uint32_t copy = part;
+        snapshot::value(w, copy);
+      }
+      snapshot::value(w, count);
+    }
+  }
 }
 
 }  // namespace mmr

@@ -20,6 +20,10 @@
 
 namespace mmr {
 
+namespace snapshot {
+class Walker;
+}
+
 class AdmissionController {
  public:
   AdmissionController(std::uint32_t ports, RoundAccounting rounds,
@@ -53,6 +57,10 @@ class AdmissionController {
 
   /// Fraction of the round reserved (mean) on the busiest link.
   [[nodiscard]] double max_mean_utilization() const;
+
+  /// Checkpoint walk: link budgets and the reservation ledger (both mutate
+  /// as fault recovery releases and re-admits connections).
+  void snap(snapshot::Walker& w);
 
  private:
   struct LinkBudget {

@@ -1,5 +1,7 @@
 #include "mmr/qos/connection.hpp"
 
+#include "mmr/snapshot/walker.hpp"
+
 namespace mmr {
 
 const char* to_string(TrafficClass c) {
@@ -46,6 +48,25 @@ double ConnectionTable::qos_mean_bps_on_input(std::uint32_t link) const {
     if (c.is_qos()) total += c.mean_bandwidth_bps;
   }
   return total;
+}
+
+void ConnectionTable::snap(snapshot::Walker& w) {
+  snapshot::walk_vector(
+      w, connections_, [](snapshot::Walker& v, ConnectionDescriptor& d) {
+        snapshot::value(v, d.id);
+        snapshot::value(v, d.traffic_class);
+        snapshot::value(v, d.input_link);
+        snapshot::value(v, d.output_link);
+        snapshot::value(v, d.vc);
+        snapshot::value(v, d.mean_bandwidth_bps);
+        snapshot::value(v, d.peak_bandwidth_bps);
+        snapshot::value(v, d.slots_per_round);
+        snapshot::value(v, d.peak_slots_per_round);
+      });
+  snapshot::walk_vector(w, by_input_link_,
+                        [](snapshot::Walker& v, std::vector<ConnectionId>& l) {
+                          snapshot::walk_vector_pod(v, l);
+                        });
 }
 
 }  // namespace mmr

@@ -11,6 +11,10 @@
 
 namespace mmr {
 
+namespace snapshot {
+class Walker;
+}
+
 using ConnectionId = std::uint32_t;
 inline constexpr ConnectionId kInvalidConnection = ~ConnectionId{0};
 
@@ -77,6 +81,11 @@ class ConnectionTable {
 
   /// Sum of mean bandwidth of QoS connections on an input link, bps.
   [[nodiscard]] double qos_mean_bps_on_input(std::uint32_t link) const;
+
+  /// Checkpoint walk.  Single-router tables are construction-time constants,
+  /// but the network layer's per-router tables grow when fault recovery
+  /// re-admits connections on fresh VCs — the whole table walks.
+  void snap(snapshot::Walker& w);
 
  private:
   std::uint32_t ports_;

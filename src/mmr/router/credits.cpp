@@ -1,6 +1,7 @@
 #include "mmr/router/credits.hpp"
 
 #include "mmr/sim/assert.hpp"
+#include "mmr/snapshot/walker.hpp"
 
 namespace mmr {
 
@@ -65,6 +66,14 @@ void CreditManager::check_invariants() const {
   for (std::uint32_t vc = 0; vc < credits_.size(); ++vc) {
     MMR_ASSERT(credits_[vc] + in_flight[vc] <= credits_per_vc_);
   }
+}
+
+void CreditManager::snap(snapshot::Walker& w) {
+  snapshot::walk_vector_pod(w, credits_);
+  snapshot::walk_deque(w, pending_, [](snapshot::Walker& v, PendingReturn& p) {
+    snapshot::value(v, p.ready);
+    snapshot::value(v, p.vc);
+  });
 }
 
 }  // namespace mmr

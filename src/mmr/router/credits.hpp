@@ -12,6 +12,10 @@
 
 namespace mmr {
 
+namespace snapshot {
+class Walker;
+}
+
 class CreditManager {
  public:
   CreditManager(std::uint32_t vcs, std::uint32_t credits_per_vc,
@@ -54,6 +58,9 @@ class CreditManager {
   void restore(std::uint32_t vc, std::uint32_t count);
 
   void check_invariants() const;
+
+  /// Checkpoint walk: live credit counts and every in-flight return.
+  void snap(snapshot::Walker& w);
 
  private:
   struct PendingReturn {

@@ -1,6 +1,7 @@
 #include "mmr/router/crossbar.hpp"
 
 #include "mmr/sim/assert.hpp"
+#include "mmr/snapshot/walker.hpp"
 
 namespace mmr {
 
@@ -28,6 +29,13 @@ void Crossbar::apply(const Matching& matching, bool measure) {
 std::int32_t Crossbar::input_of(std::uint32_t output) const {
   MMR_ASSERT(output < ports());
   return input_of_output_[output];
+}
+
+void Crossbar::snap(snapshot::Walker& w) {
+  snapshot::walk_vector_pod(w, input_of_output_);
+  utilization_.snap(w);
+  reconfigurations_.snap(w);
+  matching_size_.snap(w);
 }
 
 }  // namespace mmr

@@ -12,6 +12,10 @@
 
 namespace mmr {
 
+namespace snapshot {
+class Walker;
+}
+
 class Crossbar {
  public:
   explicit Crossbar(std::uint32_t ports);
@@ -40,6 +44,11 @@ class Crossbar {
   [[nodiscard]] double mean_matching_size() const {
     return matching_size_.mean();
   }
+
+  /// Checkpoint walk.  The crosspoint configuration persists across cycles
+  /// (reconfiguration counting diffs against it), so it is state, not
+  /// scratch.
+  void snap(snapshot::Walker& w);
 
  private:
   std::vector<std::int32_t> input_of_output_;

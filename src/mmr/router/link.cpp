@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "mmr/sim/assert.hpp"
+#include "mmr/snapshot/walker.hpp"
 
 namespace mmr {
 
@@ -61,6 +62,17 @@ std::uint32_t LinkPipeline::drain_all() {
   const auto count = static_cast<std::uint32_t>(in_flight_.size());
   in_flight_.clear();
   return count;
+}
+
+void LinkPipeline::snap(snapshot::Walker& w) {
+  snapshot::value(w, last_push_);
+  snapshot::value(w, last_pop_);
+  snapshot::walk_deque(w, in_flight_, [](snapshot::Walker& v, InFlight& f) {
+    snapshot::value(v, f.arrives);
+    snap_flit(v, f.transfer.flit);
+    snapshot::value(v, f.transfer.vc);
+  });
+  snapshot::value(w, carried_);
 }
 
 }  // namespace mmr

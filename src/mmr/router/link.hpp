@@ -11,6 +11,10 @@
 
 namespace mmr {
 
+namespace snapshot {
+class Walker;
+}
+
 /// A flit in flight on a physical link, tagged with its VC.
 struct LinkTransfer {
   Flit flit;
@@ -42,6 +46,8 @@ class LinkPipeline {
   /// how many were removed.
   std::uint32_t drain_vc(std::uint32_t vc);
   std::uint32_t drain_all();
+
+  void snap(snapshot::Walker& w);
 
  private:
   struct InFlight {

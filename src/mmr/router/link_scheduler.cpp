@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "mmr/sim/assert.hpp"
+#include "mmr/snapshot/walker.hpp"
 #include "mmr/trace/event.hpp"
 #include "mmr/trace/tracer.hpp"
 
@@ -92,6 +93,16 @@ void LinkScheduler::select(const VirtualChannelMemory& vcm, Cycle now,
                                            candidate.level,
                                            candidate.priority));
   }
+}
+
+void LinkScheduler::snap(snapshot::Walker& w) {
+  snapshot::walk_vector_pod(w, output_of_vc_);
+  snapshot::walk_vector(w, qos_of_vc_, [](snapshot::Walker& v, QosParams& q) {
+    snapshot::value(v, q.slots_per_round);
+    snapshot::value(v, q.iat_router_cycles);
+  });
+  snapshot::value(w, demoted_qos_.slots_per_round);
+  snapshot::value(w, demoted_qos_.iat_router_cycles);
 }
 
 }  // namespace mmr

@@ -46,6 +46,10 @@ class LinkScheduler {
 
   [[nodiscard]] std::uint32_t levels() const { return levels_; }
 
+  /// Checkpoint walk: the VC bindings (mutable via set_vc during fault
+  /// recovery) and the demotion constants.
+  void snap(snapshot::Walker& w);
+
  private:
   std::uint32_t input_port_;
   std::uint32_t levels_;

@@ -1,6 +1,7 @@
 #include "mmr/router/nic.hpp"
 
 #include "mmr/sim/assert.hpp"
+#include "mmr/snapshot/walker.hpp"
 
 namespace mmr {
 
@@ -62,6 +63,19 @@ void Nic::check_invariants() const {
   MMR_ASSERT(counted == total_queued_ - total_sent_);
   MMR_ASSERT(nonempty == nonempty_);
   credits_.check_invariants();
+}
+
+void Nic::snap(snapshot::Walker& w) {
+  snapshot::walk_vector(w, queues_, [](snapshot::Walker& v,
+                                       std::deque<Flit>& q) {
+    snapshot::walk_deque(v, q, snap_flit);
+  });
+  credits_.snap(w);
+  snapshot::value(w, rr_next_);
+  snapshot::value(w, total_queued_);
+  snapshot::value(w, total_sent_);
+  snapshot::value(w, nonempty_);
+  snapshot::value(w, paused_);
 }
 
 }  // namespace mmr

@@ -18,6 +18,10 @@
 
 namespace mmr {
 
+namespace snapshot {
+class Walker;
+}
+
 class Nic {
  public:
   /// `vcs` = connections attached to this NIC's link (VC-indexed).
@@ -58,6 +62,10 @@ class Nic {
   [[nodiscard]] const CreditManager& credits() const { return credits_; }
 
   void check_invariants() const;
+
+  /// Checkpoint walk: per-VC queues (flit payloads included), credit state,
+  /// round-robin cursor, counters, pause flag.
+  void snap(snapshot::Walker& w);
 
  private:
   std::vector<std::deque<Flit>> queues_;

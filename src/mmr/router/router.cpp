@@ -1,5 +1,7 @@
 #include "mmr/router/router.hpp"
 
+#include "mmr/snapshot/walker.hpp"
+
 #include <algorithm>
 
 #include "mmr/arbiter/verify.hpp"
@@ -163,6 +165,16 @@ void MmrRouter::check_invariants() const {
     buffered += vcm.total_flits();
   }
   MMR_ASSERT(buffered == flits_buffered());
+}
+
+void MmrRouter::snap(snapshot::Walker& w) {
+  for (VirtualChannelMemory& vcm : vcms_) vcm.snap(w);
+  for (LinkScheduler& scheduler : link_schedulers_) scheduler.snap(w);
+  arbiter_->snap(w);
+  crossbar_.snap(w);
+  snapshot::value(w, accepted_);
+  snapshot::value(w, departed_);
+  snapshot::value(w, drained_);
 }
 
 }  // namespace mmr

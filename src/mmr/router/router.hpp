@@ -20,6 +20,10 @@
 
 namespace mmr {
 
+namespace snapshot {
+class Walker;
+}
+
 class MmrRouter {
  public:
   MmrRouter(const SimConfig& config, const ConnectionTable& table, Rng rng);
@@ -74,6 +78,10 @@ class MmrRouter {
   }
 
   void check_invariants() const;
+
+  /// Checkpoint walk: VCMs, schedulers, arbiter internals, crossbar, flit
+  /// counters.
+  void snap(snapshot::Walker& w);
 
  private:
   std::uint32_t ports_;

@@ -1,6 +1,7 @@
 #include "mmr/router/vcm.hpp"
 
 #include "mmr/sim/assert.hpp"
+#include "mmr/snapshot/walker.hpp"
 
 namespace mmr {
 
@@ -102,6 +103,22 @@ void VirtualChannelMemory::check_invariants() const {
   MMR_ASSERT(counted == total_);
   MMR_ASSERT(bank_total == total_);
   MMR_ASSERT(occupied_.size() <= vcs());
+}
+
+void VirtualChannelMemory::snap(snapshot::Walker& w) {
+  snapshot::walk_vector(w, queues_, [](snapshot::Walker& v,
+                                       std::deque<Slot>& q) {
+    snapshot::walk_deque(v, q, [](snapshot::Walker& u, Slot& slot) {
+      snap_flit(u, slot.flit);
+      snapshot::value(u, slot.arrived);
+      snapshot::value(u, slot.bank);
+    });
+  });
+  snapshot::walk_vector_pod(w, pushes_per_vc_);
+  snapshot::walk_vector_pod(w, bank_used_);
+  snapshot::walk_vector_pod(w, occupied_);
+  snapshot::walk_vector_pod(w, occupied_pos_);
+  snapshot::value(w, total_);
 }
 
 }  // namespace mmr

@@ -14,6 +14,10 @@
 
 namespace mmr {
 
+namespace snapshot {
+class Walker;
+}
+
 class VirtualChannelMemory {
  public:
   VirtualChannelMemory(std::uint32_t vcs, std::uint32_t capacity_per_vc,
@@ -49,6 +53,10 @@ class VirtualChannelMemory {
   }
 
   void check_invariants() const;
+
+  /// Checkpoint walk: per-VC FIFOs (flits + arrival stamps + bank tags),
+  /// bank occupancy, the occupied-VC index, and counters.
+  void snap(snapshot::Walker& w);
 
  private:
   struct Slot {

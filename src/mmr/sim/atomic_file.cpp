@@ -1,0 +1,74 @@
+#include "mmr/sim/atomic_file.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#if defined(_WIN32)
+#include <process.h>
+#define MMR_GETPID _getpid
+#else
+#include <unistd.h>
+#define MMR_GETPID getpid
+#endif
+
+namespace mmr {
+
+AtomicFileWriter::AtomicFileWriter(std::string path)
+    : path_(std::move(path)),
+      temp_path_(path_ + ".tmp." + std::to_string(MMR_GETPID())) {
+  out_.open(temp_path_, std::ios::binary | std::ios::trunc);
+  if (!out_)
+    throw std::runtime_error("cannot open temp file for atomic write: " +
+                             temp_path_);
+}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (!done_) {
+    out_.close();
+    std::remove(temp_path_.c_str());
+  }
+}
+
+void AtomicFileWriter::commit() {
+  if (done_) return;
+  out_.flush();
+  if (!out_) {
+    discard();
+    throw std::runtime_error("write to temp file failed (disk full?): " +
+                             temp_path_);
+  }
+  out_.close();
+  if (out_.fail()) {
+    done_ = true;
+    std::remove(temp_path_.c_str());
+    throw std::runtime_error("closing temp file failed: " + temp_path_);
+  }
+  if (std::rename(temp_path_.c_str(), path_.c_str()) != 0) {
+    done_ = true;
+    std::remove(temp_path_.c_str());
+    throw std::runtime_error("renaming " + temp_path_ + " onto " + path_ +
+                             " failed");
+  }
+  done_ = true;
+}
+
+void AtomicFileWriter::discard() {
+  if (done_) return;
+  out_.close();
+  std::remove(temp_path_.c_str());
+  done_ = true;
+}
+
+void write_file_atomic(const std::string& path,
+                       const std::function<void(std::ostream&)>& body) {
+  AtomicFileWriter writer(path);
+  try {
+    body(writer.stream());
+  } catch (...) {
+    writer.discard();
+    throw;
+  }
+  writer.commit();
+}
+
+}  // namespace mmr

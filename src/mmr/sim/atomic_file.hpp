@@ -1,0 +1,51 @@
+// Crash-safe file emission: write a temp file, rename into place on commit.
+// An interrupted run (SIGKILL mid-write, full disk, crashed process) then
+// never leaves a torn CSV/JSONL/snapshot at the destination path — the old
+// file survives untouched and at worst a stale `.tmp.<pid>` remains, which
+// the next successful writer of the same path replaces.
+#pragma once
+
+#include <fstream>
+#include <functional>
+#include <string>
+
+namespace mmr {
+
+class AtomicFileWriter {
+ public:
+  /// Opens `<path>.tmp.<pid>` for writing; throws std::runtime_error when
+  /// the temp file cannot be created.
+  explicit AtomicFileWriter(std::string path);
+
+  /// Discards the temp file when commit() was never reached (the abandoned
+  /// write leaves the destination untouched).
+  ~AtomicFileWriter();
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  [[nodiscard]] std::ostream& stream() { return out_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] const std::string& temp_path() const { return temp_path_; }
+
+  /// Flushes, closes and renames the temp file onto the destination.
+  /// Throws std::runtime_error when any step fails (the destination is
+  /// left untouched in that case).
+  void commit();
+
+  /// Closes and removes the temp file without touching the destination.
+  void discard();
+
+ private:
+  std::string path_;
+  std::string temp_path_;
+  std::ofstream out_;
+  bool done_ = false;
+};
+
+/// Runs `body` against a temp-file stream and commits; any exception from
+/// `body` discards the temp file and rethrows.
+void write_file_atomic(const std::string& path,
+                       const std::function<void(std::ostream&)>& body);
+
+}  // namespace mmr

@@ -78,7 +78,7 @@ constexpr const char* kValidKeys =
     "ports, vcs, link_bps, flit_bits, phit_bits, buffer_flits, levels, "
     "link_latency, credit_latency, round_multiple, concurrency_factor, "
     "priority, arbiter, seed, warmup, measure, fault, flow, audit, police, "
-    "rogue, trace";
+    "rogue, trace, snap";
 
 }  // namespace
 
@@ -150,6 +150,8 @@ std::vector<std::string> apply_overrides(
       config.rogue_spec = value;
     } else if (key == "trace") {
       config.trace_spec = value;
+    } else if (key == "snap") {
+      config.snap_spec = value;
     } else if (key == "audit") {
       config.audit_every = static_cast<std::uint32_t>(parse_u64(value, key));
     } else {

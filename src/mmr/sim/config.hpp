@@ -93,6 +93,13 @@ struct SimConfig {
   /// without the subsystem (and bit-identical traced vs untraced when set).
   std::string trace_spec;
 
+  // --- checkpoint/restore (mmr/snapshot/) -----------------------------------
+  /// Textual SnapSpec (see mmr/snapshot/spec.hpp): periodic checkpoints,
+  /// per-cycle state hashing, crash-triggered post-mortem bundles, and
+  /// resume-from-checkpoint.  Empty = no snapshot machinery at all; results
+  /// are bit-identical to a build without the subsystem.
+  std::string snap_spec;
+
   // --- runtime invariant auditing (mmr/audit/sim_auditor.hpp) --------------
   /// 0 = off.  N >= 1 attaches the simulation-level invariant auditor:
   /// departure-stream checks (per-VC FIFO, crossbar bandwidth) run every

@@ -6,21 +6,34 @@
 #include <utility>
 
 #include "mmr/sim/assert.hpp"
+#include "mmr/sim/atomic_file.hpp"
 
 namespace mmr {
 
 CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> header,
                      std::string path)
-    : out_(out), path_(std::move(path)), columns_(header.size()) {
+    : out_(&out), path_(std::move(path)), columns_(header.size()) {
   MMR_ASSERT(columns_ > 0);
   row(header);
   rows_ = 0;  // header does not count as a data row
 }
 
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : owned_(std::make_unique<AtomicFileWriter>(path)),
+      out_(&owned_->stream()),
+      path_(path),
+      columns_(header.size()) {
+  MMR_ASSERT(columns_ > 0);
+  row(header);
+  rows_ = 0;
+}
+
 CsvWriter::~CsvWriter() {
   // Destructors must not throw; a failure here is only observable through an
-  // explicit flush() before destruction.
-  out_.flush();
+  // explicit flush()/close() before destruction.  In owning mode an
+  // uncommitted temp file is discarded by ~AtomicFileWriter, leaving any
+  // previous file at the destination untouched.
+  if (owned_ == nullptr) out_->flush();
 }
 
 std::string CsvWriter::escape(const std::string& cell) {
@@ -35,7 +48,7 @@ std::string CsvWriter::escape(const std::string& cell) {
 }
 
 void CsvWriter::check_stream() const {
-  if (out_.good()) return;
+  if (out_->good()) return;
   std::string what = "CSV write failed";
   if (!path_.empty()) what += " for " + path_;
   what += " after " + std::to_string(rows_) + " data rows";
@@ -44,12 +57,13 @@ void CsvWriter::check_stream() const {
 
 void CsvWriter::row(const std::vector<std::string>& cells) {
   MMR_ASSERT_MSG(cells.size() == columns_, "CSV row width mismatch");
+  MMR_ASSERT_MSG(!closed_, "CSV row after close()");
   check_stream();  // surface earlier buffered failures before writing more
   for (std::size_t c = 0; c < cells.size(); ++c) {
-    if (c != 0) out_ << ',';
-    out_ << escape(cells[c]);
+    if (c != 0) *out_ << ',';
+    *out_ << escape(cells[c]);
   }
-  out_ << '\n';
+  *out_ << '\n';
   check_stream();
   ++rows_;
 }
@@ -70,8 +84,15 @@ void CsvWriter::row_numeric(const std::vector<double>& cells, int precision) {
 }
 
 void CsvWriter::flush() {
-  out_.flush();
+  out_->flush();
   check_stream();
+}
+
+void CsvWriter::close() {
+  if (closed_) return;
+  flush();
+  if (owned_) owned_->commit();
+  closed_ = true;
 }
 
 }  // namespace mmr

@@ -4,23 +4,41 @@
 // descriptor would otherwise truncate the CSV mid-table and the bench would
 // still exit 0.  Every row and every explicit flush() checks the stream and
 // throws std::runtime_error naming the destination path.
+//
+// Two modes:
+//  * stream mode — the caller owns the std::ostream (stdout, a test
+//    stringstream, an already-open file);
+//  * owning-path mode — CsvWriter writes crash-safely through an
+//    AtomicFileWriter (temp file + rename): the destination only appears
+//    when close() commits, so a process killed mid-table never leaves a
+//    torn CSV behind.
 #pragma once
 
+#include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
 
 namespace mmr {
 
+class AtomicFileWriter;
+
 class CsvWriter {
  public:
-  /// `path` is only used in error messages; pass the file name when writing
-  /// to an std::ofstream so failures identify the destination.
+  /// Stream mode.  `path` is only used in error messages; pass the file
+  /// name when writing to an std::ofstream so failures identify the
+  /// destination.
   CsvWriter(std::ostream& out, std::vector<std::string> header,
             std::string path = "");
 
-  /// Flushes on destruction (best effort — destructors must not throw; call
-  /// flush() explicitly to observe the final write's success).
+  /// Owning-path mode: writes `<path>.tmp.<pid>` and renames onto `path`
+  /// at close().  Destruction without close() discards the temp file and
+  /// leaves any previous file at `path` untouched.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  /// Stream mode: flushes (best effort — destructors must not throw; call
+  /// flush() explicitly to observe the final write's success).  Owning
+  /// mode: discards the temp file unless close() committed it.
   ~CsvWriter();
 
   CsvWriter(const CsvWriter&) = delete;
@@ -34,6 +52,11 @@ class CsvWriter {
   /// the flush or any buffered prior write failed.
   void flush();
 
+  /// Owning-path mode: commits the temp file onto the destination (throws
+  /// std::runtime_error when the flush or rename fails).  No-op in stream
+  /// mode beyond flush().
+  void close();
+
   [[nodiscard]] std::size_t rows_written() const { return rows_; }
 
   /// RFC-4180 quoting when a cell needs it.
@@ -42,10 +65,12 @@ class CsvWriter {
  private:
   void check_stream() const;
 
-  std::ostream& out_;
+  std::unique_ptr<AtomicFileWriter> owned_;  ///< owning-path mode only
+  std::ostream* out_;
   std::string path_;
   std::size_t columns_;
   std::size_t rows_ = 0;
+  bool closed_ = false;
 };
 
 }  // namespace mmr

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "mmr/sim/assert.hpp"
+#include "mmr/snapshot/walker.hpp"
 
 namespace mmr {
 
@@ -70,6 +71,13 @@ void LogHistogram::merge(const LogHistogram& other) {
     max_ = std::max(max_, other.max_);
   }
   count_ += other.count_;
+}
+
+void LogHistogram::snap(snapshot::Walker& w) {
+  snapshot::walk_vector_pod(w, buckets_);
+  snapshot::value(w, count_);
+  snapshot::value(w, min_);
+  snapshot::value(w, max_);
 }
 
 void LogHistogram::reset() {

@@ -9,6 +9,10 @@
 
 namespace mmr {
 
+namespace snapshot {
+class Walker;
+}
+
 class LogHistogram {
  public:
   /// `min_value` is the resolution floor (values below land in bucket 0),
@@ -44,6 +48,10 @@ class LogHistogram {
   /// Samples recorded in the overflow bucket (0 until an outlier exceeds
   /// the bucket cap's range).
   [[nodiscard]] std::uint64_t overflow_count() const;
+
+  /// Serializes the mutable sample state (bucket shape is construction-time
+  /// configuration and is not stored).
+  void snap(snapshot::Walker& w);
 
  private:
   [[nodiscard]] std::size_t bucket_of(double x) const;

@@ -4,6 +4,7 @@
 #include <numbers>
 
 #include "mmr/sim/assert.hpp"
+#include "mmr/snapshot/walker.hpp"
 
 namespace mmr {
 
@@ -128,6 +129,12 @@ std::size_t Rng::weighted_index(const std::vector<double>& weights) {
     if (x < 0.0) return i;
   }
   return weights.size() - 1;  // floating-point edge: land on the last bucket
+}
+
+void Rng::snap(snapshot::Walker& w) {
+  for (auto& word : s_) snapshot::value(w, word);
+  snapshot::value(w, seed_);
+  snapshot::value(w, stream_);
 }
 
 Rng Rng::fork(std::uint64_t stream) const {

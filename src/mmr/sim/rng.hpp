@@ -9,6 +9,10 @@
 
 namespace mmr {
 
+namespace snapshot {
+class Walker;
+}
+
 /// SplitMix64 step; used for seeding and cheap hashing of stream ids.
 [[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state);
 
@@ -71,6 +75,9 @@ class Rng {
 
   /// Derives an independent child stream (for sub-components).
   [[nodiscard]] Rng fork(std::uint64_t stream) const;
+
+  /// Serializes the full generator state (position in the stream included).
+  void snap(snapshot::Walker& w);
 
  private:
   std::uint64_t s_[4];

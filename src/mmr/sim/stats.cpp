@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "mmr/snapshot/walker.hpp"
+
 namespace mmr {
 
 void StreamingStats::add(double x) {
@@ -53,6 +55,14 @@ double StreamingStats::min() const { return n_ == 0 ? 0.0 : min_; }
 
 double StreamingStats::max() const { return n_ == 0 ? 0.0 : max_; }
 
+void StreamingStats::snap(snapshot::Walker& w) {
+  snapshot::value(w, n_);
+  snapshot::value(w, mean_);
+  snapshot::value(w, m2_);
+  snapshot::value(w, min_);
+  snapshot::value(w, max_);
+}
+
 void JitterTracker::add(double x) {
   if (has_prev_) deltas_.add(std::abs(x - prev_));
   prev_ = x;
@@ -65,6 +75,12 @@ void JitterTracker::reset() {
   deltas_.reset();
 }
 
+void JitterTracker::snap(snapshot::Walker& w) {
+  snapshot::value(w, has_prev_);
+  snapshot::value(w, prev_);
+  deltas_.snap(w);
+}
+
 void RatioAccumulator::add(std::uint64_t numerator, std::uint64_t denominator) {
   num_ += numerator;
   den_ += denominator;
@@ -73,6 +89,11 @@ void RatioAccumulator::add(std::uint64_t numerator, std::uint64_t denominator) {
 void RatioAccumulator::reset() {
   num_ = 0;
   den_ = 0;
+}
+
+void RatioAccumulator::snap(snapshot::Walker& w) {
+  snapshot::value(w, num_);
+  snapshot::value(w, den_);
 }
 
 double RatioAccumulator::ratio() const {

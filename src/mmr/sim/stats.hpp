@@ -8,6 +8,10 @@
 
 namespace mmr {
 
+namespace snapshot {
+class Walker;
+}
+
 /// Single-pass mean / variance / min / max accumulator (Welford).
 ///
 /// Variance convention: `variance()` is the POPULATION variance m2/n — right
@@ -33,6 +37,8 @@ class StreamingStats {
   [[nodiscard]] double max() const;
   [[nodiscard]] double sum() const { return mean() * static_cast<double>(n_); }
 
+  void snap(snapshot::Walker& w);
+
  private:
   std::uint64_t n_ = 0;
   double mean_ = 0.0;
@@ -55,6 +61,8 @@ class JitterTracker {
   }
   [[nodiscard]] std::uint64_t count() const { return deltas_.count(); }
 
+  void snap(snapshot::Walker& w);
+
  private:
   bool has_prev_ = false;
   double prev_ = 0.0;
@@ -70,6 +78,8 @@ class RatioAccumulator {
   [[nodiscard]] double ratio() const;
   [[nodiscard]] std::uint64_t numerator() const { return num_; }
   [[nodiscard]] std::uint64_t denominator() const { return den_; }
+
+  void snap(snapshot::Walker& w);
 
  private:
   std::uint64_t num_ = 0;

@@ -1,0 +1,117 @@
+#include "mmr/snapshot/manager.hpp"
+
+#include <exception>
+
+#include "mmr/sim/assert.hpp"
+#include "mmr/sim/atomic_file.hpp"
+#include "mmr/sim/log.hpp"
+#include "mmr/snapshot/format.hpp"
+#include "mmr/snapshot/walker.hpp"
+
+namespace mmr::snapshot {
+
+SnapshotManager::SnapshotManager(SnapSpec spec, std::uint64_t config_digest)
+    : spec_(std::move(spec)), config_digest_(config_digest) {
+  spec_.validate();
+}
+
+std::uint64_t SnapshotManager::hash_state(const WalkFn& walk) const {
+  HashWalker hasher;
+  walk(hasher);
+  return hasher.digest();
+}
+
+void SnapshotManager::after_cycle(std::uint64_t cycle, const WalkFn& walk) {
+  if (spec_.hash_every != 0 && cycle % spec_.hash_every == 0)
+    hashes_.emplace_back(cycle, hash_state(walk));
+  if (spec_.every != 0 && cycle % spec_.every == 0)
+    (void)write_checkpoint(cycle, walk, "", /*nothrow=*/true);
+}
+
+std::string SnapshotManager::write_checkpoint(std::uint64_t cycle,
+                                              const WalkFn& walk,
+                                              const std::string& tag,
+                                              bool nothrow) {
+  Snapshot snapshot;
+  snapshot.config_digest = config_digest_;
+  snapshot.cycle = cycle;
+  SaveWalker writer(snapshot);
+  walk(writer);
+  const std::string path = spec_.prefix + (tag.empty() ? "" : "-" + tag) +
+                           "-" + std::to_string(cycle) + ".snap";
+  try {
+    save_file(path, snapshot);
+  } catch (const std::exception& error) {
+    if (!nothrow) throw;
+    log_error("snapshot: checkpoint write failed: ", error.what());
+    return "";
+  }
+  checkpoint_paths_.push_back(path);
+  return path;
+}
+
+void SnapshotManager::on_alarm_count(std::uint64_t cycle, const WalkFn& walk,
+                                     std::uint64_t alarms,
+                                     const std::string& trigger) {
+  if (alarms <= alarms_seen_) return;
+  alarms_seen_ = alarms;
+  if (postmortems_written_ >= kMaxPostmortems) return;
+  ++postmortems_written_;
+  const std::string path =
+      write_checkpoint(cycle, walk, trigger, /*nothrow=*/true);
+  if (!path.empty())
+    log_info("snapshot: post-mortem checkpoint ", path, " (trigger: ",
+             trigger, ")");
+}
+
+void SnapshotManager::write_hash_log() const {
+  if (spec_.hash_out.empty()) return;
+  write_file_atomic(spec_.hash_out, [&](std::ostream& out) {
+    for (const auto& [cycle, hash] : hashes_)
+      out << "{\"cycle\":" << cycle << ",\"hash\":" << hash << "}\n";
+  });
+}
+
+namespace {
+
+// The assert hook is a bare function pointer; the armed action and the
+// displaced hook live in process globals.  One CrashScope is active at a
+// time (runs are sequential within a process; the sweep runner's thread
+// pool never runs snapshot-armed simulations concurrently).
+std::function<void()> g_crash_action;
+mmr::detail::AssertHook g_previous_hook = nullptr;
+int g_crash_scopes = 0;
+
+void crash_hook() {
+  if (g_crash_action) {
+    // Move out first: an assert inside the action finds the slot empty.
+    const std::function<void()> action = std::move(g_crash_action);
+    g_crash_action = nullptr;
+    try {
+      action();
+    } catch (...) {
+      // The process is dying on an invariant failure; a post-mortem write
+      // error must not mask the original abort.
+    }
+  }
+  if (g_previous_hook != nullptr) g_previous_hook();
+}
+
+}  // namespace
+
+CrashScope::CrashScope(std::function<void()> action) {
+  MMR_ASSERT_MSG(g_crash_scopes == 0,
+                 "nested snapshot CrashScopes are not supported");
+  ++g_crash_scopes;
+  g_crash_action = std::move(action);
+  g_previous_hook = mmr::detail::exchange_assert_hook(&crash_hook);
+}
+
+CrashScope::~CrashScope() {
+  g_crash_action = nullptr;
+  mmr::detail::exchange_assert_hook(g_previous_hook);
+  g_previous_hook = nullptr;
+  --g_crash_scopes;
+}
+
+}  // namespace mmr::snapshot

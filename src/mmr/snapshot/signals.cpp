@@ -1,0 +1,100 @@
+#include "mmr/snapshot/signals.hpp"
+
+#include <atomic>
+#include <csignal>
+#include <iostream>
+
+namespace mmr::snapshot {
+
+namespace {
+
+std::atomic<int> g_pending{0};
+int g_guards = 0;  ///< nesting depth (main-thread construction only)
+
+#if defined(_WIN32)
+
+using Handler = void (*)(int);
+Handler g_prev_int = SIG_DFL;
+Handler g_prev_term = SIG_DFL;
+
+extern "C" void mmr_snapshot_signal_handler(int sig) {
+  g_pending.store(sig, std::memory_order_relaxed);
+  std::signal(sig, &mmr_snapshot_signal_handler);
+}
+
+void install() {
+  g_prev_int = std::signal(SIGINT, &mmr_snapshot_signal_handler);
+  g_prev_term = std::signal(SIGTERM, &mmr_snapshot_signal_handler);
+}
+
+void uninstall() {
+  std::signal(SIGINT, g_prev_int);
+  std::signal(SIGTERM, g_prev_term);
+}
+
+#else
+
+struct sigaction g_prev_int;
+struct sigaction g_prev_term;
+
+extern "C" void mmr_snapshot_signal_handler(int sig) {
+  g_pending.store(sig, std::memory_order_relaxed);
+}
+
+void install() {
+  struct sigaction action = {};
+  action.sa_handler = &mmr_snapshot_signal_handler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;
+  sigaction(SIGINT, &action, &g_prev_int);
+  sigaction(SIGTERM, &action, &g_prev_term);
+}
+
+void uninstall() {
+  sigaction(SIGINT, &g_prev_int, nullptr);
+  sigaction(SIGTERM, &g_prev_term, nullptr);
+}
+
+#endif
+
+}  // namespace
+
+SignalGuard::SignalGuard() {
+  if (g_guards++ == 0) install();
+}
+
+SignalGuard::~SignalGuard() {
+  if (--g_guards == 0) uninstall();
+}
+
+int SignalGuard::pending() {
+  return g_pending.load(std::memory_order_relaxed);
+}
+
+int SignalGuard::consume() {
+  return g_pending.exchange(0, std::memory_order_relaxed);
+}
+
+int exit_status_for_signal(int signal_number) {
+  return 128 + signal_number;
+}
+
+Interrupted::Interrupted(int signal_number, std::string checkpoint_path)
+    : std::runtime_error(
+          std::string("run interrupted by ") +
+          (signal_number == SIGINT ? "SIGINT" : "SIGTERM") +
+          (checkpoint_path.empty()
+               ? std::string("; no checkpoint written")
+               : "; checkpoint written to " + checkpoint_path)),
+      signal_(signal_number),
+      checkpoint_(std::move(checkpoint_path)) {}
+
+int report_interrupted(const Interrupted& stop) {
+  std::cout << stop.what() << '\n';
+  if (!stop.checkpoint().empty()) {
+    std::cout << "resume with snap=resume:" << stop.checkpoint() << '\n';
+  }
+  return exit_status_for_signal(stop.signal_number());
+}
+
+}  // namespace mmr::snapshot

@@ -1,0 +1,51 @@
+// Cooperative SIGINT/SIGTERM handling for long runs and bench drivers.
+// A SignalGuard installs async-signal-safe handlers that only set an atomic
+// flag; run loops poll the flag at cycle boundaries and shut down cleanly
+// (flush metrics, write the post-mortem bundle) instead of dying mid-write.
+// Guards nest and restore the previous disposition on destruction.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mmr::snapshot {
+
+class SignalGuard {
+ public:
+  SignalGuard();
+  ~SignalGuard();
+  SignalGuard(const SignalGuard&) = delete;
+  SignalGuard& operator=(const SignalGuard&) = delete;
+
+  /// Signal number received since the last consume(), without clearing it.
+  [[nodiscard]] static int pending();
+
+  /// Returns and clears the pending signal (0 when none arrived).
+  static int consume();
+};
+
+/// Conventional shell exit status for death-by-signal: 128 + signo
+/// (130 for SIGINT, 143 for SIGTERM).
+[[nodiscard]] int exit_status_for_signal(int signal_number);
+
+/// Thrown by run loops when a signal interrupted the run after the
+/// post-mortem bundle was written; carries what a driver needs to report.
+class Interrupted : public std::runtime_error {
+ public:
+  Interrupted(int signal_number, std::string checkpoint_path);
+
+  [[nodiscard]] int signal_number() const { return signal_; }
+  /// Post-mortem checkpoint path ("" when none could be written).
+  [[nodiscard]] const std::string& checkpoint() const { return checkpoint_; }
+
+ private:
+  int signal_;
+  std::string checkpoint_;
+};
+
+/// The one-liner a CLI main needs in its catch block: prints the
+/// interruption notice (with a resume hint when a post-mortem checkpoint
+/// was written) to stdout and returns the 128+signo exit status.
+int report_interrupted(const Interrupted& stop);
+
+}  // namespace mmr::snapshot

@@ -1,0 +1,150 @@
+#include "mmr/snapshot/spec.hpp"
+
+#include <charconv>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+#include "mmr/sim/assert.hpp"
+#include "mmr/sim/config.hpp"
+#include "mmr/snapshot/format.hpp"
+
+namespace mmr::snapshot {
+
+namespace {
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    const std::size_t end = text.find(sep, begin);
+    if (end == std::string::npos) {
+      parts.push_back(text.substr(begin));
+      break;
+    }
+    parts.push_back(text.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return parts;
+}
+
+std::uint64_t parse_u64(const std::string& value, const std::string& token) {
+  std::uint64_t x = 0;
+  const auto [p, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), x);
+  if (ec != std::errc{} || p != value.data() + value.size())
+    throw std::invalid_argument("bad integer value in snap spec token: " +
+                                token);
+  return x;
+}
+
+}  // namespace
+
+SnapSpec SnapSpec::parse(const std::string& spec) {
+  if (spec.empty())
+    throw std::invalid_argument("empty snap spec (omit snap= instead)");
+  SnapSpec parsed;
+  for (const std::string& token : split(spec, ',')) {
+    if (token.empty()) continue;
+    const std::size_t colon = token.find(':');
+    if (colon == std::string::npos)
+      throw std::invalid_argument("snap spec token must be key:value: " +
+                                  token);
+    const std::string key = token.substr(0, colon);
+    const std::string value = token.substr(colon + 1);
+    if (key == "every") {
+      parsed.every = parse_u64(value, token);
+    } else if (key == "hash_every") {
+      parsed.hash_every = parse_u64(value, token);
+    } else if (key == "prefix") {
+      parsed.prefix = value;
+    } else if (key == "hash_out") {
+      parsed.hash_out = value;
+    } else if (key == "resume") {
+      parsed.resume = value;
+    } else if (key == "crash") {
+      const std::uint64_t flag = parse_u64(value, token);
+      if (flag > 1)
+        throw std::invalid_argument("snap spec crash: must be 0 or 1");
+      parsed.on_crash = flag != 0;
+    } else {
+      throw std::invalid_argument(
+          "unknown snap spec token '" + token +
+          "'; expected every, hash_every, prefix, hash_out, resume, crash");
+    }
+  }
+  parsed.validate();
+  return parsed;
+}
+
+void SnapSpec::validate() const {
+  MMR_ASSERT_MSG(!prefix.empty(), "snap prefix must not be empty");
+  MMR_ASSERT_MSG(hash_out.empty() || hash_every > 0,
+                 "snap hash_out: needs hash_every:N > 0");
+}
+
+namespace {
+
+void fold_bytes(std::uint64_t& hash, const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x00000100000001b3ull;
+  }
+}
+
+template <typename T>
+void fold(std::uint64_t& hash, T scalar) {
+  static_assert(std::is_arithmetic_v<T> || std::is_enum_v<T>,
+                "fold structs field-by-field");
+  fold_bytes(hash, &scalar, sizeof(scalar));
+}
+
+void fold_str(std::uint64_t& hash, const std::string& text) {
+  fold(hash, static_cast<std::uint64_t>(text.size()));
+  fold_bytes(hash, text.data(), text.size());
+}
+
+}  // namespace
+
+std::uint64_t config_digest(const SimConfig& config) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  fold(hash, config.ports);
+  fold(hash, config.vcs_per_link);
+  fold(hash, config.link_bandwidth_bps);
+  fold(hash, config.flit_bits);
+  fold(hash, config.phit_bits);
+  fold(hash, config.buffer_flits_per_vc);
+  fold(hash, config.candidate_levels);
+  fold(hash, config.link_latency);
+  fold(hash, config.credit_latency);
+  fold(hash, config.round_multiple);
+  fold(hash, config.concurrency_factor);
+  fold(hash, config.priority_scheme);
+  fold_str(hash, config.arbiter);
+  fold(hash, config.seed);
+  fold(hash, config.warmup_cycles);
+  fold(hash, config.measure_cycles);
+  fold_str(hash, config.fault_spec);
+  fold_str(hash, config.police_spec);
+  fold_str(hash, config.rogue_spec);
+  fold_str(hash, config.flow_spec);
+  fold_str(hash, config.trace_spec);
+  fold(hash, config.audit_every);
+  return hash;
+}
+
+void validate_spec(const SimConfig& config) {
+  if (config.snap_spec.empty()) return;
+  const SnapSpec spec = SnapSpec::parse(config.snap_spec);
+  if (spec.resume.empty()) return;
+  const Snapshot snapshot = load_file(spec.resume);
+  if (snapshot.config_digest != config_digest(config)) {
+    throw std::invalid_argument(
+        "snapshot " + spec.resume +
+        " was captured under a different configuration (config digest "
+        "mismatch); resume with the same seed/arbiter/traffic setup");
+  }
+}
+
+}  // namespace mmr::snapshot

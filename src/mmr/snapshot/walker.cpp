@@ -1,0 +1,108 @@
+#include "mmr/snapshot/walker.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "mmr/sim/assert.hpp"
+#include "mmr/snapshot/format.hpp"
+
+namespace mmr::snapshot {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t crc) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i)
+    c = table[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+SaveWalker::SaveWalker(Snapshot& out) : out_(out) {}
+
+void SaveWalker::bytes(void* data, std::size_t size) {
+  MMR_ASSERT_MSG(open_, "snap walk wrote bytes before its first section()");
+  auto& sink = out_.sections.back().data;
+  const auto* src = static_cast<const std::uint8_t*>(data);
+  sink.insert(sink.end(), src, src + size);
+}
+
+void SaveWalker::section(const char* name) {
+  out_.sections.push_back({name, {}});
+  open_ = true;
+}
+
+LoadWalker::LoadWalker(const Snapshot& in) : in_(in) {}
+
+void LoadWalker::bytes(void* data, std::size_t size) {
+  if (section_index_ == 0)
+    throw SnapshotError("snapshot walk read bytes before its first section");
+  const Section& current = in_.sections[section_index_ - 1];
+  if (cursor_ + size > current.data.size())
+    throw SnapshotError("snapshot section '" + current.name +
+                        "' is shorter than the state walk expects");
+  std::memcpy(data, current.data.data() + cursor_, size);
+  cursor_ += size;
+}
+
+void LoadWalker::section(const char* name) {
+  if (section_index_ > 0) {
+    const Section& done = in_.sections[section_index_ - 1];
+    if (cursor_ != done.data.size())
+      throw SnapshotError("snapshot section '" + done.name +
+                          "' has trailing bytes the state walk never read");
+  }
+  if (section_index_ >= in_.sections.size())
+    throw SnapshotError(std::string("snapshot is missing section '") + name +
+                        "'");
+  const Section& next = in_.sections[section_index_];
+  if (next.name != name)
+    throw SnapshotError("snapshot section order mismatch: expected '" +
+                        std::string(name) + "', found '" + next.name + "'");
+  ++section_index_;
+  cursor_ = 0;
+}
+
+void LoadWalker::finish() const {
+  if (section_index_ != in_.sections.size())
+    throw SnapshotError("snapshot holds sections the state walk never "
+                        "visited (config/state mismatch?)");
+  if (section_index_ > 0) {
+    const Section& last = in_.sections[section_index_ - 1];
+    if (cursor_ != last.data.size())
+      throw SnapshotError("snapshot section '" + last.name +
+                          "' has trailing bytes the state walk never read");
+  }
+}
+
+void HashWalker::bytes(void* data, std::size_t size) {
+  const auto* src = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    hash_ ^= src[i];
+    hash_ *= kPrime;
+  }
+}
+
+void HashWalker::section(const char* name) {
+  // Fold the section name plus a separator so the walk *structure* is part
+  // of the fingerprint, mirroring the file format exactly.
+  hash_ ^= 0xFFu;
+  hash_ *= kPrime;
+  bytes(const_cast<char*>(name), std::strlen(name));
+}
+
+}  // namespace mmr::snapshot

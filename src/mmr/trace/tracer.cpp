@@ -1,5 +1,7 @@
 #include "mmr/trace/tracer.hpp"
 
+#include "mmr/snapshot/walker.hpp"
+
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -7,6 +9,7 @@
 #include <ostream>
 
 #include "mmr/sim/assert.hpp"
+#include "mmr/sim/atomic_file.hpp"
 #include "mmr/sim/log.hpp"
 #include "mmr/trace/export.hpp"
 
@@ -147,12 +150,16 @@ std::string Tracer::dump(const std::string& trigger) {
   }
   const std::string path = spec_.dump_prefix + "-" + trigger + "-" +
                            std::to_string(dump_seq_++) + ".jsonl";
-  std::ofstream out(path);
-  if (!out) {
-    log_error("trace: cannot open flight dump file ", path);
+  try {
+    // Atomic (temp + rename): a dump raced by process death never leaves a
+    // torn post-mortem file that looks complete.
+    write_file_atomic(path,
+                      [&](std::ostream& out) { export_jsonl(out, trigger); });
+  } catch (const std::exception& error) {
+    log_error("trace: cannot write flight dump file ", path, ": ",
+              error.what());
     return "";
   }
-  export_jsonl(out, trigger);
   ++dumps_written_;
   dump_paths_.push_back(path);
   log_info("trace: flight recorder dumped ", path, " (trigger: ", trigger,
@@ -161,30 +168,27 @@ std::string Tracer::dump(const std::string& trigger) {
 }
 
 void Tracer::write_outputs() {
-  if (!spec_.out.empty()) {
-    std::ofstream out(spec_.out);
-    if (out) {
-      export_jsonl(out, "end");
-    } else {
-      log_error("trace: cannot open out: file ", spec_.out);
+  // All three outputs commit atomically (temp + rename); failures are
+  // logged, not thrown — trace emission must never fail a finished run.
+  const auto write = [](const char* label, const std::string& path,
+                        const std::function<void(std::ostream&)>& body) {
+    try {
+      write_file_atomic(path, body);
+    } catch (const std::exception& error) {
+      log_error("trace: cannot write ", label, " file ", path, ": ",
+                error.what());
     }
-  }
-  if (!spec_.chrome.empty()) {
-    std::ofstream out(spec_.chrome);
-    if (out) {
-      write_chrome(out, meta_, snapshot());
-    } else {
-      log_error("trace: cannot open chrome: file ", spec_.chrome);
-    }
-  }
-  if (!spec_.summary.empty()) {
-    std::ofstream out(spec_.summary);
-    if (out) {
+  };
+  if (!spec_.out.empty())
+    write("out:", spec_.out,
+          [&](std::ostream& out) { export_jsonl(out, "end"); });
+  if (!spec_.chrome.empty())
+    write("chrome:", spec_.chrome,
+          [&](std::ostream& out) { write_chrome(out, meta_, snapshot()); });
+  if (!spec_.summary.empty())
+    write("summary:", spec_.summary, [&](std::ostream& out) {
       out << render_connection_summary(snapshot());
-    } else {
-      log_error("trace: cannot open summary: file ", spec_.summary);
-    }
-  }
+    });
 }
 
 Tracer* current() { return t_current; }
@@ -194,5 +198,41 @@ TraceScope::TraceScope(Tracer* tracer) : prev_(t_current) {
 }
 
 TraceScope::~TraceScope() { t_current = prev_; }
+
+namespace {
+
+// Event is a padding-free 40-byte POD (static_assert in event.hpp), so the
+// buffers bulk-walk as raw bytes.
+void walk_events(mmr::snapshot::Walker& w, std::vector<Event>& events) {
+  std::uint64_t n = events.size();
+  mmr::snapshot::value(w, n);
+  if (w.loading()) events.resize(static_cast<std::size_t>(n));
+  if (n != 0)
+    w.bytes(events.data(), static_cast<std::size_t>(n) * sizeof(Event));
+}
+
+}  // namespace
+
+void Tracer::snap(mmr::snapshot::Walker& w) {
+  namespace snap = mmr::snapshot;
+  snap::value(w, node_);
+  snap::value(w, now_);
+  snap::value(w, emitted_);
+  snap::value(w, truncated_);
+  snap::value(w, warned_truncation_);
+  walk_events(w, events_);
+  snap::walk_vector(w, rings_, [](snap::Walker& v, Ring& ring) {
+    walk_events(v, ring.slots);
+    std::uint64_t head = ring.head;
+    snap::value(v, head);
+    if (v.loading()) ring.head = static_cast<std::size_t>(head);
+    snap::value(v, ring.count);
+  });
+  snap::value(w, dumps_written_);
+  snap::value(w, dump_seq_);
+  snap::walk_vector(w, dump_paths_, [](snap::Walker& v, std::string& s) {
+    snap::walk_string(v, s);
+  });
+}
 
 }  // namespace mmr::trace

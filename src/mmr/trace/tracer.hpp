@@ -24,6 +24,10 @@
 #include "mmr/trace/event.hpp"
 #include "mmr/trace/spec.hpp"
 
+namespace mmr::snapshot {
+class Walker;
+}
+
 namespace mmr::trace {
 
 #if defined(MMR_TRACE_ENABLED)
@@ -90,6 +94,12 @@ class Tracer {
 
   /// Writes the run-end outputs named in the spec (out/chrome/summary).
   void write_outputs();
+
+  /// Checkpoint walk: buffered events, rings, counters — everything needed
+  /// for a resumed run's exports to be byte-identical to an uninterrupted
+  /// one.  (Named after the subsystem-wide convention; unrelated to
+  /// snapshot() above, which copies the buffered events out.)
+  void snap(mmr::snapshot::Walker& w);
 
  private:
   /// Fixed-capacity ring; `head` is the next slot to overwrite.

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "mmr/sim/assert.hpp"
+#include "mmr/snapshot/walker.hpp"
 
 namespace mmr {
 
@@ -49,6 +50,13 @@ void BestEffortSource::generate(Cycle now, std::vector<Flit>& out) {
     ++message_index_;
     next_time_ += rng_.exponential(mean_gap_cycles_);
   }
+}
+
+void BestEffortSource::snap(snapshot::Walker& w) {
+  rng_.snap(w);
+  snapshot::value(w, next_time_);
+  snapshot::value(w, seq_);
+  snapshot::value(w, message_index_);
 }
 
 }  // namespace mmr

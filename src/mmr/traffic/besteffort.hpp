@@ -22,6 +22,7 @@ class BestEffortSource final : public TrafficSource {
   [[nodiscard]] Cycle next_emission() const override;
   void generate(Cycle now, std::vector<Flit>& out) override;
   [[nodiscard]] double mean_bps() const override { return mean_bps_; }
+  void snap(snapshot::Walker& w) override;
 
  private:
   void schedule_next_message();

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "mmr/sim/assert.hpp"
+#include "mmr/snapshot/walker.hpp"
 
 namespace mmr {
 
@@ -41,6 +42,12 @@ void CbrSource::generate(Cycle now, std::vector<Flit>& out) {
 void CbrSource::throttle(double factor) {
   MMR_ASSERT(factor > 0.0 && factor <= 1.0);
   throttle_ = factor;
+}
+
+void CbrSource::snap(snapshot::Walker& w) {
+  snapshot::value(w, next_time_);
+  snapshot::value(w, throttle_);
+  snapshot::value(w, seq_);
 }
 
 }  // namespace mmr

@@ -29,6 +29,7 @@ class CbrSource final : public TrafficSource {
   void generate(Cycle now, std::vector<Flit>& out) override;
   [[nodiscard]] double mean_bps() const override { return bps_; }
   void throttle(double factor) override;
+  void snap(snapshot::Walker& w) override;
 
   /// Flit inter-arrival time in flit cycles (= link_bps / connection_bps).
   [[nodiscard]] double iat_cycles() const { return iat_cycles_; }

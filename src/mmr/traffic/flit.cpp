@@ -3,4 +3,18 @@
 // Flit is a plain aggregate; this translation unit anchors the TrafficSource
 // vtable so the library has a home for it.
 
-namespace mmr {}  // namespace mmr
+#include "mmr/snapshot/walker.hpp"
+
+namespace mmr {
+
+void snap_flit(snapshot::Walker& w, Flit& flit) {
+  snapshot::value(w, flit.connection);
+  snapshot::value(w, flit.seq);
+  snapshot::value(w, flit.frame);
+  snapshot::value(w, flit.last_of_frame);
+  snapshot::value(w, flit.generated_at);
+  snapshot::value(w, flit.frame_origin);
+  snapshot::value(w, flit.demoted);
+}
+
+}  // namespace mmr

@@ -11,6 +11,10 @@
 
 namespace mmr {
 
+namespace snapshot {
+class Walker;
+}
+
 struct Flit {
   ConnectionId connection = kInvalidConnection;
   std::uint64_t seq = 0;       ///< per-connection sequence number
@@ -23,6 +27,10 @@ struct Flit {
   bool demoted = false;        ///< policed excess: scheduled at best-effort
                                ///< priority regardless of the VC's class
 };
+
+/// Checkpoint walk of one Flit.  Field-by-field: the struct has padding, so
+/// a whole-struct byte walk would fold indeterminate bytes into the hash.
+void snap_flit(snapshot::Walker& w, Flit& flit);
 
 /// Interface implemented by every traffic generator.  Sources are pulled by
 /// the engine: `next_emission()` says when the source has something to emit;
@@ -47,6 +55,11 @@ class TrafficSource {
   /// inter-arrival times, and deliberately non-reactive sources (rogues)
   /// keep the default to model endpoints that ignore congestion marks.
   virtual void throttle(double factor) { (void)factor; }
+
+  /// Checkpoint walk of the source's mutable state (emission clock, sequence
+  /// counters, RNG position).  Every production source overrides this; the
+  /// default no-op exists for stateless test doubles only.
+  virtual void snap(snapshot::Walker& w) { (void)w; }
 };
 
 }  // namespace mmr

@@ -1,6 +1,7 @@
 #include "mmr/traffic/rogue.hpp"
 
 #include "mmr/sim/assert.hpp"
+#include "mmr/snapshot/walker.hpp"
 
 namespace mmr {
 
@@ -45,6 +46,13 @@ void RogueSource::generate(Cycle now, std::vector<Flit>& out) {
     flit.seq = seq_++;
     out.push_back(flit);
   }
+}
+
+void RogueSource::snap(snapshot::Walker& w) {
+  inner_->snap(w);
+  snapshot::value(w, surplus_);
+  snapshot::value(w, seq_);
+  snapshot::value(w, excess_);
 }
 
 }  // namespace mmr

@@ -42,6 +42,7 @@ class RogueSource final : public TrafficSource {
   // throttle() deliberately keeps the base-class no-op: a rogue endpoint
   // ignores ECN congestion marks just like it lies to admission control,
   // leaving containment to the policer and the MMU's lossy-class drops.
+  void snap(snapshot::Walker& w) override;
 
   [[nodiscard]] const TrafficSource& inner() const { return *inner_; }
   [[nodiscard]] double scale() const { return scale_; }

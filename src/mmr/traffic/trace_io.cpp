@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "mmr/sim/atomic_file.hpp"
 #include "mmr/sim/log.hpp"
 
 namespace mmr {
@@ -82,9 +83,10 @@ MpegTrace read_trace_lines(std::istream& in, const std::string& name) {
 }
 
 void save_trace_csv(const std::string& path, const MpegTrace& trace) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot write trace file: " + path);
-  write_trace_csv(out, trace);
+  // Atomic (temp + rename): a run killed mid-write never leaves a torn
+  // trace file that a later run would silently load.
+  write_file_atomic(path,
+                    [&](std::ostream& out) { write_trace_csv(out, trace); });
 }
 
 MpegTrace load_trace(const std::string& path, const std::string& name) {

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "mmr/sim/assert.hpp"
+#include "mmr/snapshot/walker.hpp"
 
 namespace mmr {
 
@@ -100,6 +101,16 @@ void VbrSource::generate(Cycle now, std::vector<Flit>& out) {
 void VbrSource::throttle(double factor) {
   MMR_ASSERT(factor > 0.0 && factor <= 1.0);
   throttle_ = factor;
+}
+
+void VbrSource::snap(snapshot::Walker& w) {
+  snapshot::value(w, frame_index_);
+  snapshot::value(w, flit_in_frame_);
+  snapshot::value(w, flits_this_frame_);
+  snapshot::value(w, iat_this_frame_);
+  snapshot::value(w, next_time_);
+  snapshot::value(w, throttle_);
+  snapshot::value(w, seq_);
 }
 
 }  // namespace mmr

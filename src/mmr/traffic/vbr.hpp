@@ -38,6 +38,7 @@ class VbrSource final : public TrafficSource {
   void generate(Cycle now, std::vector<Flit>& out) override;
   [[nodiscard]] double mean_bps() const override { return mean_bps_; }
   void throttle(double factor) override;
+  void snap(snapshot::Walker& w) override;
 
   [[nodiscard]] const MpegTrace& trace() const { return trace_; }
   [[nodiscard]] InjectionModel model() const { return model_; }

@@ -1,0 +1,141 @@
+#include "mmr/sim/atomic_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "mmr/sim/csv.hpp"
+
+namespace mmr {
+namespace {
+
+std::string read_all(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool exists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+TEST(AtomicFile, CommitPublishesFullContent) {
+  const std::string path = ::testing::TempDir() + "/mmr_atomic_commit.txt";
+  std::remove(path.c_str());
+  {
+    AtomicFileWriter writer(path);
+    EXPECT_FALSE(exists(path)) << "destination must not appear before commit";
+    writer.stream() << "line one\nline two\n";
+    writer.commit();
+  }
+  EXPECT_EQ(read_all(path), "line one\nline two\n");
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFile, AbandonedWriterLeavesPreviousFileUntouched) {
+  const std::string path = ::testing::TempDir() + "/mmr_atomic_abandon.txt";
+  {
+    std::ofstream out(path);
+    out << "previous generation\n";
+  }
+  std::string temp_path;
+  {
+    AtomicFileWriter writer(path);
+    temp_path = writer.temp_path();
+    writer.stream() << "half a replacement";
+    // no commit(): destructor must discard
+  }
+  EXPECT_EQ(read_all(path), "previous generation\n");
+  EXPECT_FALSE(exists(temp_path)) << "discarded temp file must be removed";
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFile, BodyExceptionDiscardsAndRethrows) {
+  const std::string path = ::testing::TempDir() + "/mmr_atomic_throw.txt";
+  {
+    std::ofstream out(path);
+    out << "previous generation\n";
+  }
+  EXPECT_THROW(write_file_atomic(path,
+                                 [](std::ostream& out) {
+                                   out << "torn";
+                                   throw std::runtime_error("disk on fire");
+                                 }),
+               std::runtime_error);
+  EXPECT_EQ(read_all(path), "previous generation\n");
+  std::remove(path.c_str());
+}
+
+// The regression the subsystem exists for: a process killed mid-write (here
+// a forked child that _exit()s between rows, as SIGKILL or a crash would)
+// must never leave a torn file at the destination — the previous file
+// survives byte-for-byte.
+TEST(AtomicFile, ProcessDeathMidWriteNeverTearsDestination) {
+  const std::string path = ::testing::TempDir() + "/mmr_atomic_kill.csv";
+  {
+    std::ofstream out(path);
+    out << "cycle,value\n0,42\n";
+  }
+
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // Child: start replacing the file, then die without committing.  _exit
+    // skips every destructor, exactly like an external SIGKILL.
+    CsvWriter csv(path, {"cycle", "value"});
+    csv.row({"1", "partial"});
+    csv.flush();
+    ::_exit(0);
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFEXITED(status));
+
+  EXPECT_EQ(read_all(path), "cycle,value\n0,42\n")
+      << "a mid-write death must leave the previous file untouched";
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterOwning, PublishesOnlyOnClose) {
+  const std::string path = ::testing::TempDir() + "/mmr_owned.csv";
+  std::remove(path.c_str());
+  {
+    CsvWriter csv(path, {"a", "b"});
+    csv.row({"1", "2"});
+    EXPECT_FALSE(exists(path));
+    csv.close();
+    EXPECT_EQ(csv.rows_written(), 1u);
+  }
+  EXPECT_EQ(read_all(path), "a,b\n1,2\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterOwning, DestructionWithoutCloseDiscards) {
+  const std::string path = ::testing::TempDir() + "/mmr_owned_discard.csv";
+  std::remove(path.c_str());
+  {
+    CsvWriter csv(path, {"a"});
+    csv.row({"1"});
+  }
+  EXPECT_FALSE(exists(path));
+}
+
+TEST(CsvWriterOwning, StreamModeStillWorks) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"x", "y"});
+  csv.row_numeric({1.5, 2.0});
+  csv.close();  // no-op beyond flush in stream mode
+  EXPECT_EQ(out.str(), "x,y\n1.5,2\n");
+}
+
+}  // namespace
+}  // namespace mmr

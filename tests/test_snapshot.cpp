@@ -1,0 +1,421 @@
+// Simulation-level checkpoint/restore (ISSUE 8 tentpole): resume from a
+// mid-run checkpoint must be bit-identical to never having stopped — final
+// metrics, the mmr-trace-v1 output bytes, and the full StateHash sequence —
+// across arbiters x {credit, shared} x {CBR, VBR}.  Plus the crash-recovery
+// plumbing: post-mortem checkpoints on MMR_ASSERT death and SIGTERM, the
+// config-digest guard, and the periodic checkpoint/hash-log duties.
+
+#include "mmr/core/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mmr/network/network.hpp"
+#include "mmr/sim/assert.hpp"
+#include "mmr/snapshot/format.hpp"
+#include "mmr/snapshot/manager.hpp"
+#include "mmr/snapshot/signals.hpp"
+#include "mmr/snapshot/spec.hpp"
+#include "mmr/snapshot/walker.hpp"
+
+namespace mmr {
+namespace {
+
+using snapshot::SnapshotError;
+
+SimConfig snap_config(const std::string& arbiter, bool shared) {
+  SimConfig config;
+  config.ports = 4;
+  config.vcs_per_link = 64;
+  config.warmup_cycles = 1'000;
+  config.measure_cycles = 3'000;
+  config.arbiter = arbiter;
+  config.flow_spec = shared ? "shared" : "";
+  return config;
+}
+
+Workload make_workload(const SimConfig& config, bool vbr) {
+  Rng rng(config.seed, 1);
+  if (vbr) {
+    VbrMixSpec spec;
+    spec.target_load = 0.5;
+    spec.trace_gops = 2;
+    return build_vbr_mix(config, spec, rng);
+  }
+  CbrMixSpec spec;
+  spec.target_load = 0.6;
+  spec.classes = {kCbrHigh, kCbrMedium};
+  spec.class_weights = {3.0, 1.0};
+  return build_cbr_mix(config, spec, rng);
+}
+
+std::string read_all(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void expect_same_metrics(const SimulationMetrics& a,
+                         const SimulationMetrics& b,
+                         const std::string& tag) {
+  EXPECT_EQ(a.flits_generated, b.flits_generated) << tag;
+  EXPECT_EQ(a.flits_delivered, b.flits_delivered) << tag;
+  EXPECT_EQ(a.frames_completed, b.frames_completed) << tag;
+  EXPECT_DOUBLE_EQ(a.flit_delay_us.mean(), b.flit_delay_us.mean()) << tag;
+  EXPECT_DOUBLE_EQ(a.delivered_load, b.delivered_load) << tag;
+  EXPECT_DOUBLE_EQ(a.crossbar_utilization, b.crossbar_utilization) << tag;
+}
+
+// The tentpole acceptance sweep: checkpoint at cycle 2000, resume, and the
+// resumed run must be indistinguishable from the uninterrupted one — same
+// final metrics, same final state hash, and the resumed StateHash sequence
+// equals the uninterrupted sequence's suffix.
+TEST(SnapshotResume, BitIdenticalAcrossArbitersFlowsAndTrafficKinds) {
+  for (const char* arbiter : {"coa", "wfa"}) {
+    for (const bool shared : {false, true}) {
+      for (const bool vbr : {false, true}) {
+        const std::string tag = std::string(arbiter) +
+                                (shared ? "/shared" : "/credit") +
+                                (vbr ? "/vbr" : "/cbr");
+        const std::string prefix =
+            ::testing::TempDir() + "/mmr_snap_" + std::string(arbiter) +
+            (shared ? "_s" : "_c") + (vbr ? "_v" : "_b");
+
+        SimConfig config = snap_config(arbiter, shared);
+
+        // Uninterrupted reference, hashes recorded every 500 cycles.
+        SimConfig ref_config = config;
+        ref_config.snap_spec = "hash_every:500,prefix:" + prefix + "-ref";
+        MmrSimulation reference(ref_config, make_workload(ref_config, vbr));
+        const SimulationMetrics ref_metrics = reference.run();
+        const std::uint64_t ref_hash = reference.state_hash();
+        const auto& ref_seq = reference.snapshot_manager()->hash_sequence();
+        ASSERT_EQ(ref_seq.size(), 8u) << tag;  // 500..4000
+
+        // Checkpointing run: same policy plus a checkpoint every 2000.
+        SimConfig ck_config = config;
+        ck_config.snap_spec =
+            "every:2000,hash_every:500,prefix:" + prefix + "-ck";
+        MmrSimulation interrupted(ck_config, make_workload(ck_config, vbr));
+        const SimulationMetrics ck_metrics = interrupted.run();
+        expect_same_metrics(ref_metrics, ck_metrics, tag + " (checkpointing)");
+        EXPECT_EQ(interrupted.state_hash(), ref_hash) << tag;
+        const auto paths = interrupted.snapshot_manager()->checkpoints_written();
+        ASSERT_EQ(paths.size(), 2u) << tag;  // cycles 2000 and 4000
+        EXPECT_NE(paths[0].find("-2000.snap"), std::string::npos);
+
+        // Resume from the mid-run checkpoint.
+        SimConfig resume_config = config;
+        resume_config.snap_spec =
+            "hash_every:500,prefix:" + prefix + "-re,resume:" + paths[0];
+        MmrSimulation resumed(resume_config, make_workload(resume_config, vbr));
+        EXPECT_EQ(resumed.now(), 2000u) << tag;
+        const SimulationMetrics resumed_metrics = resumed.run();
+
+        expect_same_metrics(ref_metrics, resumed_metrics, tag + " (resumed)");
+        EXPECT_EQ(resumed.state_hash(), ref_hash) << tag;
+
+        // StateHash sequence: the resumed run's recording equals the
+        // uninterrupted run's post-checkpoint suffix (2500..4000).
+        const auto& resumed_seq =
+            resumed.snapshot_manager()->hash_sequence();
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> suffix;
+        for (const auto& entry : ref_seq) {
+          if (entry.first > 2000) suffix.push_back(entry);
+        }
+        EXPECT_EQ(resumed_seq, suffix) << tag;
+
+        for (const std::string& path : paths) std::remove(path.c_str());
+      }
+    }
+  }
+}
+
+// `snap=` only observes: enabling checkpoints and hashes must not perturb a
+// run relative to one with no snapshot machinery constructed at all.
+TEST(SnapshotResume, SnapMachineryDoesNotPerturbTheRun) {
+  const SimConfig bare_config = snap_config("coa", false);
+  MmrSimulation bare(bare_config, make_workload(bare_config, false));
+  const SimulationMetrics bare_metrics = bare.run();
+
+  SimConfig snap_cfg = bare_config;
+  snap_cfg.snap_spec = "every:1500,hash_every:500,prefix:" +
+                       ::testing::TempDir() + "/mmr_snap_perturb";
+  MmrSimulation snapped(snap_cfg, make_workload(snap_cfg, false));
+  const SimulationMetrics snap_metrics = snapped.run();
+
+  expect_same_metrics(bare_metrics, snap_metrics, "snap on vs off");
+  EXPECT_EQ(bare.state_hash(), snapped.state_hash());
+  for (const std::string& path :
+       snapped.snapshot_manager()->checkpoints_written()) {
+    std::remove(path.c_str());
+  }
+}
+
+// The mmr-trace-v1 output of a resumed run is byte-identical to the
+// uninterrupted run's: the tracer's buffers ride in the checkpoint.  Both
+// runs share one trace_spec (it enters the config digest — traced events
+// are behaviour the digest must pin), so the reference bytes are captured
+// before the resumed run rewrites the same output path.
+TEST(SnapshotResume, TraceOutputBytesIdenticalAfterResume) {
+  const std::string dir = ::testing::TempDir();
+  const std::string trace_out = dir + "/mmr_snap_trace.jsonl";
+  SimConfig config = snap_config("coa", false);
+  config.trace_spec = "stream,out:" + trace_out;
+
+  SimConfig ref_config = config;
+  ref_config.snap_spec = "prefix:" + dir + "/mmr_snap_trace,every:2000";
+  MmrSimulation reference(ref_config, make_workload(ref_config, false));
+  (void)reference.run();
+  const auto paths = reference.snapshot_manager()->checkpoints_written();
+  ASSERT_EQ(paths.size(), 2u);
+  const std::string ref_bytes = read_all(trace_out);
+  ASSERT_FALSE(ref_bytes.empty());
+  std::remove(trace_out.c_str());
+
+  SimConfig resume_config = config;
+  resume_config.snap_spec =
+      "prefix:" + dir + "/mmr_snap_trace_re,resume:" + paths[0];
+  MmrSimulation resumed(resume_config, make_workload(resume_config, false));
+  (void)resumed.run();
+
+  EXPECT_EQ(read_all(trace_out), ref_bytes);
+  for (const std::string& path : paths) std::remove(path.c_str());
+  std::remove(trace_out.c_str());
+}
+
+// Direct save/restore API: the state hash is a per-cycle divergence oracle —
+// equal after restore, and equal after every subsequent lockstep cycle.
+TEST(SnapshotResume, SaveRestoreRoundTripHashOracle) {
+  const std::string path = ::testing::TempDir() + "/mmr_snap_oracle.snap";
+  const SimConfig config = snap_config("wfa", false);
+
+  MmrSimulation a(config, make_workload(config, false));
+  for (int i = 0; i < 1'500; ++i) a.step_one();
+  a.save_checkpoint(path);
+
+  MmrSimulation b(config, make_workload(config, false));
+  b.restore_checkpoint(path);
+  EXPECT_EQ(b.now(), 1'500u);
+  EXPECT_EQ(b.state_hash(), a.state_hash());
+
+  for (int i = 0; i < 200; ++i) {
+    a.step_one();
+    b.step_one();
+    ASSERT_EQ(b.state_hash(), a.state_hash()) << "diverged at cycle " << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotResume, DigestMismatchIsRejected) {
+  const std::string path = ::testing::TempDir() + "/mmr_snap_digest.snap";
+  const SimConfig config = snap_config("coa", false);
+  MmrSimulation a(config, make_workload(config, false));
+  for (int i = 0; i < 100; ++i) a.step_one();
+  a.save_checkpoint(path);
+
+  SimConfig other = config;
+  other.seed = config.seed + 1;
+  other.snap_spec = "resume:" + path;
+  EXPECT_THROW(MmrSimulation(other, make_workload(other, false)),
+               SnapshotError);
+  std::remove(path.c_str());
+}
+
+// Crash path: an MMR_ASSERT death with a CrashScope armed writes the
+// post-mortem checkpoint before the process dies, and the file decodes.
+TEST(SnapshotCrashDeath, AssertWritesPostmortemCheckpoint) {
+  const std::string prefix = ::testing::TempDir() + "/mmr_snap_crash";
+  const std::string expected = prefix + "-crash-7.snap";
+  std::remove(expected.c_str());
+
+  EXPECT_DEATH(
+      {
+        snapshot::SnapshotManager manager(
+            snapshot::SnapSpec::parse("prefix:" + prefix), 42);
+        std::uint64_t state = 0xABCD;
+        const auto walk = [&state](snapshot::Walker& w) {
+          w.section("state");
+          snapshot::value(w, state);
+        };
+        snapshot::CrashScope scope([&] {
+          (void)manager.write_checkpoint(7, walk, "crash", true);
+        });
+        MMR_ASSERT_MSG(false, "deliberate crash-path death");
+      },
+      "deliberate crash-path death");
+
+  const snapshot::Snapshot snap = snapshot::load_file(expected);
+  EXPECT_EQ(snap.cycle, 7u);
+  EXPECT_EQ(snap.config_digest, 42u);
+  ASSERT_EQ(snap.sections.size(), 1u);
+  EXPECT_EQ(snap.sections[0].name, "state");
+  std::remove(expected.c_str());
+}
+
+// Watchdog-alarm post-mortems: one bundle per alarm-count increase, capped.
+TEST(SnapshotCrash, AlarmPostmortemsAreCappedPerRun) {
+  const std::string prefix = ::testing::TempDir() + "/mmr_snap_alarm";
+  snapshot::SnapshotManager manager(
+      snapshot::SnapSpec::parse("prefix:" + prefix), 1);
+  std::uint64_t state = 1;
+  const auto walk = [&state](snapshot::Walker& w) {
+    w.section("state");
+    snapshot::value(w, state);
+  };
+  manager.on_alarm_count(10, walk, 0, "watchdog");  // no alarms yet
+  EXPECT_TRUE(manager.checkpoints_written().empty());
+  for (std::uint64_t alarms = 1; alarms <= snapshot::kMaxPostmortems + 3;
+       ++alarms) {
+    manager.on_alarm_count(10 + alarms, walk, alarms, "watchdog");
+    manager.on_alarm_count(10 + alarms, walk, alarms, "watchdog");  // no dup
+  }
+  EXPECT_EQ(manager.checkpoints_written().size(), snapshot::kMaxPostmortems);
+  for (const std::string& path : manager.checkpoints_written()) {
+    EXPECT_NE(path.find("-watchdog-"), std::string::npos);
+    std::remove(path.c_str());
+  }
+}
+
+// SIGTERM mid-run: the managed loop writes a signal-tagged post-mortem
+// checkpoint, throws Interrupted, and the bundle resumes to the same final
+// state as a never-interrupted run.
+TEST(SnapshotSignals, SigtermWritesPostmortemAndResumeCompletes) {
+  const SimConfig config = snap_config("coa", false);
+  MmrSimulation reference(config, make_workload(config, false));
+  const SimulationMetrics ref_metrics = reference.run();
+  const std::uint64_t ref_hash = reference.state_hash();
+
+  SimConfig victim_config = config;
+  victim_config.snap_spec =
+      "prefix:" + ::testing::TempDir() + "/mmr_snap_sig,crash:1";
+  MmrSimulation victim(victim_config, make_workload(victim_config, false));
+
+  std::string checkpoint;
+  {
+    snapshot::SignalGuard guard;  // keep the raise from killing the test
+    ASSERT_EQ(::raise(SIGTERM), 0);
+    try {
+      (void)victim.run();
+      FAIL() << "run() must not complete after SIGTERM";
+    } catch (const snapshot::Interrupted& stop) {
+      EXPECT_EQ(stop.signal_number(), SIGTERM);
+      EXPECT_EQ(snapshot::exit_status_for_signal(stop.signal_number()), 143);
+      checkpoint = stop.checkpoint();
+    }
+  }
+  ASSERT_FALSE(checkpoint.empty());
+  EXPECT_NE(checkpoint.find("-signal-"), std::string::npos);
+
+  SimConfig resume_config = config;
+  resume_config.snap_spec = "resume:" + checkpoint;
+  MmrSimulation resumed(resume_config, make_workload(resume_config, false));
+  const SimulationMetrics resumed_metrics = resumed.run();
+  expect_same_metrics(ref_metrics, resumed_metrics, "post-SIGTERM resume");
+  EXPECT_EQ(resumed.state_hash(), ref_hash);
+  std::remove(checkpoint.c_str());
+}
+
+// Periodic duties: the hash log is written as parseable JSONL and the
+// checkpoint files land where the prefix says.
+TEST(SnapshotManagerDuties, HashLogAndCheckpointsAreWritten) {
+  const std::string dir = ::testing::TempDir();
+  SimConfig config = snap_config("coa", false);
+  config.snap_spec = "every:2000,hash_every:1000,prefix:" + dir +
+                     "/mmr_snap_duties,hash_out:" + dir +
+                     "/mmr_snap_hashes.jsonl";
+  MmrSimulation simulation(config, make_workload(config, false));
+  (void)simulation.run();
+
+  const std::string log = read_all(dir + "/mmr_snap_hashes.jsonl");
+  ASSERT_FALSE(log.empty());
+  std::istringstream lines(log);
+  std::string line;
+  std::size_t entries = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(line.rfind("{\"cycle\":", 0), 0u) << line;
+    EXPECT_NE(line.find("\"hash\":"), std::string::npos) << line;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 4u);  // 1000, 2000, 3000, 4000
+
+  for (const std::string& path :
+       simulation.snapshot_manager()->checkpoints_written()) {
+    const snapshot::Snapshot snap = snapshot::load_file(path);
+    EXPECT_EQ(snap.config_digest, snapshot::config_digest(config));
+    std::remove(path.c_str());
+  }
+  std::remove((dir + "/mmr_snap_hashes.jsonl").c_str());
+}
+
+// The multi-router network simulation carries the same guarantee, including
+// under an active fault plan (injector RNG lanes, re-admission tables and
+// rewritten routing state all ride in the checkpoint).
+TEST(SnapshotNetwork, ResumeBitIdenticalWithFaults) {
+  SimConfig config;
+  config.ports = 4;
+  config.vcs_per_link = 64;
+  config.warmup_cycles = 1'000;
+  config.measure_cycles = 3'000;
+  config.fault_spec = "drop:0.005,resync_period:256,resync_timeout:512";
+
+  const auto make_net_workload = [&config]() {
+    const NetworkTopology ring = NetworkTopology::bidirectional_ring(3, 4);
+    Rng rng(config.seed, 5);
+    CbrMixSpec mix;
+    mix.target_load = 0.4;
+    mix.classes = {kCbrHigh, kCbrMedium};
+    mix.class_weights = {3.0, 1.0};
+    return build_network_cbr_mix(config, ring, mix, rng);
+  };
+
+  SimConfig ref_config = config;
+  ref_config.snap_spec = "hash_every:500,prefix:" + ::testing::TempDir() +
+                         "/mmr_snap_net_ref";
+  MmrNetworkSimulation reference(ref_config, make_net_workload());
+  const NetworkMetrics ref_metrics = reference.run();
+  const std::uint64_t ref_hash = reference.state_hash();
+
+  SimConfig ck_config = config;
+  ck_config.snap_spec = "every:2000,prefix:" + ::testing::TempDir() +
+                        "/mmr_snap_net_ck";
+  MmrNetworkSimulation interrupted(ck_config, make_net_workload());
+  (void)interrupted.run();
+  const auto paths = interrupted.snapshot_manager()->checkpoints_written();
+  ASSERT_EQ(paths.size(), 2u);
+
+  SimConfig resume_config = config;
+  resume_config.snap_spec = "hash_every:500,resume:" + paths[0] +
+                            ",prefix:" + ::testing::TempDir() +
+                            "/mmr_snap_net_re";
+  MmrNetworkSimulation resumed(resume_config, make_net_workload());
+  EXPECT_EQ(resumed.now(), 2000u);
+  const NetworkMetrics resumed_metrics = resumed.run();
+
+  EXPECT_EQ(resumed_metrics.flits_delivered, ref_metrics.flits_delivered);
+  EXPECT_EQ(resumed_metrics.frames_completed, ref_metrics.frames_completed);
+  EXPECT_DOUBLE_EQ(resumed_metrics.flit_delay_us.mean(),
+                   ref_metrics.flit_delay_us.mean());
+  EXPECT_EQ(resumed_metrics.degradation.flits_dropped,
+            ref_metrics.degradation.flits_dropped);
+  EXPECT_EQ(resumed.state_hash(), ref_hash);
+
+  // The suffix property holds across the network walk too.
+  const auto& ref_seq = reference.snapshot_manager()->hash_sequence();
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> suffix;
+  for (const auto& entry : ref_seq) {
+    if (entry.first > 2000) suffix.push_back(entry);
+  }
+  EXPECT_EQ(resumed.snapshot_manager()->hash_sequence(), suffix);
+  for (const std::string& path : paths) std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mmr
