@@ -3,12 +3,32 @@
 // hosts on different routers; the COA-vs-WFA comparison is repeated with
 // multi-hop paths and hop-by-hop credit flow control.
 
+#include <exception>
 #include <iostream>
 
 #include "bench_util.hpp"
 #include "mmr/network/network.hpp"
 
+namespace {
+int run_bench(int argc, char** argv);
+}
+
+// Topology/config validation throws (degenerate `routers=`, conflicting
+// `flow=shared`, ...); surface those as a clean diagnostic + exit 1 rather
+// than an uncaught-exception abort.
 int main(int argc, char** argv) {
+  try {
+    return run_bench(argc, argv);
+  } catch (const std::exception& error) {
+    const std::string what = error.what();
+    std::cerr << (what.rfind("error:", 0) == 0 ? "" : "error: ") << what
+              << '\n';
+    return 1;
+  }
+}
+
+namespace {
+int run_bench(int argc, char** argv) {
   using namespace mmr;
   bench::BenchArgs args = bench::parse_args(argc, argv);
   if (args.loads.empty()) {
@@ -130,3 +150,4 @@ int main(int argc, char** argv) {
   std::cout << vbr_table.render();
   return 0;
 }
+}  // namespace

@@ -6,6 +6,7 @@
 //   ./cluster_ring [key=value ...] [routers=4] [load=0.6] [traffic=cbr|vbr]
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 
 #include "mmr/network/network.hpp"
@@ -43,14 +44,25 @@ int main(int argc, char** argv) {
     if (!config.trace_spec.empty())
       (void)trace::TraceSpec::parse(config.trace_spec);
     snapshot::validate_spec(config);
+    config.validate_network();  // e.g. flow=shared conflicts with a network
   } catch (const std::exception& error) {
-    std::cerr << "error: " << error.what() << '\n';
+    const std::string what = error.what();
+    std::cerr << (what.rfind("error:", 0) == 0 ? "" : "error: ") << what
+              << '\n';
     return 1;
   }
   config.validate();
 
-  const NetworkTopology ring =
-      NetworkTopology::bidirectional_ring(routers, config.ports);
+  // Degenerate routers= values throw from the topology factory; surface
+  // them as a clean diagnostic rather than an uncaught-exception abort.
+  const NetworkTopology ring = [&]() -> NetworkTopology {
+    try {
+      return NetworkTopology::bidirectional_ring(routers, config.ports);
+    } catch (const std::exception& error) {
+      std::cerr << "error: " << error.what() << '\n';
+      std::exit(1);
+    }
+  }();
   Rng rng(config.seed, 0xC1);
   NetworkWorkload workload = [&] {
     if (vbr) {

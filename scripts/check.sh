@@ -42,6 +42,12 @@ python3 scripts/snap_lint.py --check
 ./build/bench/snapshot_soak seeds=2 keep=build/SNAP_smoke.snap
 python3 scripts/snap_lint.py build/SNAP_smoke.snap
 
+echo
+echo "=== network-scale stage (sharded engine equivalence + scaling smoke) ==="
+./build/bench/network_scale_soak seeds=50 big=1
+./build/bench/network_scale mode=smoke out=build/BENCH_network_smoke.json
+python3 scripts/bench_compare.py --check build/BENCH_network_smoke.json
+
 if [[ "${RUN_PERF}" == "1" ]]; then
   echo
   echo "=== perf smoke (perf_baseline + schema check) ==="
@@ -61,6 +67,13 @@ cmake -B build-asan -S . -DMMR_WERROR=ON -DSANITIZE=address,undefined
 cmake --build build-asan -j "${JOBS}"
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-asan --output-on-failure -j "${JOBS}"
+
+echo
+echo "=== thread-sanitized sharded engine (equivalence soak under TSan) ==="
+cmake -B build-tsan -S . -DSANITIZE=thread
+cmake --build build-tsan -j "${JOBS}" --target network_scale_soak
+TSAN_OPTIONS=halt_on_error=1 \
+  ./build-tsan/bench/network_scale_soak seeds=5 threads=4
 
 echo
 echo "all checks passed"

@@ -307,6 +307,49 @@ void ClassMetrics::snap(snapshot::Walker& w) {
   flit_delay_hist.snap(w);
 }
 
+void ClassMetrics::merge_from(const ClassMetrics& other) {
+  MMR_ASSERT_MSG(label == other.label,
+                 "merge_from must fold metrics of the same class");
+  flits_generated += other.flits_generated;
+  flits_delivered += other.flits_delivered;
+  flit_delay_us.merge(other.flit_delay_us);
+  flit_delay_hist.merge(other.flit_delay_hist);
+}
+
+std::vector<ClassMetrics> merge_class_shards(
+    std::vector<std::pair<std::uint32_t, std::vector<ClassMetrics>>> shards) {
+  // Canonicalise: shard id order first (completion order must not matter),
+  // then one fold pass per class label in sorted order.
+  std::sort(shards.begin(), shards.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<std::string> labels;
+  for (const auto& [id, classes] : shards) {
+    for (const ClassMetrics& cls : classes) {
+      if (std::find(labels.begin(), labels.end(), cls.label) == labels.end())
+        labels.push_back(cls.label);
+    }
+  }
+  std::sort(labels.begin(), labels.end());
+
+  std::vector<ClassMetrics> merged;
+  merged.reserve(labels.size());
+  for (const std::string& label : labels) {
+    ClassMetrics* out = nullptr;
+    for (const auto& [id, classes] : shards) {
+      for (const ClassMetrics& cls : classes) {
+        if (cls.label != label) continue;
+        if (out == nullptr) {
+          merged.push_back(cls);
+          out = &merged.back();
+        } else {
+          out->merge_from(cls);
+        }
+      }
+    }
+  }
+  return merged;
+}
+
 void DegradationMetrics::snap(snapshot::Walker& w) {
   snapshot::value(w, enabled);
   snapshot::value(w, flits_dropped);

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "mmr/qos/connection.hpp"
@@ -33,7 +34,21 @@ struct ClassMetrics {
   /// Checkpoint walk: the accumulators only (label and histogram shape are
   /// construction-time constants).
   void snap(snapshot::Walker& w);
+
+  /// Folds another accumulator for the same class label into this one.
+  /// StreamingStats::merge rounds differently under reordering, so callers
+  /// that need byte-identical reports must fold in a fixed order — see
+  /// merge_class_shards.
+  void merge_from(const ClassMetrics& other);
 };
+
+/// Merges per-shard per-class metrics into one report, independent of the
+/// order the shards completed in: inputs are first sorted by shard id, and
+/// classes are folded in sorted label order, so net_threads=N reporting is
+/// byte-identical to net_threads=1 regardless of scheduling.  The result is
+/// sorted by label; labels missing from a shard are simply skipped.
+[[nodiscard]] std::vector<ClassMetrics> merge_class_shards(
+    std::vector<std::pair<std::uint32_t, std::vector<ClassMetrics>>> shards);
 
 /// Graceful-degradation accounting produced by fault-injection runs (see
 /// mmr/fault/).  All-zero when no fault plan is active.

@@ -230,11 +230,8 @@ MmrNetworkSimulation::MmrNetworkSimulation(SimConfig config,
     : config_(config),
       workload_(std::move(workload)),
       warmup_(config.warmup_cycles) {
-  config_.validate();
+  config_.validate_network();  // throws: flow=shared conflicts with a network
   workload_.check_invariants();
-  MMR_ASSERT_MSG(!config_.shared_flow(),
-                 "flow=shared is a single-router regime; the network layer "
-                 "runs credit flow control only");
   const NetworkTopology& topology = workload_.topology;
   MMR_ASSERT(topology.ports_per_router() == config_.ports);
 
@@ -474,10 +471,33 @@ std::uint64_t MmrNetworkSimulation::backlog() const {
 
 void MmrNetworkSimulation::deliver(const MmrRouter::Departure& departure,
                                    std::uint32_t hops, Cycle delivered_at) {
+  emit_delivery_trace(departure, delivered_at);
+  account_delivery(departure, hops, delivered_at);
+}
+
+void MmrNetworkSimulation::emit_delivery_trace(
+    const MmrRouter::Departure& departure, Cycle delivered_at) {
   MMR_TRACE_EMIT_NOW(trace::deliver_event, departure.input, departure.output,
                      departure.vc, departure.flit.connection,
                      departure.flit.seq,
                      delivered_at - departure.flit.generated_at);
+  if (delivered_at < warmup_) return;
+  if (fault_) {
+    const Flit& flit = departure.flit;
+    const bool violated =
+        static_cast<double>(delivered_at - flit.generated_at) >
+        fault_->injector.plan().qos_deadline_cycles;
+    if (violated) {
+      MMR_TRACE_EMIT_NOW(trace::deadline_miss_event, departure.input,
+                         departure.vc, flit.connection, flit.seq,
+                         delivered_at - flit.generated_at);
+    }
+  }
+}
+
+void MmrNetworkSimulation::account_delivery(
+    const MmrRouter::Departure& departure, std::uint32_t hops,
+    Cycle delivered_at) {
   if (delivered_at < warmup_) return;
   const Flit& flit = departure.flit;
   ++delivered_;
@@ -499,11 +519,6 @@ void MmrNetworkSimulation::deliver(const MmrRouter::Departure& departure,
     const bool violated =
         static_cast<double>(delivered_at - flit.generated_at) >
         fault_->injector.plan().qos_deadline_cycles;
-    if (violated) {
-      MMR_TRACE_EMIT_NOW(trace::deadline_miss_event, departure.input,
-                         departure.vc, flit.connection, flit.seq,
-                         delivered_at - flit.generated_at);
-    }
     if (fault_->injector.any_down()) {
       ++fault_->metrics.delivered_during_fault;
       if (violated) ++fault_->metrics.qos_violations_during_fault;
@@ -748,6 +763,19 @@ void MmrNetworkSimulation::credit_resync(Cycle now) {
 }
 
 void MmrNetworkSimulation::step_one() {
+  // Engine dispatch: net_threads is a pure execution-strategy knob — the
+  // sharded engine is bit-identical to the serial one (tested against
+  // metrics, trace bytes and the StateHash sequence), so the choice never
+  // changes results, only wall-clock.
+  if (config_.net_threads >= 2 && routers_.size() >= 2) {
+    ensure_shard_runtime();
+    step_one_sharded();
+    return;
+  }
+  step_one_serial();
+}
+
+void MmrNetworkSimulation::step_one_serial() {
   const Cycle now = now_;
   const bool measure = now >= warmup_;
 
@@ -765,48 +793,85 @@ void MmrNetworkSimulation::step_one() {
   if (fault_) apply_fault_transitions(now);
 
   // 1. Channel housekeeping: returned credits land, in-flight flits arrive.
+  FaultTally tally;
   for (std::size_t ci = 0; ci < channels_.size(); ++ci) {
-    Channel& channel = channels_[ci];
-    channel.credits.tick(now);
-    arrival_buffer_.clear();
-    channel.pipe.pop_due(now, arrival_buffer_);
-    MMR_TRACE_SET_NODE(channel.to.router);
-    for (const LinkTransfer& transfer : arrival_buffer_) {
-      if (fault_) {
-        // Both outcomes discard the flit at the receiving router (a corrupt
-        // flit fails its CRC there); the consumed downstream credit leaks
-        // until the resync watchdog repairs it.
-        const auto ch = static_cast<std::uint32_t>(ci);
-        if (fault_->injector.drop_flit(ch)) {
-          ++fault_->metrics.flits_dropped;
-          MMR_TRACE_EVENT(
-              trace::fault_event(now, trace::FaultKind::kFlitDrop, ch));
-          continue;
-        }
-        if (fault_->injector.corrupt_flit(ch)) {
-          ++fault_->metrics.flits_corrupted;
-          MMR_TRACE_EVENT(
-              trace::fault_event(now, trace::FaultKind::kFlitCorrupt, ch));
-          continue;
-        }
-      }
-      routers_[channel.to.router].accept(channel.to.port, transfer.vc,
-                                         transfer.flit, now);
-    }
+    process_channel_arrivals(static_cast<std::uint32_t>(ci), now,
+                             arrival_buffer_, tally);
   }
   // NIC->router links likewise.
   for (std::size_t n = 0; n < nics_.size(); ++n) {
-    arrival_buffer_.clear();
-    nic_links_[n].pop_due(now, arrival_buffer_);
-    const PortEndpoint endpoint = nic_endpoints_[n];
-    MMR_TRACE_SET_NODE(endpoint.router);
-    for (const LinkTransfer& transfer : arrival_buffer_) {
-      routers_[endpoint.router].accept(endpoint.port, transfer.vc,
-                                       transfer.flit, now);
-    }
+    process_nic_arrivals(static_cast<std::uint32_t>(n), now, arrival_buffer_);
   }
 
   // 2. Traffic generation into NICs.
+  generate_traffic(now);
+
+  // 3. NIC link controllers.
+  for (std::size_t n = 0; n < nics_.size(); ++n) {
+    if (auto transfer = nics_[n]->select_and_send(now)) {
+      nic_links_[n].push(*transfer, now);
+    }
+  }
+
+  // 4. Every router performs one scheduling cycle (deliveries inline).
+  for (std::uint32_t r = 0; r < static_cast<std::uint32_t>(routers_.size());
+       ++r) {
+    process_router_cycle(r, now, measure, departure_buffer_, tally,
+                         /*deferred=*/nullptr);
+  }
+  flush_fault_tally(tally);
+
+  // 5. Credit-resync watchdog (periodic conservation audit).
+  if (fault_) credit_resync(now);
+
+  if ((now + 1) % (1 << 16) == 0) check_invariants();
+  ++now_;
+}
+
+void MmrNetworkSimulation::process_channel_arrivals(
+    std::uint32_t ci, Cycle now, std::vector<LinkTransfer>& scratch,
+    FaultTally& tally) {
+  Channel& channel = channels_[ci];
+  channel.credits.tick(now);
+  scratch.clear();
+  channel.pipe.pop_due(now, scratch);
+  MMR_TRACE_SET_NODE(channel.to.router);
+  for (const LinkTransfer& transfer : scratch) {
+    if (fault_) {
+      // Both outcomes discard the flit at the receiving router (a corrupt
+      // flit fails its CRC there); the consumed downstream credit leaks
+      // until the resync watchdog repairs it.
+      if (fault_->injector.drop_flit(ci)) {
+        ++tally.flits_dropped;
+        MMR_TRACE_EVENT(
+            trace::fault_event(now, trace::FaultKind::kFlitDrop, ci));
+        continue;
+      }
+      if (fault_->injector.corrupt_flit(ci)) {
+        ++tally.flits_corrupted;
+        MMR_TRACE_EVENT(
+            trace::fault_event(now, trace::FaultKind::kFlitCorrupt, ci));
+        continue;
+      }
+    }
+    routers_[channel.to.router].accept(channel.to.port, transfer.vc,
+                                       transfer.flit, now);
+  }
+}
+
+void MmrNetworkSimulation::process_nic_arrivals(
+    std::uint32_t n, Cycle now, std::vector<LinkTransfer>& scratch) {
+  scratch.clear();
+  nic_links_[n].pop_due(now, scratch);
+  const PortEndpoint endpoint = nic_endpoints_[n];
+  MMR_TRACE_SET_NODE(endpoint.router);
+  for (const LinkTransfer& transfer : scratch) {
+    routers_[endpoint.router].accept(endpoint.port, transfer.vc,
+                                     transfer.flit, now);
+  }
+}
+
+void MmrNetworkSimulation::generate_traffic(Cycle now) {
   while (!heap_.empty() && heap_.top().first <= now) {
     const std::uint32_t index = heap_.top().second;
     heap_.pop();
@@ -844,70 +909,74 @@ void MmrNetworkSimulation::step_one() {
       heap_.emplace(next, index);
     }
   }
+}
 
-  // 3. NIC link controllers.
-  for (std::size_t n = 0; n < nics_.size(); ++n) {
-    if (auto transfer = nics_[n]->select_and_send(now)) {
-      nic_links_[n].push(*transfer, now);
-    }
-  }
-
-  // 4. Every router performs one scheduling cycle.
-  for (std::uint32_t r = 0; r < routers_.size(); ++r) {
-    departure_buffer_.clear();
-    MMR_TRACE_SET_NODE(r);
-    routers_[r].step(now, measure, departure_buffer_);
-    for (const MmrRouter::Departure& departure : departure_buffer_) {
-      // Return the freed buffer slot to whoever fills this input link.
-      const std::int32_t nic =
-          nic_of_input_[static_cast<std::size_t>(r) * config_.ports +
-                        departure.input];
-      if (nic != -1) {
-        nics_[static_cast<std::size_t>(nic)]->return_credit(departure.vc, now);
+void MmrNetworkSimulation::process_router_cycle(
+    std::uint32_t r, Cycle now, bool measure,
+    std::vector<MmrRouter::Departure>& scratch, FaultTally& tally,
+    std::vector<PendingDelivery>* deferred) {
+  scratch.clear();
+  MMR_TRACE_SET_NODE(r);
+  routers_[r].step(now, measure, scratch);
+  for (const MmrRouter::Departure& departure : scratch) {
+    // Return the freed buffer slot to whoever fills this input link.
+    const std::int32_t nic =
+        nic_of_input_[static_cast<std::size_t>(r) * config_.ports +
+                      departure.input];
+    if (nic != -1) {
+      nics_[static_cast<std::size_t>(nic)]->return_credit(departure.vc, now);
+      MMR_TRACE_EVENT(
+          trace::credit_return_event(now, departure.input, departure.vc));
+    } else {
+      // Find the upstream channel: it is the unique channel ending at
+      // (r, departure.input).
+      const std::int32_t up = upstream_channel_[static_cast<std::size_t>(
+                                                    r) *
+                                                    config_.ports +
+                                                departure.input];
+      MMR_ASSERT(up != -1);
+      if (fault_ &&
+          fault_->injector.lose_credit(static_cast<std::uint32_t>(up))) {
+        ++tally.credits_lost;  // the watchdog will restore it
+        MMR_TRACE_EVENT(trace::fault_event(
+            now, trace::FaultKind::kCreditLoss,
+            static_cast<std::uint64_t>(up)));
+      } else {
+        channels_[static_cast<std::size_t>(up)].credits.release(
+            departure.vc, now);
         MMR_TRACE_EVENT(
             trace::credit_return_event(now, departure.input, departure.vc));
-      } else {
-        // Find the upstream channel: it is the unique channel ending at
-        // (r, departure.input).
-        const std::int32_t up = upstream_channel_[static_cast<std::size_t>(
-                                                      r) *
-                                                      config_.ports +
-                                                  departure.input];
-        MMR_ASSERT(up != -1);
-        if (fault_ &&
-            fault_->injector.lose_credit(static_cast<std::uint32_t>(up))) {
-          ++fault_->metrics.credits_lost;  // the watchdog will restore it
-          MMR_TRACE_EVENT(trace::fault_event(
-              now, trace::FaultKind::kCreditLoss,
-              static_cast<std::uint64_t>(up)));
-        } else {
-          channels_[static_cast<std::size_t>(up)].credits.release(
-              departure.vc, now);
-          MMR_TRACE_EVENT(
-              trace::credit_return_event(now, departure.input, departure.vc));
-        }
-      }
-      // Forward or deliver.
-      const NextHop& next = next_hop_[r][departure.input][departure.vc];
-      if (next.local) {
-        deliver(departure,
-                hop_index_[r][departure.input][departure.vc] + 1, now + 1);
-      } else {
-        Channel& channel = channels_[next.channel];
-        channel.credits.consume(next.downstream_vc);
-        LinkTransfer transfer;
-        transfer.flit = departure.flit;
-        transfer.vc = next.downstream_vc;
-        channel.pipe.push(transfer, now);
       }
     }
+    // Forward or deliver.  Sharded stepping defers the delivery accounting
+    // (floats must accumulate in serial router order) but emits the trace
+    // events here, at their in-stream position.
+    const NextHop& next = next_hop_[r][departure.input][departure.vc];
+    if (next.local) {
+      const std::uint32_t hops =
+          hop_index_[r][departure.input][departure.vc] + 1;
+      if (deferred == nullptr) {
+        deliver(departure, hops, now + 1);
+      } else {
+        emit_delivery_trace(departure, now + 1);
+        deferred->push_back(PendingDelivery{departure, hops});
+      }
+    } else {
+      Channel& channel = channels_[next.channel];
+      channel.credits.consume(next.downstream_vc);
+      LinkTransfer transfer;
+      transfer.flit = departure.flit;
+      transfer.vc = next.downstream_vc;
+      channel.pipe.push(transfer, now);
+    }
   }
+}
 
-  // 5. Credit-resync watchdog (periodic conservation audit).
-  if (fault_) credit_resync(now);
-
-  if ((now + 1) % (1 << 16) == 0) check_invariants();
-  ++now_;
+void MmrNetworkSimulation::flush_fault_tally(const FaultTally& tally) {
+  if (!fault_) return;
+  fault_->metrics.flits_dropped += tally.flits_dropped;
+  fault_->metrics.flits_corrupted += tally.flits_corrupted;
+  fault_->metrics.credits_lost += tally.credits_lost;
 }
 
 NetworkMetrics MmrNetworkSimulation::run() {

@@ -33,6 +33,15 @@ class SnapshotManager;
 class Walker;
 }  // namespace snapshot
 
+/// Per-cycle parallel stepping state (shard.cpp); only allocated when
+/// `net_threads >= 2` selects the sharded engine.  The deleter is defined
+/// out of line so translation units holding an MmrNetworkSimulation never
+/// need the complete runtime type.
+struct NetworkShardRuntime;
+struct NetworkShardRuntimeDeleter {
+  void operator()(NetworkShardRuntime* runtime) const;
+};
+
 /// A multi-hop connection: class, rates and the reserved path.
 struct NetworkConnection {
   ConnectionId id = kInvalidConnection;
@@ -226,8 +235,65 @@ class MmrNetworkSimulation {
     std::vector<std::uint32_t> came_up;
   };
 
+  /// A host delivery whose accounting is deferred to the cycle barrier
+  /// (sharded engine): float accumulators must be updated in serial router
+  /// order to stay bit-identical, so workers only queue the departure.
+  struct PendingDelivery {
+    MmrRouter::Departure departure;
+    std::uint32_t hops = 0;
+  };
+
+  /// Fault counters a (possibly parallel) phase accumulates locally and
+  /// flushes into DegradationMetrics at a deterministic serial point —
+  /// integer sums, so the flush order never changes the totals.
+  struct FaultTally {
+    std::uint64_t flits_dropped = 0;
+    std::uint64_t flits_corrupted = 0;
+    std::uint64_t credits_lost = 0;
+  };
+
+  // --- one simulated cycle, two engines -------------------------------------
+  // step_one() dispatches: net_threads <= 1 runs the original serial loop;
+  // net_threads >= 2 runs the barrier-per-cycle sharded loop (shard.cpp).
+  // Both engines share the per-entity helpers below, so they are
+  // bit-identical by construction (and tested to be).
+  void step_one_serial();
+  void step_one_sharded();
+  void ensure_shard_runtime();
+
+  /// Phase 1 for one channel: credit tick, wire arrivals, fault draws.
+  void process_channel_arrivals(std::uint32_t ci, Cycle now,
+                                std::vector<LinkTransfer>& scratch,
+                                FaultTally& tally);
+  /// Phase 1b for one NIC link: arrivals into the attached router.
+  void process_nic_arrivals(std::uint32_t n, Cycle now,
+                            std::vector<LinkTransfer>& scratch);
+  /// Phase 2: the global emission heap feeds flits into NICs (serial in
+  /// both engines; the heap's storage order is part of the snapshot walk).
+  void generate_traffic(Cycle now);
+  /// Phases 4+5 for one router: scheduling step, credit returns, forwards.
+  /// With `deferred` null, host deliveries are accounted inline (serial
+  /// engine); otherwise their trace events are emitted in place and the
+  /// accounting is queued for the barrier.
+  void process_router_cycle(std::uint32_t r, Cycle now, bool measure,
+                            std::vector<MmrRouter::Departure>& scratch,
+                            FaultTally& tally,
+                            std::vector<PendingDelivery>* deferred);
+  void flush_fault_tally(const FaultTally& tally);
+  /// Replays per-shard staged trace events into `main` in serial emission
+  /// order (span keys), then resets the staging buffers.
+  void replay_staged_trace(trace::Tracer& main);
+
   void deliver(const MmrRouter::Departure& departure, std::uint32_t hops,
                Cycle delivered_at);
+  /// The trace half of deliver(): kDeliver (and kDeadlineMiss) events,
+  /// emitted at the departure's position in the event stream.
+  void emit_delivery_trace(const MmrRouter::Departure& departure,
+                           Cycle delivered_at);
+  /// The accounting half of deliver(): counters and float accumulators,
+  /// no trace emission.
+  void account_delivery(const MmrRouter::Departure& departure,
+                        std::uint32_t hops, Cycle delivered_at);
 
   /// Descriptor for one hop of a connection, slots filled exactly as the
   /// constructor's setup walk fills them (release() must subtract what
@@ -250,6 +316,11 @@ class MmrNetworkSimulation {
   /// can register replacement paths.
   std::vector<ConnectionTable> tables_;
   std::unique_ptr<FaultRuntime> fault_;  ///< null = fault-free run
+  /// Sharded-engine state (net_threads >= 2); holds no simulated state —
+  /// every buffer drains at a barrier — so snapshots and state hashes are
+  /// identical across thread counts.
+  std::unique_ptr<NetworkShardRuntime, NetworkShardRuntimeDeleter> shard_;
+  friend struct NetworkShardRuntime;
   std::unique_ptr<trace::Tracer> tracer_;  ///< set when trace= is present
   std::unique_ptr<snapshot::SnapshotManager> snap_mgr_;  ///< snap= present
   /// (router, out_port) -> channel index or -1 (local).

@@ -1,0 +1,312 @@
+// Barrier-per-cycle sharded stepping for MmrNetworkSimulation — the
+// `net_threads=` SimConfig override (ISSUE 9 tentpole).
+//
+// Partitioning: routers are assigned to N contiguous shards once, at the
+// first sharded step.  A shard owns its routers, the NICs attached to them
+// (NIC indices are assigned router-ascending at construction, so each
+// shard's NIC range is contiguous) and the channels *received* by them.
+// Within one simulated cycle the shards run two parallel phases:
+//
+//   phase A  credit ticks + channel/NIC-link arrivals (writes land only in
+//            the owned receiving routers; CreditManager::tick/release touch
+//            disjoint members, see below)
+//   phase B  NIC send + router scheduling cycles (reads of remote channel
+//            credit counts are cross-shard but those words are only written
+//            at the barrier or by their single owner phase)
+//
+// between serial sections (fault transitions, traffic generation off the
+// global emission heap, deferred delivery accounting, credit resync).
+//
+// Determinism contract — the sharded engine is BIT-identical to the serial
+// one, not merely statistically equivalent:
+//   * Float accumulators (delay StreamingStats, per-class histograms) are
+//     only updated in the serial sections, in ascending router order: phase
+//     B queues PendingDelivery records per shard and the barrier drains
+//     them shard-ascending, which IS serial router order because shards are
+//     contiguous and ascending.
+//   * RNG draws: every fault stream (per-channel drop/corrupt, per-channel
+//     credit loss) is drawn only by the owning shard, in the same per-
+//     stream order as the serial loop; streams are independent, so global
+//     interleaving does not matter.
+//   * Trace bytes: each shard emits into a private staging Tracer; at each
+//     barrier the staged events are replayed into the real tracer ordered
+//     by span key (phase, entity-id) — exactly the serial emission order.
+//   * Data races: none.  CreditManager::consume writes only `credits_`
+//     (written solely by the sending shard in phase B; its assert reads
+//     `credits_` only), release() appends only to `pending_` (receiving
+//     shard), and tick() applies pending->credits in phase A before any
+//     phase-B reads.  The phases are separated by pool barriers.
+//
+// The runtime holds no simulated state — every buffer drains at a barrier —
+// so snapshots, state hashes and resume behaviour are identical across
+// thread counts (tested in tests/test_network_shard.cpp).
+
+#include "mmr/network/network.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "mmr/sim/thread_pool.hpp"
+#include "mmr/trace/event.hpp"
+#include "mmr/trace/tracer.hpp"
+
+namespace mmr {
+
+struct NetworkShardRuntime {
+  /// Replay-order key: (phase << 32) | entity-id.  Ascending keys reproduce
+  /// the serial engine's section order: all channels, then all NIC links
+  /// (phase A); all NIC sends, then all routers (phase B).
+  enum Phase : std::uint64_t {
+    kChannelArrivals = 0,
+    kNicArrivals = 1,
+    kNicSend = 2,
+    kRouterCycle = 3,
+  };
+  [[nodiscard]] static std::uint64_t key(Phase phase, std::uint32_t entity) {
+    return (static_cast<std::uint64_t>(phase) << 32) | entity;
+  }
+
+  struct Shard {
+    std::uint32_t router_begin = 0;
+    std::uint32_t router_end = 0;  ///< exclusive
+    std::uint32_t nic_begin = 0;
+    std::uint32_t nic_end = 0;
+    std::vector<std::uint32_t> channels;  ///< owned (receiving), ascending
+
+    // Per-cycle scratch; drained/cleared at every barrier.
+    std::vector<LinkTransfer> arrivals;
+    std::vector<MmrRouter::Departure> departures;
+    std::vector<MmrNetworkSimulation::PendingDelivery> deliveries;
+    MmrNetworkSimulation::FaultTally tally;
+
+    // Trace staging: the shard's events plus (key, end-offset) span marks
+    // so the replay can interleave shards into serial order.
+    std::unique_ptr<trace::Tracer> staging;
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> spans;
+    std::uint32_t span_mark = 0;
+
+    /// Closes the current span (if any events were emitted since the last
+    /// mark) under `key`.
+    void mark(std::uint64_t key) {
+      if (!staging) return;
+      const auto size =
+          static_cast<std::uint32_t>(staging->stream_events().size());
+      if (size != span_mark) {
+        spans.emplace_back(key, size);
+        span_mark = size;
+      }
+    }
+  };
+
+  explicit NetworkShardRuntime(std::uint32_t shard_count)
+      : pool(shard_count) {}
+
+  ThreadPool pool;
+  std::vector<Shard> shards;
+
+  /// Replay scratch: every span of every shard, re-sorted by key at each
+  /// barrier.  Keys are unique (one owner per entity), so the sort is a
+  /// total order and the replay is deterministic.
+  struct SpanRef {
+    std::uint64_t key = 0;
+    std::uint32_t shard = 0;
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
+  };
+  std::vector<SpanRef> replay_order;
+};
+
+void NetworkShardRuntimeDeleter::operator()(
+    NetworkShardRuntime* runtime) const {
+  delete runtime;
+}
+
+void MmrNetworkSimulation::ensure_shard_runtime() {
+  if (shard_) return;
+  const auto routers = static_cast<std::uint32_t>(routers_.size());
+  const std::uint32_t shard_count = std::min(config_.net_threads, routers);
+  shard_.reset(new NetworkShardRuntime(shard_count));
+  NetworkShardRuntime& rt = *shard_;
+  rt.shards.resize(shard_count);
+
+  // Balanced contiguous router ranges: shard s owns [s*R/S, (s+1)*R/S).
+  for (std::uint32_t s = 0; s < shard_count; ++s) {
+    rt.shards[s].router_begin = static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(routers) * s / shard_count);
+    rt.shards[s].router_end = static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(routers) * (s + 1) / shard_count);
+  }
+
+  // A channel belongs to the shard of its *receiving* router: phase A
+  // mutates the downstream VCMs and the channel's credit/pipe queues.
+  for (auto& shard : rt.shards) {
+    for (std::uint32_t ci = 0;
+         ci < static_cast<std::uint32_t>(channels_.size()); ++ci) {
+      const std::uint32_t to = channels_[ci].to.router;
+      if (to >= shard.router_begin && to < shard.router_end) {
+        shard.channels.push_back(ci);
+      }
+    }
+  }
+
+  // NIC endpoints were appended router-ascending at construction, so each
+  // shard's NICs form one contiguous index range.
+  std::uint32_t cursor = 0;
+  const auto nic_count = static_cast<std::uint32_t>(nic_endpoints_.size());
+  for (auto& shard : rt.shards) {
+    while (cursor < nic_count &&
+           nic_endpoints_[cursor].router < shard.router_begin) {
+      ++cursor;
+    }
+    shard.nic_begin = cursor;
+    while (cursor < nic_count &&
+           nic_endpoints_[cursor].router < shard.router_end) {
+      ++cursor;
+    }
+    shard.nic_end = cursor;
+  }
+}
+
+void MmrNetworkSimulation::replay_staged_trace(trace::Tracer& main) {
+  NetworkShardRuntime& rt = *shard_;
+  rt.replay_order.clear();
+  for (std::uint32_t s = 0; s < static_cast<std::uint32_t>(rt.shards.size());
+       ++s) {
+    std::uint32_t begin = 0;
+    for (const auto& [key, end] : rt.shards[s].spans) {
+      rt.replay_order.push_back({key, s, begin, end});
+      begin = end;
+    }
+  }
+  std::sort(rt.replay_order.begin(), rt.replay_order.end(),
+            [](const NetworkShardRuntime::SpanRef& a,
+               const NetworkShardRuntime::SpanRef& b) { return a.key < b.key; });
+  for (const NetworkShardRuntime::SpanRef& span : rt.replay_order) {
+    const std::vector<trace::Event>& events =
+        rt.shards[span.shard].staging->stream_events();
+    for (std::uint32_t i = span.begin; i < span.end; ++i) {
+      // Staged events already carry their node stamp; mirror it onto the
+      // real tracer so emit() re-stamps the identical value.
+      main.set_node(events[i].node);
+      main.emit(events[i]);
+    }
+  }
+  for (auto& shard : rt.shards) {
+    if (shard.staging) shard.staging->clear_stream();
+    shard.spans.clear();
+    shard.span_mark = 0;
+  }
+}
+
+void MmrNetworkSimulation::step_one_sharded() {
+  NetworkShardRuntime& rt = *shard_;
+  const Cycle now = now_;
+  const bool measure = now >= warmup_;
+
+  trace::Tracer* const cycle_tracer =
+      tracer_ != nullptr ? tracer_.get() : trace::current();
+  const trace::TraceScope trace_scope(cycle_tracer);
+  if (cycle_tracer != nullptr) {
+    cycle_tracer->set_now(now);
+    cycle_tracer->set_node(0);
+  }
+  const bool staged = trace::kCompiledIn && cycle_tracer != nullptr;
+  if (staged) {
+    for (auto& shard : rt.shards) {
+      if (!shard.staging) {
+        trace::TraceSpec spec;
+        spec.mode = trace::TraceSpec::Mode::kStream;
+        spec.limit = std::numeric_limits<std::uint64_t>::max();
+        shard.staging =
+            std::make_unique<trace::Tracer>(spec, cycle_tracer->meta());
+      }
+      shard.staging->set_now(now);
+      shard.staging->set_node(0);
+    }
+  }
+
+  // 0. Serial: fault transitions (teardown/reroute walk global state).
+  if (fault_) apply_fault_transitions(now);
+
+  // 1+1b. Parallel phase A: channel housekeeping + arrivals per shard.
+  for (auto& shard : rt.shards) {
+    rt.pool.submit([this, &shard, now, staged] {
+      const trace::TraceScope arm(staged ? shard.staging.get() : nullptr);
+      for (const std::uint32_t ci : shard.channels) {
+        process_channel_arrivals(ci, now, shard.arrivals, shard.tally);
+        shard.mark(NetworkShardRuntime::key(
+            NetworkShardRuntime::kChannelArrivals, ci));
+      }
+      for (std::uint32_t n = shard.nic_begin; n < shard.nic_end; ++n) {
+        process_nic_arrivals(n, now, shard.arrivals);
+        shard.mark(
+            NetworkShardRuntime::key(NetworkShardRuntime::kNicArrivals, n));
+      }
+    });
+  }
+  rt.pool.wait_idle();
+  if (staged) {
+    replay_staged_trace(*cycle_tracer);
+    // The serial engine's SET_NODE runs per entity even when nothing is
+    // emitted, and the tracer's node register is part of the snapshot walk
+    // — mirror its end-of-phase value so state hashes stay identical.
+    if (!nic_endpoints_.empty()) {
+      cycle_tracer->set_node(
+          static_cast<std::uint16_t>(nic_endpoints_.back().router));
+    } else if (!channels_.empty()) {
+      cycle_tracer->set_node(
+          static_cast<std::uint16_t>(channels_.back().to.router));
+    }
+  }
+
+  // 2. Serial: traffic generation pops the global emission heap (its
+  // storage order is part of the snapshot walk, so it stays untouched).
+  generate_traffic(now);
+
+  // 3+4. Parallel phase B: NIC sends, then router scheduling cycles.
+  // Deliveries and fault counters are deferred to the barrier.
+  for (auto& shard : rt.shards) {
+    rt.pool.submit([this, &shard, now, measure, staged] {
+      const trace::TraceScope arm(staged ? shard.staging.get() : nullptr);
+      for (std::uint32_t n = shard.nic_begin; n < shard.nic_end; ++n) {
+        if (auto transfer = nics_[n]->select_and_send(now)) {
+          nic_links_[n].push(*transfer, now);
+        }
+        shard.mark(NetworkShardRuntime::key(NetworkShardRuntime::kNicSend, n));
+      }
+      for (std::uint32_t r = shard.router_begin; r < shard.router_end; ++r) {
+        process_router_cycle(r, now, measure, shard.departures, shard.tally,
+                             &shard.deliveries);
+        shard.mark(
+            NetworkShardRuntime::key(NetworkShardRuntime::kRouterCycle, r));
+      }
+    });
+  }
+  rt.pool.wait_idle();
+  if (staged) {
+    replay_staged_trace(*cycle_tracer);
+    // Serial phase 4 leaves the node register at the last router id.
+    cycle_tracer->set_node(
+        static_cast<std::uint16_t>(routers_.size() - 1));
+  }
+
+  // Barrier: deferred accounting in ascending shard order == ascending
+  // router order, so every float accumulates exactly as in the serial run.
+  for (auto& shard : rt.shards) {
+    for (const PendingDelivery& delivery : shard.deliveries) {
+      account_delivery(delivery.departure, delivery.hops, now + 1);
+    }
+    shard.deliveries.clear();
+    flush_fault_tally(shard.tally);
+    shard.tally = FaultTally{};
+  }
+
+  // 5. Serial: credit-resync watchdog + periodic invariants.
+  if (fault_) credit_resync(now);
+  if ((now + 1) % (1 << 16) == 0) check_invariants();
+  ++now_;
+}
+
+}  // namespace mmr

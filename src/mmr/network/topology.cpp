@@ -1,8 +1,20 @@
 #include "mmr/network/topology.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
 namespace mmr {
+
+namespace {
+
+/// Factory parameter rejection: factories throw (callers often feed
+/// user-supplied dimensions) where the programmatic connect() API asserts.
+[[noreturn]] void reject(const std::string& what) {
+  throw std::invalid_argument(what);
+}
+
+}  // namespace
 
 NetworkTopology::NetworkTopology(std::uint32_t routers,
                                  std::uint32_t ports_per_router)
@@ -54,8 +66,14 @@ std::vector<std::uint32_t> NetworkTopology::local_output_ports(
 
 NetworkTopology NetworkTopology::bidirectional_ring(
     std::uint32_t routers, std::uint32_t ports_per_router) {
-  MMR_ASSERT(routers >= 2);
-  MMR_ASSERT(ports_per_router >= 3);
+  if (routers < 2)
+    reject("bidirectional_ring: routers=" + std::to_string(routers) +
+           " is degenerate; a ring needs >= 2 routers");
+  if (ports_per_router < 3)
+    reject("bidirectional_ring: ports_per_router=" +
+           std::to_string(ports_per_router) +
+           " is below the required degree; a ring router spends 2 ports on "
+           "neighbours and needs >= 1 local port (>= 3 total)");
   NetworkTopology topology(routers, ports_per_router);
   for (std::uint32_t r = 0; r < routers; ++r) {
     const std::uint32_t next = (r + 1) % routers;
@@ -68,8 +86,13 @@ NetworkTopology NetworkTopology::bidirectional_ring(
 
 NetworkTopology NetworkTopology::line(std::uint32_t routers,
                                       std::uint32_t ports_per_router) {
-  MMR_ASSERT(routers >= 2);
-  MMR_ASSERT(ports_per_router >= 3);
+  if (routers < 2)
+    reject("line: routers=" + std::to_string(routers) +
+           " is degenerate; a line needs >= 2 routers");
+  if (ports_per_router < 3)
+    reject("line: ports_per_router=" + std::to_string(ports_per_router) +
+           " is below the required degree; interior routers spend 2 ports "
+           "on neighbours and need >= 1 local port (>= 3 total)");
   NetworkTopology topology(routers, ports_per_router);
   for (std::uint32_t r = 0; r + 1 < routers; ++r) {
     topology.connect({r, 0}, {r + 1, 0});      // rightward
@@ -85,8 +108,14 @@ NetworkTopology NetworkTopology::single(std::uint32_t ports_per_router) {
 NetworkTopology NetworkTopology::mesh(std::uint32_t width,
                                       std::uint32_t height,
                                       std::uint32_t ports_per_router) {
-  MMR_ASSERT(width >= 1 && height >= 1);
-  MMR_ASSERT(width * height >= 2);
+  if (width == 0 || height == 0)
+    reject("mesh: width=" + std::to_string(width) + " height=" +
+           std::to_string(height) + " is degenerate; both must be >= 1");
+  if (width * height < 2)
+    reject("mesh: width=" + std::to_string(width) + " height=" +
+           std::to_string(height) +
+           " yields a single router; a mesh needs >= 2 (use "
+           "NetworkTopology::single for one router)");
   // Direction ports use fixed indices (E=0, W=1, N=2, S=3), so the port
   // count must span the used directions; additionally every router must
   // keep at least one local (host) port beyond its own link degree.  Max
@@ -95,9 +124,12 @@ NetworkTopology NetworkTopology::mesh(std::uint32_t width,
   const std::uint32_t direction_span = height > 1 ? 4u : 2u;
   const std::uint32_t max_degree =
       std::min(width - 1, 2u) + std::min(height - 1, 2u);
-  MMR_ASSERT_MSG(
-      ports_per_router >= std::max(direction_span, max_degree + 1),
-      "mesh routers need the direction span plus a local port");
+  if (ports_per_router < std::max(direction_span, max_degree + 1))
+    reject("mesh: ports_per_router=" + std::to_string(ports_per_router) +
+           " is below the required degree for " + std::to_string(width) +
+           "x" + std::to_string(height) +
+           ": routers need the direction span plus a local port (>= " +
+           std::to_string(std::max(direction_span, max_degree + 1)) + ")");
   NetworkTopology topology(width * height, ports_per_router);
   constexpr std::uint32_t kEast = 0;
   constexpr std::uint32_t kWest = 1;
@@ -115,6 +147,75 @@ NetworkTopology NetworkTopology::mesh(std::uint32_t width,
       if (y + 1 < height) {
         topology.connect({id(x, y), kSouth}, {id(x, y + 1), kNorth});
         topology.connect({id(x, y + 1), kNorth}, {id(x, y), kSouth});
+      }
+    }
+  }
+  return topology;
+}
+
+NetworkTopology NetworkTopology::torus2d(std::uint32_t width,
+                                         std::uint32_t height,
+                                         std::uint32_t ports_per_router) {
+  if (width < 2 || height < 2)
+    reject("torus2d: width=" + std::to_string(width) + " height=" +
+           std::to_string(height) +
+           " is degenerate; wraparound links need both dimensions >= 2");
+  if (ports_per_router < 5)
+    reject("torus2d: ports_per_router=" + std::to_string(ports_per_router) +
+           " is below the required degree; every torus router spends 4 "
+           "ports on neighbours and needs >= 1 local port (>= 5 total)");
+  NetworkTopology topology(width * height, ports_per_router);
+  constexpr std::uint32_t kEast = 0;
+  constexpr std::uint32_t kWest = 1;
+  constexpr std::uint32_t kNorth = 2;
+  constexpr std::uint32_t kSouth = 3;
+  const auto id = [width](std::uint32_t x, std::uint32_t y) {
+    return y * width + x;
+  };
+  // Every +x / +y hop gets both directed channels of its bidirectional
+  // link; wraparound makes every router interior (degree exactly 4).
+  for (std::uint32_t y = 0; y < height; ++y) {
+    for (std::uint32_t x = 0; x < width; ++x) {
+      const std::uint32_t xe = (x + 1) % width;
+      const std::uint32_t ys = (y + 1) % height;
+      topology.connect({id(x, y), kEast}, {id(xe, y), kWest});
+      topology.connect({id(xe, y), kWest}, {id(x, y), kEast});
+      topology.connect({id(x, y), kSouth}, {id(x, ys), kNorth});
+      topology.connect({id(x, ys), kNorth}, {id(x, y), kSouth});
+    }
+  }
+  return topology;
+}
+
+NetworkTopology NetworkTopology::fat_tree(std::uint32_t k,
+                                          std::uint32_t ports_per_router) {
+  if (k < 2 || k % 2 != 0)
+    reject("fat_tree: k=" + std::to_string(k) +
+           " is invalid; the pod construction needs k even and >= 2");
+  if (ports_per_router < k)
+    reject("fat_tree: ports_per_router=" + std::to_string(ports_per_router) +
+           " is below the required degree; aggregation and core switches "
+           "need k=" + std::to_string(k) + " fabric ports");
+  const std::uint32_t half = k / 2;
+  const std::uint32_t cores = half * half;    // ids [0, cores)
+  const std::uint32_t aggs0 = cores;          // k*half aggs, grouped by pod
+  const std::uint32_t edges0 = cores + k * half;  // k*half edges, by pod
+  NetworkTopology topology(edges0 + k * half, ports_per_router);
+  for (std::uint32_t p = 0; p < k; ++p) {
+    for (std::uint32_t a = 0; a < half; ++a) {
+      const std::uint32_t agg = aggs0 + p * half + a;
+      // Aggregation a serves every edge of its pod on ports [0, half)...
+      for (std::uint32_t e = 0; e < half; ++e) {
+        const std::uint32_t edge = edges0 + p * half + e;
+        topology.connect({edge, a}, {agg, e});
+        topology.connect({agg, e}, {edge, a});
+      }
+      // ...and reaches core group a on ports [half, k); core (a, i)'s
+      // port p is dedicated to pod p.
+      for (std::uint32_t i = 0; i < half; ++i) {
+        const std::uint32_t core = a * half + i;
+        topology.connect({agg, half + i}, {core, p});
+        topology.connect({core, p}, {agg, half + i});
       }
     }
   }

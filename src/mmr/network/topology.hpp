@@ -59,6 +59,10 @@ class NetworkTopology {
   [[nodiscard]] std::uint32_t channels() const { return channel_count_; }
 
   // --- stock topologies ----------------------------------------------------
+  // Every factory validates its parameters and throws std::invalid_argument
+  // naming the offending dimension — degenerate shapes (1-router ring,
+  // 0-width mesh, too few ports for the node degree) are rejected here, at
+  // construction, not later via an opaque assert.
 
   /// Bidirectional ring: port 0 runs clockwise (to the next router), port 1
   /// counter-clockwise; the remaining P-2 ports are local.  Needs P >= 3
@@ -80,6 +84,31 @@ class NetworkTopology {
   /// for interior routers to keep a host port.  Router index = y*width + x.
   static NetworkTopology mesh(std::uint32_t width, std::uint32_t height,
                               std::uint32_t ports_per_router);
+
+  /// width x height 2-D torus (mesh with wraparound links): every router
+  /// has degree 4, so ports_per_router >= 5 keeps one host port per router.
+  /// Direction ports match mesh (E=0, W=1, N=2, S=3); needs width >= 2 and
+  /// height >= 2.  Router index = y*width + x.
+  /// 32x32 builds the 1024-router fabric bench/network_scale drives.
+  static NetworkTopology torus2d(std::uint32_t width, std::uint32_t height,
+                                 std::uint32_t ports_per_router);
+
+  /// k-ary fat-tree (k even, >= 2): k pods of k/2 edge + k/2 aggregation
+  /// switches plus (k/2)^2 core switches — 5k^2/4 routers total.  Edge
+  /// switches spend k/2 ports going up and keep ports_per_router - k/2
+  /// host ports; aggregation and core switches spend all k fabric ports
+  /// (any extra ports stay local).  Needs ports_per_router >= k.
+  /// Router ids: cores first, then all aggregations (by pod), then all
+  /// edges (by pod) — hosts attach to the contiguous tail of the id space.
+  static NetworkTopology fat_tree(std::uint32_t k,
+                                  std::uint32_t ports_per_router);
+
+  /// First edge-switch router id of a fat_tree(k, ...) — hosts attach to
+  /// ids >= this (cores and aggregations have no local ports when
+  /// ports_per_router == k).
+  [[nodiscard]] static std::uint32_t fat_tree_first_edge(std::uint32_t k) {
+    return (k / 2) * (k / 2) + k * (k / 2);
+  }
 
  private:
   [[nodiscard]] std::size_t index(std::uint32_t router,

@@ -1,9 +1,11 @@
 #include "mmr/sim/config.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <cmath>
 #include <stdexcept>
 #include <string_view>
+#include <thread>
 
 #include "mmr/sim/assert.hpp"
 
@@ -47,6 +49,18 @@ void SimConfig::validate() const {
   MMR_ASSERT_MSG(measure_cycles > 0, "nothing to measure");
 }
 
+void SimConfig::validate_network() const {
+  validate();
+  if (shared_flow()) {
+    throw std::invalid_argument(
+        "error: conflicting keys flow=" + flow_spec +
+        " with a multi-router network run: the shared-buffer MMU is a "
+        "single-router regime and the network layer supports flow=credit "
+        "only; drop flow= (or set flow=credit), or run the single-router "
+        "simulation");
+  }
+}
+
 namespace {
 
 /// Parses a double, rejecting nan/inf (strtod accepts both spellings) — a
@@ -78,7 +92,11 @@ constexpr const char* kValidKeys =
     "ports, vcs, link_bps, flit_bits, phit_bits, buffer_flits, levels, "
     "link_latency, credit_latency, round_multiple, concurrency_factor, "
     "priority, arbiter, seed, warmup, measure, fault, flow, audit, police, "
-    "rogue, trace, snap";
+    "rogue, trace, snap, net_threads";
+
+/// Largest accepted net_threads: far above any real machine, small enough
+/// to catch a mistyped value before it allocates per-shard state.
+constexpr std::uint32_t kMaxNetThreads = 4096;
 
 }  // namespace
 
@@ -152,6 +170,17 @@ std::vector<std::string> apply_overrides(
       config.trace_spec = value;
     } else if (key == "snap") {
       config.snap_spec = value;
+    } else if (key == "net_threads") {
+      if (value == "hw") {
+        config.net_threads = std::max(1u, std::thread::hardware_concurrency());
+      } else {
+        const std::uint64_t threads = parse_u64(value, key);
+        if (threads > kMaxNetThreads)
+          throw std::invalid_argument(
+              "net_threads=" + value + " out of range: expected 0.." +
+              std::to_string(kMaxNetThreads) + " or 'hw'");
+        config.net_threads = static_cast<std::uint32_t>(threads);
+      }
     } else if (key == "audit") {
       config.audit_every = static_cast<std::uint32_t>(parse_u64(value, key));
     } else {

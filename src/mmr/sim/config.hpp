@@ -100,6 +100,17 @@ struct SimConfig {
   /// are bit-identical to a build without the subsystem.
   std::string snap_spec;
 
+  // --- sharded network engine (mmr/network/) --------------------------------
+  /// Worker shards for the multi-router network simulation.  0 (unset) and 1
+  /// both run the original single-threaded engine — bit-identical to a build
+  /// without the field.  N >= 2 partitions the routers into N contiguous
+  /// shards stepped on a ThreadPool with a barrier per phase; results stay
+  /// bit-identical to the serial run (metrics, trace bytes, StateHash
+  /// sequence — tested).  `net_threads=hw` resolves to the hardware thread
+  /// count at parse time.  Excluded from the snapshot config digest so
+  /// checkpoints resume across thread counts.
+  std::uint32_t net_threads = 0;
+
   // --- runtime invariant auditing (mmr/audit/sim_auditor.hpp) --------------
   /// 0 = off.  N >= 1 attaches the simulation-level invariant auditor:
   /// departure-stream checks (per-VC FIFO, crossbar bandwidth) run every
@@ -126,6 +137,13 @@ struct SimConfig {
 
   /// Aborts with a readable message when a field combination is nonsense.
   void validate() const;
+
+  /// validate() plus the constraints specific to a multi-router network run.
+  /// Unlike validate() this *throws* std::invalid_argument (message prefixed
+  /// "error:") on a conflicting key combination — e.g. `flow=shared`, which
+  /// is a single-router regime — so drivers can print the message and exit 1
+  /// instead of dying on an assert deep inside the network constructor.
+  void validate_network() const;
 };
 
 /// Applies "key=value" overrides (e.g. from bench argv) to a config.

@@ -83,6 +83,16 @@ class Tracer {
   /// and stable-sorts by cycle, so dumps read as one timeline.
   [[nodiscard]] std::vector<Event> snapshot() const;
 
+  /// Staging support for the sharded network engine: zero-copy view of the
+  /// stream-mode buffer in emission order, and a reset so a per-shard
+  /// staging tracer can be drained after every barrier.  Events replayed
+  /// from a staging buffer already carry their node stamp; the replayer
+  /// calls set_node(event.node) before re-emitting.
+  [[nodiscard]] const std::vector<Event>& stream_events() const {
+    return events_;
+  }
+  void clear_stream() { events_.clear(); }
+
   /// Writes the buffered events as mmr-trace-v1 JSONL; `trigger` names why
   /// the export happened (end | watchdog-alarm | fault-down | assert | ...).
   void export_jsonl(std::ostream& out, const std::string& trigger) const;

@@ -124,6 +124,56 @@ TEST(SimConfig, AuditOverrideEnablesTheAuditor) {
   config.validate();
 }
 
+TEST(SimConfig, NetThreadsOverrideParses) {
+  SimConfig config;
+  EXPECT_EQ(config.net_threads, 0u);  // unset: serial engine
+  apply_overrides(config, {"net_threads=4"});
+  EXPECT_EQ(config.net_threads, 4u);
+  apply_overrides(config, {"net_threads=0"});
+  EXPECT_EQ(config.net_threads, 0u);
+  apply_overrides(config, {"net_threads=hw"});
+  EXPECT_GE(config.net_threads, 1u);  // resolved at parse time
+  config.validate();
+
+  try {
+    apply_overrides(config, {"net_threads=5000"});
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("out of range"),
+              std::string::npos);
+  }
+  EXPECT_THROW(apply_overrides(config, {"net_threads=abc"}),
+               std::invalid_argument);
+
+  // The unknown-key listing advertises the knob.
+  try {
+    apply_overrides(config, {"bogus=1"});
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("net_threads"),
+              std::string::npos);
+  }
+}
+
+// Satellite: flow=shared used to survive parsing and kill multi-router
+// runs with an assert deep inside MmrNetworkSimulation's constructor.
+// validate_network() now rejects the combination up front, naming both
+// conflicting keys.
+TEST(SimConfig, ValidateNetworkRejectsSharedFlow) {
+  SimConfig config;
+  config.validate_network();  // default flow control is fine
+  config.flow_spec = "shared";
+  try {
+    config.validate_network();
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_EQ(what.rfind("error:", 0), 0u) << what;
+    EXPECT_NE(what.find("flow=shared"), std::string::npos) << what;
+    EXPECT_NE(what.find("net"), std::string::npos) << what;
+  }
+}
+
 TEST(SimConfig, PrioritySchemeRoundTrips) {
   for (PriorityScheme scheme :
        {PriorityScheme::kSiabp, PriorityScheme::kIabp,

@@ -503,21 +503,28 @@ TEST(DeadlineUnification, EveryLayerSharesTheSingleConstant) {
   EXPECT_TRUE(net.saturated());
 }
 
-// The network layer runs credit flow control only; a shared-flow config
-// must be rejected loudly instead of silently ignored.
-TEST(MmuDeath, NetworkRejectsSharedFlow) {
-  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+// The network layer runs credit flow control only; a shared-flow config is
+// rejected at SimConfig::validate_network() time with a parse-style error
+// naming the conflicting keys (ISSUE 9 satellite: this was an MMR_ASSERT
+// death in the MmrNetworkSimulation constructor).
+TEST(Mmu, NetworkRejectsSharedFlow) {
   SimConfig config = mmu_config(4);
   config.flow_spec = "shared";
+  EXPECT_THROW(config.validate_network(), std::invalid_argument);
+  try {
+    config.validate_network();
+    FAIL() << "validate_network must reject flow=shared";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_EQ(what.rfind("error:", 0), 0u) << what;
+    EXPECT_NE(what.find("flow=shared"), std::string::npos) << what;
+  }
   const NetworkTopology single = NetworkTopology::single(4);
-  EXPECT_DEATH(
-      {
-        Rng rng(1, 1);
-        NetworkWorkload workload =
-            build_network_cbr_mix(config, single, CbrMixSpec{}, rng);
-        MmrNetworkSimulation simulation(config, std::move(workload));
-      },
-      "single-router regime");
+  Rng rng(1, 1);
+  NetworkWorkload workload =
+      build_network_cbr_mix(config, single, CbrMixSpec{}, rng);
+  EXPECT_THROW(MmrNetworkSimulation(config, std::move(workload)),
+               std::invalid_argument);
 }
 
 }  // namespace

@@ -1,0 +1,226 @@
+// Serial vs sharded network engine bit-identity (ISSUE 9 tentpole).
+//
+// `net_threads=` is an execution-strategy knob, not a model parameter: for
+// any thread count the sharded engine must reproduce the single-threaded
+// run exactly — metrics (including float accumulators, which are order-
+// sensitive), the full trace event stream, and the snapshot StateHash
+// sequence.  These tests drive both engines over generated torus and
+// fat-tree fabrics, with and without fault injection, and compare all
+// three.
+
+#include "mmr/network/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mmr/trace/event.hpp"
+#include "mmr/trace/tracer.hpp"
+
+namespace mmr {
+namespace {
+
+SimConfig shard_config() {
+  SimConfig config;
+  config.ports = 5;
+  config.vcs_per_link = 32;
+  config.warmup_cycles = 500;
+  config.measure_cycles = 2'500;
+  return config;
+}
+
+CbrMixSpec light_mix() {
+  CbrMixSpec mix;
+  mix.target_load = 0.35;
+  mix.classes = {kCbrHigh, kCbrMedium};
+  mix.class_weights = {3.0, 1.0};
+  return mix;
+}
+
+enum class Topo { kTorus, kFatTree };
+
+NetworkWorkload make_workload(const SimConfig& config, Topo topo) {
+  const NetworkTopology topology =
+      topo == Topo::kTorus ? NetworkTopology::torus2d(4, 4, config.ports)
+                           : NetworkTopology::fat_tree(4, config.ports);
+  Rng rng(config.seed, 7);
+  return build_network_cbr_mix(config, topology, light_mix(), rng);
+}
+
+struct RunResult {
+  NetworkMetrics metrics;
+  std::vector<std::uint64_t> hashes;  ///< StateHash every 250 early cycles
+  std::vector<trace::Event> events;   ///< empty unless trace= configured
+  std::uint64_t final_hash = 0;
+};
+
+RunResult run_case(SimConfig config, Topo topo, std::uint32_t net_threads) {
+  config.net_threads = net_threads;
+  MmrNetworkSimulation sim(config, make_workload(config, topo));
+  RunResult result;
+  // Hash the state every 250 cycles across the first 1000 by stepping
+  // manually; run() then completes the remaining cycles and finalizes.
+  while (sim.now() < 1'000) {
+    for (int i = 0; i < 250; ++i) sim.step_one();
+    result.hashes.push_back(sim.state_hash());
+  }
+  result.metrics = sim.run();
+  result.final_hash = sim.state_hash();
+  if (sim.tracer() != nullptr) result.events = sim.tracer()->snapshot();
+  return result;
+}
+
+void expect_stats_equal(const StreamingStats& a, const StreamingStats& b) {
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.mean(), b.mean());
+  EXPECT_EQ(a.variance(), b.variance());
+  if (!a.empty() && !b.empty()) {
+    EXPECT_EQ(a.min(), b.min());
+    EXPECT_EQ(a.max(), b.max());
+  }
+}
+
+void expect_bit_identical(const RunResult& serial, const RunResult& sharded) {
+  EXPECT_EQ(serial.hashes, sharded.hashes);
+  EXPECT_EQ(serial.final_hash, sharded.final_hash);
+
+  const NetworkMetrics& a = serial.metrics;
+  const NetworkMetrics& b = sharded.metrics;
+  EXPECT_EQ(a.flits_generated, b.flits_generated);
+  EXPECT_EQ(a.flits_delivered, b.flits_delivered);
+  EXPECT_EQ(a.backlog_flits, b.backlog_flits);
+  EXPECT_EQ(a.frames_completed, b.frames_completed);
+  expect_stats_equal(a.flit_delay_us, b.flit_delay_us);
+  expect_stats_equal(a.delivered_hops, b.delivered_hops);
+  expect_stats_equal(a.frame_delay_us, b.frame_delay_us);
+  EXPECT_EQ(a.router_utilization, b.router_utilization);
+  ASSERT_EQ(a.per_class.size(), b.per_class.size());
+  for (std::size_t i = 0; i < a.per_class.size(); ++i) {
+    EXPECT_EQ(a.per_class[i].label, b.per_class[i].label);
+    EXPECT_EQ(a.per_class[i].flits_generated, b.per_class[i].flits_generated);
+    EXPECT_EQ(a.per_class[i].flits_delivered, b.per_class[i].flits_delivered);
+    expect_stats_equal(a.per_class[i].flit_delay_us,
+                       b.per_class[i].flit_delay_us);
+    EXPECT_EQ(a.per_class[i].flit_delay_hist.count(),
+              b.per_class[i].flit_delay_hist.count());
+  }
+  EXPECT_EQ(a.degradation.flits_dropped, b.degradation.flits_dropped);
+  EXPECT_EQ(a.degradation.flits_corrupted, b.degradation.flits_corrupted);
+  EXPECT_EQ(a.degradation.credits_lost, b.degradation.credits_lost);
+  EXPECT_EQ(a.degradation.credits_restored, b.degradation.credits_restored);
+  EXPECT_EQ(a.degradation.teardowns, b.degradation.teardowns);
+
+  // Trace bytes: the staged replay must reproduce the serial emission order
+  // exactly, event for event.
+  ASSERT_EQ(serial.events.size(), sharded.events.size());
+  for (std::size_t i = 0; i < serial.events.size(); ++i) {
+    ASSERT_EQ(std::memcmp(&serial.events[i], &sharded.events[i],
+                          sizeof(trace::Event)),
+              0)
+        << "first trace divergence at event " << i;
+  }
+}
+
+TEST(NetworkShard, TorusShardedMatchesSerial) {
+  const SimConfig config = shard_config();
+  const RunResult serial = run_case(config, Topo::kTorus, 0);
+  for (const std::uint32_t threads : {2u, 3u, 4u}) {
+    const RunResult sharded = run_case(config, Topo::kTorus, threads);
+    expect_bit_identical(serial, sharded);
+  }
+}
+
+TEST(NetworkShard, FatTreeShardedMatchesSerial) {
+  const SimConfig config = shard_config();
+  const RunResult serial = run_case(config, Topo::kFatTree, 0);
+  const RunResult sharded = run_case(config, Topo::kFatTree, 2);
+  expect_bit_identical(serial, sharded);
+}
+
+TEST(NetworkShard, FaultInjectedTraceAndMetricsMatchSerial) {
+  // Fault draws come from per-channel RNG streams owned by exactly one
+  // shard, and trace events from every phase ride the staging replay — this
+  // case exercises both under drop/corrupt/credit-loss noise.
+  SimConfig config = shard_config();
+  config.fault_spec =
+      "drop:0.01,corrupt:0.005,credit_loss:0.005,"
+      "resync_period:256,resync_timeout:512";
+  config.trace_spec = "stream";
+  const RunResult serial = run_case(config, Topo::kTorus, 0);
+  const RunResult sharded = run_case(config, Topo::kTorus, 2);
+  expect_bit_identical(serial, sharded);
+}
+
+TEST(NetworkShard, NetThreadsOneRunsTheSerialEngine) {
+  // 1 is an alias for the serial engine (not a 1-shard parallel run), so
+  // unset and 1 are trivially bit-identical.
+  const SimConfig config = shard_config();
+  const RunResult unset = run_case(config, Topo::kTorus, 0);
+  const RunResult one = run_case(config, Topo::kTorus, 1);
+  expect_bit_identical(unset, one);
+}
+
+// Satellite: NetworkMetrics per-class merging must not depend on the order
+// shard results arrive in — merge_class_shards canonicalises by shard id
+// and label before folding.
+TEST(NetworkShard, MergeClassShardsIsCompletionOrderIndependent) {
+  const auto make_class = [](const std::string& label, std::uint64_t n,
+                             double base) {
+    ClassMetrics cls;
+    cls.label = label;
+    cls.flits_generated = n + 3;
+    cls.flits_delivered = n;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const double delay = base + 0.37 * static_cast<double>(i);
+      cls.flit_delay_us.add(delay);
+      cls.flit_delay_hist.add(delay);
+    }
+    return cls;
+  };
+  std::vector<std::pair<std::uint32_t, std::vector<ClassMetrics>>> shards;
+  shards.emplace_back(0u, std::vector<ClassMetrics>{
+                              make_class("CBR 64 Kbps", 11, 1.0),
+                              make_class("VBR", 5, 9.0)});
+  shards.emplace_back(1u, std::vector<ClassMetrics>{
+                              make_class("VBR", 7, 2.5),
+                              make_class("CBR 1.54 Mbps", 9, 0.25)});
+  shards.emplace_back(2u, std::vector<ClassMetrics>{
+                              make_class("CBR 64 Kbps", 4, 6.0)});
+
+  const std::vector<ClassMetrics> reference = merge_class_shards(shards);
+  ASSERT_EQ(reference.size(), 3u);
+  EXPECT_EQ(reference[0].label, "CBR 1.54 Mbps");
+  EXPECT_EQ(reference[1].label, "CBR 64 Kbps");
+  EXPECT_EQ(reference[2].label, "VBR");
+  EXPECT_EQ(reference[1].flits_delivered, 15u);
+  EXPECT_EQ(reference[1].flit_delay_us.count(), 15u);
+
+  // Every permutation of shard completion order reports byte-identically.
+  std::vector<std::size_t> order = {0, 1, 2};
+  do {
+    std::vector<std::pair<std::uint32_t, std::vector<ClassMetrics>>> permuted;
+    for (const std::size_t i : order) permuted.push_back(shards[i]);
+    const std::vector<ClassMetrics> merged = merge_class_shards(permuted);
+    ASSERT_EQ(merged.size(), reference.size());
+    for (std::size_t i = 0; i < merged.size(); ++i) {
+      EXPECT_EQ(merged[i].label, reference[i].label);
+      EXPECT_EQ(merged[i].flits_generated, reference[i].flits_generated);
+      EXPECT_EQ(merged[i].flits_delivered, reference[i].flits_delivered);
+      EXPECT_EQ(merged[i].flit_delay_us.count(),
+                reference[i].flit_delay_us.count());
+      EXPECT_EQ(merged[i].flit_delay_us.mean(),
+                reference[i].flit_delay_us.mean());
+      EXPECT_EQ(merged[i].flit_delay_us.variance(),
+                reference[i].flit_delay_us.variance());
+      EXPECT_EQ(merged[i].flit_delay_hist.count(),
+                reference[i].flit_delay_hist.count());
+    }
+  } while (std::next_permutation(order.begin(), order.end()));
+}
+
+}  // namespace
+}  // namespace mmr

@@ -9,11 +9,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "mmr/network/network.hpp"
@@ -415,6 +418,79 @@ TEST(SnapshotNetwork, ResumeBitIdenticalWithFaults) {
   }
   EXPECT_EQ(resumed.snapshot_manager()->hash_sequence(), suffix);
   for (const std::string& path : paths) std::remove(path.c_str());
+}
+
+// Sharded engine (ISSUE 9): a checkpoint written under one `net_threads=`
+// setting must resume bit-identically under any other, because the
+// execution strategy is excluded from the config digest and the sharded
+// engine is bit-identical to the serial one.  Covers torus and fat-tree
+// fabrics, with fault injection on the torus leg.
+TEST(SnapshotNetwork, ShardedResumeBitIdenticalAcrossThreadCounts) {
+  const std::uint32_t hw =
+      std::max(1u, std::thread::hardware_concurrency());
+  for (const bool torus : {true, false}) {
+    SimConfig config;
+    config.ports = 5;
+    config.vcs_per_link = 32;
+    config.warmup_cycles = 500;
+    config.measure_cycles = 2'500;
+    if (torus) {
+      config.fault_spec =
+          "drop:0.01,credit_loss:0.005,resync_period:256,resync_timeout:512";
+    }
+
+    const auto make_net_workload = [&config, torus]() {
+      const NetworkTopology topology =
+          torus ? NetworkTopology::torus2d(3, 3, config.ports)
+                : NetworkTopology::fat_tree(4, config.ports);
+      Rng rng(config.seed, 7);
+      CbrMixSpec mix;
+      mix.target_load = 0.35;
+      mix.classes = {kCbrHigh, kCbrMedium};
+      mix.class_weights = {3.0, 1.0};
+      return build_network_cbr_mix(config, topology, mix, rng);
+    };
+    const std::string tag = torus ? "torus" : "fattree";
+
+    // Serial reference: final metrics + state hash.
+    SimConfig ref_config = config;
+    MmrNetworkSimulation reference(ref_config, make_net_workload());
+    const NetworkMetrics ref_metrics = reference.run();
+    const std::uint64_t ref_hash = reference.state_hash();
+
+    // Checkpoint under the sharded engine...
+    SimConfig ck_config = config;
+    ck_config.net_threads = 2;
+    ck_config.snap_spec = "every:2000,prefix:" + ::testing::TempDir() +
+                          "/mmr_snap_shard_ck_" + tag;
+    MmrNetworkSimulation interrupted(ck_config, make_net_workload());
+    (void)interrupted.run();
+    const auto paths = interrupted.snapshot_manager()->checkpoints_written();
+    ASSERT_FALSE(paths.empty());
+
+    // ...and resume under serial, 2-shard and hardware-width engines: every
+    // combination must land on the serial reference bit for bit.
+    for (const std::uint32_t threads : {0u, 2u, hw}) {
+      SimConfig resume_config = config;
+      resume_config.net_threads = threads;
+      resume_config.snap_spec = "resume:" + paths[0] +
+                                ",prefix:" + ::testing::TempDir() +
+                                "/mmr_snap_shard_re_" + tag;
+      MmrNetworkSimulation resumed(resume_config, make_net_workload());
+      EXPECT_EQ(resumed.now(), 2000u);
+      const NetworkMetrics resumed_metrics = resumed.run();
+      EXPECT_EQ(resumed_metrics.flits_delivered, ref_metrics.flits_delivered)
+          << tag << " threads=" << threads;
+      EXPECT_EQ(resumed_metrics.flits_generated, ref_metrics.flits_generated);
+      EXPECT_EQ(resumed_metrics.flit_delay_us.mean(),
+                ref_metrics.flit_delay_us.mean());
+      EXPECT_EQ(resumed_metrics.degradation.flits_dropped,
+                ref_metrics.degradation.flits_dropped);
+      EXPECT_EQ(resumed.state_hash(), ref_hash)
+          << tag << " threads=" << threads;
+    }
+    for (const std::string& path : paths) std::remove(path.c_str());
+  }
 }
 
 }  // namespace

@@ -79,15 +79,104 @@ TEST(Topology, MeshShape) {
 }
 
 TEST(Topology, MeshRequiresLocalPortHeadroom) {
-  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // Factories validate and throw (ISSUE 9 satellite): degenerate parameters
+  // are caught at construction with the offending dimension in the message.
   // 3x3 has interior degree 4: 4 ports leave the centre router hostless.
-  EXPECT_DEATH((void)NetworkTopology::mesh(3, 3, 4), "local port");
+  EXPECT_THROW((void)NetworkTopology::mesh(3, 3, 4), std::invalid_argument);
+  try {
+    (void)NetworkTopology::mesh(3, 3, 4);
+    FAIL() << "mesh(3,3,4) must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("local port"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("3x3"), std::string::npos);
+  }
   // 2x2 uses direction indices up to S=3 (degree 2): 4 ports suffice and
   // each router keeps two local ports.
   const NetworkTopology small = NetworkTopology::mesh(2, 2, 4);
   EXPECT_EQ(small.channels(), 8u);
   EXPECT_EQ(small.local_input_ports(0).size(), 2u);
-  EXPECT_DEATH((void)NetworkTopology::mesh(2, 2, 3), "direction span");
+  try {
+    (void)NetworkTopology::mesh(2, 2, 3);
+    FAIL() << "mesh(2,2,3) must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("direction span"), std::string::npos);
+  }
+}
+
+TEST(Topology, FactoriesRejectDegenerateParameters) {
+  // Every factory names the offending dimension in its message.
+  try {
+    (void)NetworkTopology::mesh(0, 3, 5);
+    FAIL() << "mesh(0,3,5) must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("width=0"), std::string::npos);
+  }
+  EXPECT_THROW((void)NetworkTopology::mesh(3, 0, 5), std::invalid_argument);
+  EXPECT_THROW((void)NetworkTopology::mesh(1, 1, 5), std::invalid_argument);
+  try {
+    (void)NetworkTopology::bidirectional_ring(1, 4);
+    FAIL() << "1-router ring must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("routers=1"), std::string::npos);
+  }
+  EXPECT_THROW((void)NetworkTopology::bidirectional_ring(0, 4),
+               std::invalid_argument);
+  EXPECT_THROW((void)NetworkTopology::bidirectional_ring(4, 2),
+               std::invalid_argument);
+  EXPECT_THROW((void)NetworkTopology::line(1, 4), std::invalid_argument);
+  EXPECT_THROW((void)NetworkTopology::line(4, 2), std::invalid_argument);
+  EXPECT_THROW((void)NetworkTopology::torus2d(1, 4, 5),
+               std::invalid_argument);
+  EXPECT_THROW((void)NetworkTopology::torus2d(4, 1, 5),
+               std::invalid_argument);
+  try {
+    (void)NetworkTopology::torus2d(4, 4, 4);
+    FAIL() << "torus2d with 4 ports must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("ports_per_router=4"),
+              std::string::npos);
+  }
+  EXPECT_THROW((void)NetworkTopology::fat_tree(3, 4), std::invalid_argument);
+  EXPECT_THROW((void)NetworkTopology::fat_tree(0, 4), std::invalid_argument);
+  EXPECT_THROW((void)NetworkTopology::fat_tree(4, 3), std::invalid_argument);
+}
+
+TEST(Topology, Torus2dWrapsEveryDimension) {
+  const NetworkTopology torus = NetworkTopology::torus2d(4, 3, 5);
+  EXPECT_EQ(torus.routers(), 12u);
+  // Every router has degree 4: 2 channels per bidirectional link, 2 links
+  // owned per router (east, south) => 4 directed channels per router.
+  EXPECT_EQ(torus.channels(), 4u * 12u);
+  for (std::uint32_t r = 0; r < torus.routers(); ++r) {
+    EXPECT_EQ(torus.local_input_ports(r).size(), 1u) << "router " << r;
+  }
+  // Wraparound: router 3 (x=3,y=0) goes east to router 0; router 8 (y=2)
+  // goes south to router 0.
+  EXPECT_EQ(*torus.downstream(3, 0), (PortEndpoint{0, 1}));
+  EXPECT_EQ(*torus.downstream(8, 3), (PortEndpoint{0, 2}));
+}
+
+TEST(Topology, FatTreeStructure) {
+  const std::uint32_t k = 4;
+  const NetworkTopology tree = NetworkTopology::fat_tree(k, k);
+  // (k/2)^2 cores + k pods x (k/2 agg + k/2 edge) = 5k^2/4.
+  EXPECT_EQ(tree.routers(), 5 * k * k / 4);
+  // Each tier (edge-agg, agg-core) has k * (k/2) * (k/2) bidirectional
+  // links; two tiers, two directed channels per link.
+  EXPECT_EQ(tree.channels(), 4 * (k / 2) * (k / 2) * k);
+  const std::uint32_t first_edge = NetworkTopology::fat_tree_first_edge(k);
+  EXPECT_EQ(first_edge, 12u);
+  for (std::uint32_t r = 0; r < first_edge; ++r) {
+    EXPECT_TRUE(tree.local_input_ports(r).empty()) << "router " << r;
+  }
+  for (std::uint32_t r = first_edge; r < tree.routers(); ++r) {
+    // Edge switches keep k/2 host ports when ports_per_router == k.
+    EXPECT_EQ(tree.local_input_ports(r).size(), k / 2) << "router " << r;
+  }
+  // Paths between hosts in different pods climb to a core and back down.
+  const std::vector<Hop> path =
+      compute_path(tree, first_edge, 2, tree.routers() - 1, 2);
+  EXPECT_EQ(path.size(), 5u);  // edge, agg, core, agg, edge
 }
 
 TEST(Routing, MeshPathsAreManhattanShortest) {
