@@ -46,9 +46,14 @@ int main(int argc, char** argv) {
   snapshot::SignalGuard signals;
 
   const char* arbiters[2] = {"coa", "wfa"};
+  // Queue disciplines ride along: the shared-buffer books are kept at the
+  // accept/departure boundary, so pool conservation and the survival
+  // guarantee must hold whether flits sit in VC FIFOs, VOQs or crosspoints.
+  const char* qds[3] = {"", "voq", "cicq"};
 
   std::cout << "==== MMU soak: " << seeds
-            << " seeds x {credit, shared} x {coa, wfa} ====\n";
+            << " seeds x {credit, shared} x {coa, wfa} x {vc, voq, cicq} "
+               "====\n";
 
   std::uint64_t failures = 0;
   const auto fail = [&failures](std::uint64_t seed, const std::string& regime,
@@ -73,6 +78,7 @@ int main(int argc, char** argv) {
       config.seed = seed;
       config.arbiter = arbiters[seed % 2];
       config.audit_every = 512;  // MMU-aware auditor sweeps ride along
+      config.qd_spec = qds[seed % 3];
       config.flow_spec = shared ? "shared" : "";
       config.police_spec = shared ? "demote" : "";
       // One guaranteed rogue with bursty inflation; load and scale wobble

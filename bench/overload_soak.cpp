@@ -30,9 +30,13 @@ int main(int argc, char** argv) {
 
   const char* policies[3] = {"drop", "shape,penalty:48", "demote"};
   const char* arbiters[2] = {"coa", "wfa"};
+  // The queue-discipline axis rides along: policing happens at NIC
+  // injection, so its guarantees must hold identically over VOQ and CICQ
+  // buffering (cicq deliberately cycles both stabilization settings).
+  const char* qds[4] = {"", "voq", "cicq,stab:0", "cicq,stab:1"};
 
   std::cout << "==== Overload-protection soak: " << seeds
-            << " seeds x {drop, shape, demote} ====\n";
+            << " seeds x {drop, shape, demote} x {vc, voq, cicq} ====\n";
 
   std::uint64_t failures = 0;
   const auto fail = [&failures](std::uint64_t seed, const std::string& why) {
@@ -50,6 +54,7 @@ int main(int argc, char** argv) {
     config.arbiter = arbiters[seed % 2];
     config.audit_every = 256;  // periodic SimAuditor sweeps ride along
     config.police_spec = policies[seed % 3];
+    config.qd_spec = qds[seed % 4];
     // Two guaranteed rogues; scale and load wobble with the seed so the
     // policer sees both mild and saturating excess.
     // Scale starts at 3x: a 2x burst on a one-slot connection fits the

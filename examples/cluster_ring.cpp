@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "mmr/network/network.hpp"
+#include "mmr/router/qd_spec.hpp"
 #include "mmr/sim/table.hpp"
 #include "mmr/snapshot/signals.hpp"
 #include "mmr/snapshot/spec.hpp"
@@ -43,6 +44,8 @@ int main(int argc, char** argv) {
     // Fail fast on a bad trace= spec (parsed again at construction).
     if (!config.trace_spec.empty())
       (void)trace::TraceSpec::parse(config.trace_spec);
+    if (!config.qd_spec.empty())
+      (void)QdSpec::parse(config.qd_spec);
     snapshot::validate_spec(config);
     config.validate_network();  // e.g. flow=shared conflicts with a network
   } catch (const std::exception& error) {

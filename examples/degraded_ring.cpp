@@ -14,6 +14,7 @@
 #include <iostream>
 
 #include "mmr/network/network.hpp"
+#include "mmr/router/qd_spec.hpp"
 #include "mmr/snapshot/signals.hpp"
 #include "mmr/snapshot/spec.hpp"
 #include "mmr/trace/spec.hpp"
@@ -44,6 +45,8 @@ int main(int argc, char** argv) {
     (void)FaultPlan::parse(fault_spec);  // fail fast on a bad fault= spec
     if (!config.trace_spec.empty())
       (void)trace::TraceSpec::parse(config.trace_spec);
+    if (!config.qd_spec.empty())
+      (void)QdSpec::parse(config.qd_spec);
     snapshot::validate_spec(config);
     config.validate_network();  // e.g. flow=shared conflicts with a network
   } catch (const std::exception& error) {

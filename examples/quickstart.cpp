@@ -11,6 +11,7 @@
 #include "mmr/core/simulation.hpp"
 #include "mmr/mmu/spec.hpp"
 #include "mmr/overload/spec.hpp"
+#include "mmr/router/qd_spec.hpp"
 #include "mmr/sim/table.hpp"
 #include "mmr/snapshot/signals.hpp"
 #include "mmr/snapshot/spec.hpp"
@@ -30,6 +31,8 @@ int main(int argc, char** argv) {
       (void)mmr::overload::RogueSpec::parse(config.rogue_spec);
     if (!config.trace_spec.empty())
       (void)mmr::trace::TraceSpec::parse(config.trace_spec);
+    if (!config.qd_spec.empty())
+      (void)mmr::QdSpec::parse(config.qd_spec);
     mmr::snapshot::validate_spec(config);
     if (!config.flow_spec.empty())
       (void)mmr::mmu::MmuSpec::parse(config.flow_spec);

@@ -18,6 +18,7 @@
 #include <iostream>
 
 #include "mmr/core/simulation.hpp"
+#include "mmr/router/qd_spec.hpp"
 #include "mmr/snapshot/signals.hpp"
 #include "mmr/snapshot/spec.hpp"
 #include "mmr/trace/export.hpp"
@@ -36,6 +37,8 @@ int main(int argc, char** argv) {
     mmr::apply_overrides(config, overrides);
     // Fail fast on a bad trace= spec (parsed again at construction).
     (void)mmr::trace::TraceSpec::parse(config.trace_spec);
+    if (!config.qd_spec.empty())
+      (void)mmr::QdSpec::parse(config.qd_spec);
     mmr::snapshot::validate_spec(config);
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << '\n';

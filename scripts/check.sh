@@ -30,6 +30,10 @@ echo "=== MMU stage (incast survival verdict, credit vs flow=shared) ==="
 ./build/bench/incast_survival warmup=2000 measure=20000
 
 echo
+echo "=== CICQ stage (burst instability vs stabilization verdict) ==="
+./build/bench/cicq_stability warmup=5000 measure=40000
+
+echo
 echo "=== trace stage (lint self-test + smoke trace) ==="
 python3 scripts/trace_lint.py --check
 ./build/bench/trace_overhead warmup=500 measure=3000 \

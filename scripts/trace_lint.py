@@ -11,7 +11,9 @@ Checks, per file:
   * the header's `events` count matches the number of event lines
   * for complete stream traces (mode == stream, truncated == 0): per
     (node, connection), crossbar traversals never outnumber VC enqueues —
-    a flit cannot cross the switch it was never buffered in
+    a flit cannot cross the switch it was never buffered in — and, for
+    qd=cicq traces, crosspoint drains (xp_grant) never outnumber crosspoint
+    fills (xp_enqueue), which never outnumber VC enqueues
 
 Usage:
   trace_lint.py [--check] [FILE...]
@@ -39,7 +41,7 @@ EVENT_TYPES = {
     "inject", "police", "shape_release", "vc_enqueue", "candidate",
     "grant", "grant_reason", "deny", "xbar", "credit_return", "deliver",
     "deadline_miss", "fault", "watchdog", "audit_sweep", "admit", "release",
-    "pause", "resume", "ecn_mark", "mmu_drop",
+    "pause", "resume", "ecn_mark", "mmu_drop", "xp_enqueue", "xp_grant",
 }
 # Control-plane events are node-scoped; their port/VC fields are not
 # meaningful and are excluded from the bounds checks.
@@ -81,6 +83,8 @@ def lint_lines(lines, name="<input>"):
     last_cycle = -1
     enqueues = {}  # (node, conn) -> count
     xbars = {}
+    xp_fills = {}
+    xp_drains = {}
     event_count = 0
 
     for line_no, line in rows[1:]:
@@ -128,6 +132,10 @@ def lint_lines(lines, name="<input>"):
                 enqueues[key] = enqueues.get(key, 0) + 1
             elif etype == "xbar":
                 xbars[key] = xbars.get(key, 0) + 1
+            elif etype == "xp_enqueue":
+                xp_fills[key] = xp_fills.get(key, 0) + 1
+            elif etype == "xp_grant":
+                xp_drains[key] = xp_drains.get(key, 0) + 1
 
     if event_count != header["events"]:
         err(head_no, f"header claims {header['events']} events but the file "
@@ -140,6 +148,22 @@ def lint_lines(lines, name="<input>"):
                 node, conn = key
                 err(head_no, f"node {node} connection {conn}: {crossed} xbar "
                              f"events but only {queued} vc_enqueue events")
+        # Crosspoint flow conservation (qd=cicq): a flit reaches a
+        # crosspoint from a VOQ and leaves it at most once.
+        for key, filled in sorted(xp_fills.items()):
+            queued = enqueues.get(key, 0)
+            if filled > queued:
+                node, conn = key
+                err(head_no, f"node {node} connection {conn}: {filled} "
+                             f"xp_enqueue events but only {queued} "
+                             f"vc_enqueue events")
+        for key, drained in sorted(xp_drains.items()):
+            filled = xp_fills.get(key, 0)
+            if drained > filled:
+                node, conn = key
+                err(head_no, f"node {node} connection {conn}: {drained} "
+                             f"xp_grant events but only {filled} "
+                             f"xp_enqueue events")
     return errors
 
 
@@ -175,7 +199,13 @@ def _good_trace():
                               input=1, a=24, b=4)),
              json.dumps(event(cycle=4, type="mmu_drop", vc=2, a=13, b=55)),
              json.dumps(event(cycle=5, type="resume", conn=NO_CONNECTION,
-                              input=1, a=12, b=2))]
+                              input=1, a=12, b=2)),
+             json.dumps(event(cycle=6, type="vc_enqueue", conn=8)),
+             json.dumps(event(cycle=6, type="xp_enqueue", conn=8, output=1,
+                              a=3, b=1)),
+             json.dumps(event(cycle=7, type="xp_grant", conn=8, output=1,
+                              a=3, b=0)),
+             json.dumps(event(cycle=7, type="xbar", conn=8, output=1))]
     header["events"] = len(lines) - 1
     lines[0] = json.dumps(header)
     return lines
@@ -217,8 +247,25 @@ def self_test():
 
     bad = list(good)
     del bad[1]  # drop the vc_enqueue, keep the xbar
-    bad[0] = json.dumps({**json.loads(bad[0]), "events": 6})
+    bad[0] = json.dumps({**json.loads(bad[0]),
+                         "events": json.loads(bad[0])["events"] - 1})
     cases.append(("xbar without enqueue", bad, True))
+
+    bad = list(good)
+    del bad[-3]  # drop connection 8's xp_enqueue, keep its xp_grant
+    bad[0] = json.dumps({**json.loads(bad[0]),
+                         "events": json.loads(bad[0])["events"] - 1})
+    cases.append(("xp_grant without xp_enqueue", bad, True))
+
+    bad = list(good)
+    del bad[-4]  # drop connection 8's vc_enqueue, keep its xp_enqueue
+    bad[0] = json.dumps({**json.loads(bad[0]),
+                         "events": json.loads(bad[0])["events"] - 1})
+    cases.append(("xp_enqueue without vc_enqueue", bad, True))
+
+    bad = list(good)
+    bad[-2] = bad[-2].replace("xp_grant", "xp_teleport")
+    cases.append(("unknown crosspoint type", bad, True))
 
     failures = 0
     for label, lines, expect_errors in cases:

@@ -9,6 +9,7 @@
 #include "mmr/arbiter/islip.hpp"
 #include "mmr/arbiter/maxmatch.hpp"
 #include "mmr/arbiter/pim.hpp"
+#include "mmr/arbiter/rr.hpp"
 #include "mmr/arbiter/wavefront.hpp"
 
 namespace mmr {
@@ -38,6 +39,8 @@ std::unique_ptr<SwitchArbiter> make_arbiter(const std::string& name,
   if (name == "greedy")
     return std::make_unique<GreedyPriorityArbiter>(ports, rng);
   if (name == "maxmatch") return std::make_unique<MaxMatchArbiter>(ports);
+  if (name == "rr") return std::make_unique<RoundRobinArbiter>(ports);
+  if (name == "rr-scan") return std::make_unique<RoundRobinScanArbiter>(ports);
 
   std::string valid;
   for (const std::string& n : arbiter_names()) {
@@ -52,7 +55,7 @@ const std::vector<std::string>& arbiter_names() {
   static const std::vector<std::string> names = {
       "coa",  "coa-np", "coa-scan",   "wfa", "wfa-scan", "wfa-fixed",
       "wwfa", "islip",  "islip1",     "islip-scan",      "pim",
-      "pim1", "pim-scan", "greedy",   "maxmatch"};
+      "pim1", "pim-scan", "greedy",   "maxmatch", "rr",  "rr-scan"};
   return names;
 }
 
@@ -62,6 +65,7 @@ const std::vector<std::pair<std::string, std::string>>& arbiter_twin_pairs() {
       {"wfa", "wfa-scan"},
       {"islip", "islip-scan"},
       {"pim", "pim-scan"},
+      {"rr", "rr-scan"},
   };
   return pairs;
 }
@@ -95,6 +99,11 @@ const ArbiterTraits& arbiter_traits(const std::string& name) {
       {"pim-scan", {.iteration_bounded = true}},
       {"greedy", {.maximal = true, .priority_ordered = true}},
       {"maxmatch", {.maximal = true, .exact_maximum = true}},
+      // Single grant/accept round, pointers advance unconditionally: not
+      // maximal, and deliberately not rotation-fair (the synchronized-
+      // pointer pathology is the behavior qd=cicq studies).
+      {"rr", {.iteration_bounded = true}},
+      {"rr-scan", {.iteration_bounded = true}},
   };
   const auto it = traits.find(name);
   if (it == traits.end()) {
@@ -107,7 +116,9 @@ const ArbiterTraits& arbiter_traits(const std::string& name) {
 std::uint32_t arbiter_iterations(const std::string& name,
                                  std::uint32_t ports) {
   // Mirrors the iteration defaults the constructors above apply.
-  if (name == "islip1" || name == "pim1") return 1;
+  if (name == "islip1" || name == "pim1" || name == "rr" ||
+      name == "rr-scan")
+    return 1;
   if (name == "islip" || name == "pim" || name == "islip-scan" ||
       name == "pim-scan")
     return std::bit_width(ports) + 1u;

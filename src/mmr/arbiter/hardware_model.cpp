@@ -124,6 +124,13 @@ HardwareEstimate estimate_arbiter(const std::string& name,
     return {2.0 * p * enc.gate_equivalents + 16.0 * p,
             iterations * 2.0 * enc.critical_path_gates};
   }
+  if (name == "rr" || name == "rr-scan") {
+    // One grant/accept round of the iSLIP datapath: the same P+P encoder
+    // banks and pointer registers, one traversal of the decision path.
+    const HardwareEstimate enc = hw::priority_encoder(ports);
+    return {2.0 * p * enc.gate_equivalents + 16.0 * p,
+            2.0 * enc.critical_path_gates};
+  }
   if (name == "pim" || name == "pim1" || name == "pim-scan") {
     const double iterations = name == "pim1" ? 1.0 : iterations_log;
     const HardwareEstimate enc = hw::priority_encoder(ports);

@@ -15,8 +15,15 @@ std::uint32_t credit_accounted_slots(const CreditManager& credits,
                                      const LinkPipeline& pipe,
                                      const VirtualChannelMemory& vcm,
                                      std::uint32_t vc) {
+  return credit_accounted_slots(credits, pipe, vcm.occupancy(vc), vc);
+}
+
+std::uint32_t credit_accounted_slots(const CreditManager& credits,
+                                     const LinkPipeline& pipe,
+                                     std::uint32_t buffered,
+                                     std::uint32_t vc) {
   return credits.credits(vc) + credits.pending_for(vc) +
-         pipe.in_flight_on_vc(vc) + vcm.occupancy(vc);
+         pipe.in_flight_on_vc(vc) + buffered;
 }
 
 SimAuditor::SimAuditor(const SimConfig& config)
@@ -36,13 +43,17 @@ void SimAuditor::on_cycle(Cycle now, const MmrRouter& router,
                           const mmu::SharedBufferMmu* mmu) {
   ++cycles_;
 
-  // The crossbar forwards at most one flit per input and per output port
-  // per scheduling cycle.
+  // The crossbar forwards at most one flit per output port per scheduling
+  // cycle under every discipline.  The one-per-input law only holds for the
+  // matching-based disciplines: CICQ crosspoint buffers decouple the stages,
+  // so one input's flits may legitimately leave several outputs in a cycle.
+  const bool matching_based =
+      router.queue_discipline() != QueueDiscipline::kCicq;
   std::fill(input_used_.begin(), input_used_.end(), std::uint8_t{0});
   std::fill(output_used_.begin(), output_used_.end(), std::uint8_t{0});
   for (const MmrRouter::Departure& d : departures) {
     MMR_ASSERT(d.input < ports_ && d.output < ports_ && d.vc < vcs_);
-    MMR_ASSERT_MSG(!input_used_[d.input],
+    MMR_ASSERT_MSG(!matching_based || !input_used_[d.input],
                    "audit: two departures from one input in one cycle");
     MMR_ASSERT_MSG(!output_used_[d.output],
                    "audit: two departures onto one output in one cycle");
@@ -85,17 +96,18 @@ void SimAuditor::sweep(const MmrRouter& router, const std::vector<Nic>& nics,
   std::uint64_t buffered = 0;
   for (std::uint32_t port = 0; port < ports_; ++port) {
     const Nic& nic = nics[port];
-    const VirtualChannelMemory& vcm = router.vcm(port);
     const std::uint32_t capacity = nic.credits().capacity_per_vc();
     std::uint64_t queued = 0;
     for (std::uint32_t vc = 0; vc < vcs_; ++vc) {
       // Credit conservation: every VC buffer slot is an available credit, a
-      // credit travelling back, a flit on the wire, or a buffered flit.
+      // credit travelling back, a flit on the wire, or a flit the router
+      // holds for the VC (VC FIFO, VOQs, or crosspoints, per discipline).
       // The single-router engine has no faults, so equality is exact.
-      MMR_ASSERT_MSG(credit_accounted_slots(nic.credits(), links[port], vcm,
+      const std::uint32_t held = router.vc_occupancy(port, vc);
+      MMR_ASSERT_MSG(credit_accounted_slots(nic.credits(), links[port], held,
                                             vc) == capacity,
                      "audit: credit conservation violated");
-      buffered += vcm.occupancy(vc);
+      buffered += held;
       queued += nic.queued(vc);
     }
     // NIC bandwidth accounting: everything deposited either left on the
@@ -104,9 +116,9 @@ void SimAuditor::sweep(const MmrRouter& router, const std::vector<Nic>& nics,
                    "audit: NIC deposited/sent/queued accounting broken");
   }
   // Router bandwidth accounting: lifetime accepted - departed - drained
-  // must equal what the VCMs hold right now.
+  // must equal what the input buffers (plus crosspoints) hold right now.
   MMR_ASSERT_MSG(router.flits_buffered() == buffered,
-                 "audit: router flit accounting disagrees with VCM contents");
+                 "audit: router flit accounting disagrees with its buffers");
 
   // MMU pool conservation (flow=shared runs): reserved + shared + headroom
   // charges must balance to the flit against the buffered occupancy, and

@@ -40,6 +40,14 @@ namespace mmr::audit {
     const CreditManager& credits, const LinkPipeline& pipe,
     const VirtualChannelMemory& vcm, std::uint32_t vc);
 
+/// Discipline-agnostic form: `buffered` is however many of the VC's flits
+/// the router currently holds, wherever its queue discipline buffers them
+/// (VC FIFO, VOQs, crosspoint buffers) — MmrRouter::vc_occupancy().
+[[nodiscard]] std::uint32_t credit_accounted_slots(const CreditManager& credits,
+                                                   const LinkPipeline& pipe,
+                                                   std::uint32_t buffered,
+                                                   std::uint32_t vc);
+
 class SimAuditor {
  public:
   /// `config.audit_every` sets the sweep period (the caller only constructs

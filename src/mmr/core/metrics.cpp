@@ -115,6 +115,16 @@ SimulationMetrics merge_runs(const std::vector<SimulationMetrics>& runs) {
     mm.ecn_marked += rm.ecn_marked;
     mm.ecn_eligible += rm.ecn_eligible;
     mm.ecn_cuts += rm.ecn_cuts;
+    MMR_ASSERT_MSG(run.queue_discipline == merged.queue_discipline,
+                   "can only merge runs of the same queue discipline");
+    MMR_ASSERT_MSG(run.cicq.enabled == merged.cicq.enabled &&
+                       run.cicq.stabilized == merged.cicq.stabilized,
+                   "can only merge runs with the same crosspoint setup");
+    merged.cicq.transfers += run.cicq.transfers;
+    merged.cicq.credit_stalls += run.cicq.credit_stalls;
+    merged.cicq.burst_activations += run.cicq.burst_activations;
+    merged.cicq.burst_deactivations += run.cicq.burst_deactivations;
+
     // Per-connection vectors are not comparable across workload
     // realisations; only the pooled index survives a merge.
     merged.generated_per_connection.clear();
@@ -266,6 +276,25 @@ SimulationMetrics MetricsCollector::finalize(const MmrRouter& router,
                                              std::uint64_t backlog) const {
   SimulationMetrics m;
   m.arbiter = router.arbiter().name();
+  switch (router.queue_discipline()) {
+    case QueueDiscipline::kVc:
+      m.queue_discipline = "vc";
+      break;
+    case QueueDiscipline::kVoq:
+      m.queue_discipline = "voq";
+      break;
+    case QueueDiscipline::kCicq:
+      m.queue_discipline = "cicq";
+      break;
+  }
+  if (const CicqFabric* fabric = router.cicq()) {
+    m.cicq.enabled = true;
+    m.cicq.stabilized = fabric->spec().stabilize;
+    m.cicq.transfers = fabric->transfers();
+    m.cicq.credit_stalls = fabric->credit_stalls();
+    m.cicq.burst_activations = fabric->burst_activations();
+    m.cicq.burst_deactivations = fabric->burst_deactivations();
+  }
   m.flit_cycle_us = time_base_.flit_cycle_us();
   m.generated_load_nominal = generated_load_nominal;
 

@@ -185,8 +185,20 @@ struct MmuMetrics {
   }
 };
 
+/// Crosspoint-fabric accounting produced by `qd=cicq` runs (see
+/// mmr/router/cicq.hpp).  All-zero / disabled otherwise.
+struct CicqMetrics {
+  bool enabled = false;      ///< the crosspoint fabric was active
+  bool stabilized = false;   ///< burst stabilization (stab:1) was on
+  std::uint64_t transfers = 0;         ///< VOQ -> crosspoint moves
+  std::uint64_t credit_stalls = 0;     ///< input cycles blocked only on credit
+  std::uint64_t burst_activations = 0;   ///< parked credits unlocked
+  std::uint64_t burst_deactivations = 0; ///< bursts drained, credits parked
+};
+
 struct SimulationMetrics {
   std::string arbiter;
+  std::string queue_discipline = "vc";  ///< qd= axis: vc | voq | cicq
   double flit_cycle_us = 0.0;
 
   // Load accounting (fractions of aggregate link bandwidth).
@@ -221,6 +233,9 @@ struct SimulationMetrics {
 
   // Shared-buffer MMU backpressure (mmr/mmu/); disabled unless flow=shared.
   MmuMetrics mmu;
+
+  // Crosspoint fabric (mmr/router/cicq.hpp); disabled unless qd=cicq.
+  CicqMetrics cicq;
 
   // Fairness (Section 3's "efficient and fair resource scheduling"):
   // Jain's index over per-connection delivered/offered shares; 1.0 means

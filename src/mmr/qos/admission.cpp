@@ -42,6 +42,10 @@ bool AdmissionController::try_admit(ConnectionDescriptor& descriptor) {
 
   MMR_ASSERT(descriptor.mean_bandwidth_bps > 0.0);
   MMR_ASSERT(descriptor.peak_bandwidth_bps >= descriptor.mean_bandwidth_bps);
+  // A request beyond the link itself can never be honoured: reject before
+  // slot conversion, where the clamp would disguise it as a full-rate
+  // (round-sized) reservation that fits an empty link.
+  if (rounds_.oversubscribed(descriptor.mean_bandwidth_bps)) return false;
   const std::uint32_t mean_slots =
       rounds_.slots_for_bandwidth(descriptor.mean_bandwidth_bps);
   // CBR connections have peak == mean: rule (b) then collapses into (a)

@@ -36,7 +36,9 @@ Priority iabp_priority(double iat_router_cycles,
       static_cast<double>(age_router_cycles) / iat_router_cycles;
   const double scaled = std::ceil(ratio * 65536.0);
   if (scaled >= static_cast<double>(kPriorityCap)) return kPriorityCap;
-  return static_cast<Priority>(scaled);
+  // Floor at 1: an age-0 QoS flit must not tie with priority-0 best-effort
+  // traffic in mixed comparisons (SIABP's floor is slots_per_round >= 1).
+  return scaled < 1.0 ? Priority{1} : static_cast<Priority>(scaled);
 }
 
 Priority PriorityFunction::operator()(const QosParams& qos,

@@ -17,7 +17,17 @@ std::uint32_t RoundAccounting::slots_for_bandwidth(double bps) const {
   if (bps == 0.0) return 0;
   const double fraction = time_base_.load_fraction(bps);
   const double slots = std::ceil(fraction * static_cast<double>(round_));
-  return static_cast<std::uint32_t>(std::fmax(1.0, slots));
+  // A round only holds round_ slots: a reservation can never exceed the
+  // link.  Callers that must distinguish "full link" from "over the link"
+  // (the admission boundary) check oversubscribed() before converting.
+  const double clamped =
+      std::fmin(static_cast<double>(round_), std::fmax(1.0, slots));
+  return static_cast<std::uint32_t>(clamped);
+}
+
+bool RoundAccounting::oversubscribed(double bps) const {
+  MMR_ASSERT(bps >= 0.0);
+  return time_base_.load_fraction(bps) > 1.0;
 }
 
 double RoundAccounting::bandwidth_for_slots(std::uint32_t slots) const {

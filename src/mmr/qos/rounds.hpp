@@ -21,8 +21,15 @@ class RoundAccounting {
 
   /// Slots per round needed to carry `bps` average bandwidth.  Rounds up;
   /// any positive bandwidth reserves at least one slot (the scheduling
-  /// granularity of the hardware).
+  /// granularity of the hardware) and at most a full round (the link has no
+  /// more slots to give — see oversubscribed() for the explicit check).
   [[nodiscard]] std::uint32_t slots_for_bandwidth(double bps) const;
+
+  /// True when `bps` exceeds the link: its load fraction is > 1, so no slot
+  /// count in a round can carry it.  The admission boundary rejects such
+  /// requests outright instead of letting the clamped slot count pass as a
+  /// full-rate reservation.
+  [[nodiscard]] bool oversubscribed(double bps) const;
 
   /// Bandwidth (bps) that `slots` per round actually provide.
   [[nodiscard]] double bandwidth_for_slots(std::uint32_t slots) const;

@@ -58,6 +58,13 @@ void CreditManager::restore(std::uint32_t vc, std::uint32_t count) {
   credits_[vc] += count;
 }
 
+void CreditManager::reclaim(std::uint32_t vc, std::uint32_t count) {
+  MMR_ASSERT(vc < vcs());
+  MMR_ASSERT_MSG(credits_[vc] >= count,
+                 "reclaim of credits that are not currently available");
+  credits_[vc] -= count;
+}
+
 void CreditManager::check_invariants() const {
   // Conservation: credits held + credits travelling back never exceed the
   // per-VC budget (the remainder are slots occupied in the router).

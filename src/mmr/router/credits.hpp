@@ -54,8 +54,17 @@ class CreditManager {
   /// Fault recovery: re-creates `count` credits that leaked (their flits
   /// were lost on a faulty link, so no release() will ever arrive).  The
   /// caller — the credit-resync watchdog — is responsible for having audited
-  /// that the credits are genuinely unaccounted for.
+  /// that the credits are genuinely unaccounted for.  The CICQ burst-
+  /// stabilization protocol uses the same entry point to unlock a
+  /// crosspoint's parked credits when a VOQ backs up.
   void restore(std::uint32_t vc, std::uint32_t count);
+
+  /// Inverse of restore(): parks `count` of `vc`'s immediately available
+  /// credits so they cannot be consumed (CICQ base allotment — a crosspoint
+  /// exposes one credit until burst stabilization unlocks its full depth).
+  /// Only credits currently held can be parked; in-flight returns and
+  /// occupied slots are untouchable.
+  void reclaim(std::uint32_t vc, std::uint32_t count);
 
   void check_invariants() const;
 

@@ -26,6 +26,26 @@ void Crossbar::apply(const Matching& matching, bool measure) {
   }
 }
 
+void Crossbar::apply_outputs(const std::vector<std::int32_t>& input_of_output,
+                             bool measure) {
+  MMR_ASSERT(input_of_output.size() == input_of_output_.size());
+  std::uint32_t changed = 0;
+  std::uint32_t served = 0;
+  for (std::uint32_t out = 0; out < ports(); ++out) {
+    const std::int32_t in = input_of_output[out];
+    if (in != -1) ++served;
+    if (in != input_of_output_[out]) {
+      ++changed;
+      input_of_output_[out] = in;
+    }
+  }
+  if (measure) {
+    utilization_.add(served, ports());
+    reconfigurations_.add(changed, 1);
+    matching_size_.add(static_cast<double>(served));
+  }
+}
+
 std::int32_t Crossbar::input_of(std::uint32_t output) const {
   MMR_ASSERT(output < ports());
   return input_of_output_[output];

@@ -28,6 +28,13 @@ class Crossbar {
   /// window only when `measure` is set (warmup exclusion).
   void apply(const Matching& matching, bool measure);
 
+  /// CICQ variant: the output stage picks an input per output independently
+  /// (crosspoint buffers decouple the stages), so the configuration is not
+  /// a one-to-one matching — the same input may feed several outputs in a
+  /// cycle.  `input_of_output[out]` is the serving input or -1 for idle.
+  void apply_outputs(const std::vector<std::int32_t>& input_of_output,
+                     bool measure);
+
   /// Input currently connected to `output`, or -1.
   [[nodiscard]] std::int32_t input_of(std::uint32_t output) const;
 

@@ -4,6 +4,14 @@
 // step() performs one scheduling cycle: candidate selection on every input
 // link, switch arbitration, and synchronous flit forwarding through the
 // crossbar.
+//
+// The queue-discipline axis (`qd=`, mmr/router/qd_spec.hpp) swaps the input
+// buffering and scheduling stage while keeping the same external contract
+// (accept / step / Departure / credit accounting):
+//   * kVc (default) — per-VC FIFOs + link scheduler + switch arbiter;
+//   * kVoq — per-input virtual output queues feeding the same arbiter;
+//   * kCicq — VOQs + per-crosspoint buffers with independent RR input and
+//     output schedulers (no central arbiter; see mmr/router/cicq.hpp).
 #pragma once
 
 #include <functional>
@@ -13,9 +21,12 @@
 #include "mmr/arbiter/factory.hpp"
 #include "mmr/qos/connection.hpp"
 #include "mmr/qos/rounds.hpp"
+#include "mmr/router/cicq.hpp"
 #include "mmr/router/crossbar.hpp"
 #include "mmr/router/link_scheduler.hpp"
+#include "mmr/router/qd_spec.hpp"
 #include "mmr/router/vcm.hpp"
+#include "mmr/router/voq.hpp"
 #include "mmr/sim/config.hpp"
 
 namespace mmr {
@@ -37,6 +48,9 @@ class MmrRouter {
   };
 
   [[nodiscard]] std::uint32_t ports() const { return ports_; }
+  [[nodiscard]] QueueDiscipline queue_discipline() const {
+    return qd_.discipline;
+  }
 
   [[nodiscard]] bool can_accept(std::uint32_t input, std::uint32_t vc) const;
   void accept(std::uint32_t input, std::uint32_t vc, const Flit& flit,
@@ -63,10 +77,22 @@ class MmrRouter {
 
   /// Fault teardown: discards every flit buffered on (input, vc).  Returns
   /// how many were discarded; the caller settles the upstream credits.
+  /// Only supported under the per-VC discipline (the network layer, its one
+  /// caller, rejects qd=voq/cicq at parse).
   std::uint32_t drain_vc(std::uint32_t input, std::uint32_t vc);
 
   [[nodiscard]] const Crossbar& crossbar() const { return crossbar_; }
+  /// Per-VC buffer state; only valid under the per-VC discipline.
   [[nodiscard]] const VirtualChannelMemory& vcm(std::uint32_t input) const;
+  /// VOQ state; only valid under qd=voq / qd=cicq.
+  [[nodiscard]] const VoqMemory& voq(std::uint32_t input) const;
+  /// Crosspoint fabric; non-null only under qd=cicq.
+  [[nodiscard]] const CicqFabric* cicq() const { return cicq_.get(); }
+  /// Flits of (input, vc) currently inside the router, whatever the
+  /// discipline buffers them in (VC FIFO, VOQs, crosspoints).  This is the
+  /// quantity the NIC credit loop and the conservation audit balance.
+  [[nodiscard]] std::uint32_t vc_occupancy(std::uint32_t input,
+                                           std::uint32_t vc) const;
   [[nodiscard]] const SwitchArbiter& arbiter() const { return *arbiter_; }
   [[nodiscard]] std::uint64_t flits_accepted() const { return accepted_; }
   [[nodiscard]] std::uint64_t flits_departed() const { return departed_; }
@@ -79,19 +105,32 @@ class MmrRouter {
 
   void check_invariants() const;
 
-  /// Checkpoint walk: VCMs, schedulers, arbiter internals, crossbar, flit
-  /// counters.
+  /// Checkpoint walk: buffers (VCMs / VOQs / crosspoints per discipline),
+  /// schedulers, arbiter internals, crossbar, flit counters.
   void snap(snapshot::Walker& w);
 
  private:
+  void step_vc(Cycle now, bool measure, std::vector<Departure>& departures);
+  void step_voq(Cycle now, bool measure, std::vector<Departure>& departures);
+  void step_cicq(Cycle now, bool measure, std::vector<Departure>& departures);
+
   std::uint32_t ports_;
+  QdSpec qd_;
   EligibilityFn eligibility_;
-  std::vector<VirtualChannelMemory> vcms_;
-  std::vector<LinkScheduler> link_schedulers_;
+  std::vector<VirtualChannelMemory> vcms_;      ///< kVc only
+  std::vector<LinkScheduler> link_schedulers_;  ///< kVc only
+  std::vector<VoqMemory> voqs_;                 ///< kVoq / kCicq
+  std::vector<VoqScheduler> voq_schedulers_;    ///< kVoq only
+  /// kVoq / kCicq: VC -> output routing used at accept() (the per-VC
+  /// disciplines carry it inside their link schedulers instead).
+  std::vector<std::vector<std::uint32_t>> voq_output_of_vc_;
+  std::unique_ptr<CicqFabric> cicq_;            ///< kCicq only
   std::unique_ptr<SwitchArbiter> arbiter_;
   Crossbar crossbar_;
   CandidateSet candidates_;
   Matching matching_;  ///< reused across cycles (allocation-free steady state)
+  std::vector<CicqFabric::Drained> drained_scratch_;
+  std::vector<std::int32_t> xp_pick_scratch_;
   std::uint64_t accepted_ = 0;
   std::uint64_t departed_ = 0;
   std::uint64_t drained_ = 0;

@@ -59,6 +59,13 @@ void SimConfig::validate_network() const {
         "only; drop flow= (or set flow=credit), or run the single-router "
         "simulation");
   }
+  if (!vc_discipline()) {
+    throw std::invalid_argument(
+        "error: conflicting keys qd=" + qd_spec +
+        " with a multi-router network run: VOQ/CICQ queue disciplines are "
+        "single-router regimes and the network layer supports qd=vc only; "
+        "drop qd= (or set qd=vc), or run the single-router simulation");
+  }
 }
 
 namespace {
@@ -92,7 +99,7 @@ constexpr const char* kValidKeys =
     "ports, vcs, link_bps, flit_bits, phit_bits, buffer_flits, levels, "
     "link_latency, credit_latency, round_multiple, concurrency_factor, "
     "priority, arbiter, seed, warmup, measure, fault, flow, audit, police, "
-    "rogue, trace, snap, net_threads";
+    "rogue, trace, snap, qd, net_threads";
 
 /// Largest accepted net_threads: far above any real machine, small enough
 /// to catch a mistyped value before it allocates per-shard state.
@@ -170,6 +177,8 @@ std::vector<std::string> apply_overrides(
       config.trace_spec = value;
     } else if (key == "snap") {
       config.snap_spec = value;
+    } else if (key == "qd") {
+      config.qd_spec = value;
     } else if (key == "net_threads") {
       if (value == "hw") {
         config.net_threads = std::max(1u, std::thread::hardware_concurrency());

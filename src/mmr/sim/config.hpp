@@ -100,6 +100,16 @@ struct SimConfig {
   /// are bit-identical to a build without the subsystem.
   std::string snap_spec;
 
+  // --- queue discipline (mmr/router/qd_spec.hpp) ----------------------------
+  /// Textual QdSpec: "vc" for the paper's per-VC input queueing, "voq" for
+  /// per-input virtual output queues in front of the same SwitchArbiter API,
+  /// or "cicq[,stab:0|1][,xp:N][,thresh:N]" for combined input-crosspoint
+  /// queueing with RR/RR scheduling and the burst-stabilization credit
+  /// protocol.  Empty = per-VC discipline with none of the VOQ/CICQ
+  /// machinery constructed; results are bit-identical to a build without
+  /// the subsystem.
+  std::string qd_spec;
+
   // --- sharded network engine (mmr/network/) --------------------------------
   /// Worker shards for the multi-router network simulation.  0 (unset) and 1
   /// both run the original single-threaded engine — bit-identical to a build
@@ -133,6 +143,11 @@ struct SimConfig {
   /// this layer.)
   [[nodiscard]] bool shared_flow() const {
     return flow_spec.rfind("shared", 0) == 0;
+  }
+  /// True when qd= selects the paper's per-VC discipline (the default).
+  /// Cheap test; full parsing and validation live in mmr::QdSpec.
+  [[nodiscard]] bool vc_discipline() const {
+    return qd_spec.empty() || qd_spec == "vc";
   }
 
   /// Aborts with a readable message when a field combination is nonsense.

@@ -130,6 +130,7 @@ std::uint64_t config_digest(const SimConfig& config) {
   fold_str(hash, config.rogue_spec);
   fold_str(hash, config.flow_spec);
   fold_str(hash, config.trace_spec);
+  fold_str(hash, config.qd_spec);
   fold(hash, config.audit_every);
   return hash;
 }

@@ -25,6 +25,8 @@ const char* to_string(EventType type) {
     case EventType::kMmuResume: return "resume";
     case EventType::kEcnMark: return "ecn_mark";
     case EventType::kMmuDrop: return "mmu_drop";
+    case EventType::kXpEnqueue: return "xp_enqueue";
+    case EventType::kXpGrant: return "xp_grant";
   }
   return "unknown";
 }

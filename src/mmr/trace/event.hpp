@@ -40,9 +40,11 @@ enum class EventType : std::uint8_t {
   kMmuResume,     ///< shared-buffer MMU fired Xon towards a NIC
   kEcnMark,       ///< admission marked a flit (occupancy past kmin)
   kMmuDrop,       ///< MMU refused admission (lossy class, buffers full)
+  kXpEnqueue,     ///< CICQ input stage moved a VOQ head into a crosspoint
+  kXpGrant,       ///< CICQ output scheduler drained a crosspoint buffer
 };
 
-inline constexpr std::size_t kEventTypeCount = 21;
+inline constexpr std::size_t kEventTypeCount = 23;
 
 /// `level` codes for kPolice events.
 enum class PoliceAction : std::uint8_t {
@@ -353,6 +355,42 @@ inline Event mmu_drop_event(Cycle now, std::uint32_t input, std::uint32_t vc,
   e.cycle = now;
   e.type = EventType::kMmuDrop;
   e.input = static_cast<std::uint16_t>(input);
+  e.vc = vc;
+  e.connection = connection;
+  e.a = seq;
+  e.b = occupancy;
+  return e;
+}
+
+/// CICQ input stage: a VOQ head crossed into crosspoint (input, output).
+/// a = flit seq, b = crosspoint occupancy after the transfer.
+inline Event xp_enqueue_event(Cycle now, std::uint32_t input,
+                              std::uint32_t output, std::uint32_t vc,
+                              std::uint32_t connection, std::uint64_t seq,
+                              std::uint64_t occupancy) {
+  Event e;
+  e.cycle = now;
+  e.type = EventType::kXpEnqueue;
+  e.input = static_cast<std::uint16_t>(input);
+  e.output = static_cast<std::uint16_t>(output);
+  e.vc = vc;
+  e.connection = connection;
+  e.a = seq;
+  e.b = occupancy;
+  return e;
+}
+
+/// CICQ output stage: the round-robin output scheduler drained crosspoint
+/// (input, output).  a = flit seq, b = crosspoint occupancy after the drain.
+inline Event xp_grant_event(Cycle now, std::uint32_t input,
+                            std::uint32_t output, std::uint32_t vc,
+                            std::uint32_t connection, std::uint64_t seq,
+                            std::uint64_t occupancy) {
+  Event e;
+  e.cycle = now;
+  e.type = EventType::kXpGrant;
+  e.input = static_cast<std::uint16_t>(input);
+  e.output = static_cast<std::uint16_t>(output);
   e.vc = vc;
   e.connection = connection;
   e.a = seq;

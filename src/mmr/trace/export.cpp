@@ -123,9 +123,10 @@ void write_chrome(std::ostream& out, const TraceMeta& meta,
 std::string render_connection_summary(const std::vector<Event>& events) {
   // Only connection-carrying lifecycle types get a column; arbitration
   // events (candidate/grant/deny) are port-scoped and have no connection.
-  static constexpr std::array<EventType, 9> kColumns = {
+  static constexpr std::array<EventType, 11> kColumns = {
       EventType::kInject,     EventType::kPolice,
       EventType::kShapeRelease, EventType::kVcEnqueue,
+      EventType::kXpEnqueue,  EventType::kXpGrant,
       EventType::kXbar,       EventType::kDeliver,
       EventType::kDeadlineMiss, EventType::kAdmit,
       EventType::kRelease,

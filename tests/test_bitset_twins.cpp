@@ -29,10 +29,11 @@ TEST(BitsetTwins, RegistryPairsAreRegistered) {
 }
 
 TEST(BitsetTwins, BitIdenticalAcrossProfilesAndWidths) {
-  // Ports straddle the word boundary on purpose: 5 (partial word), 64
-  // (exactly one word), 65 and 128 (multi-word rows).
+  // Ports straddle the word boundary on purpose: 5 (partial word), 63/64
+  // (one word, last bit unused / exactly full), 65 (one bit into word 1),
+  // 127/128 (the same boundary again on multi-word rows).
   audit::TwinDiffOptions options;
-  options.ports = {2, 5, 8, 16, 32, 64, 65, 128};
+  options.ports = {2, 5, 8, 16, 32, 63, 64, 65, 127, 128};
   options.seeds = 8;
   options.steps = 20;
   options.levels = 3;
@@ -79,6 +80,22 @@ TEST(BitRequestMatrix, CyclicFirstBitSearch) {
   EXPECT_EQ(bits_first_cyclic(words, 2, 71), 3);   // wraps around
   bits_clear(words, 3);
   EXPECT_EQ(bits_first_cyclic(words, 2, 71), 70);  // wraps to own word
+}
+
+TEST(BitRequestMatrix, CyclicSearchAtWordBoundaries) {
+  // The exact bits a P=63/64/65 port count exercises: the last bit of word
+  // 0 and the first bit of word 1.
+  std::uint64_t words[2] = {0, 0};
+  bits_set(words, 63);
+  EXPECT_EQ(bits_first_cyclic(words, 1, 0), 63);   // single-word row
+  EXPECT_EQ(bits_first_cyclic(words, 1, 63), 63);  // start on the last bit
+  EXPECT_EQ(bits_first_cyclic(words, 2, 0), 63);
+  bits_set(words, 64);
+  EXPECT_EQ(bits_first_cyclic(words, 2, 64), 64);  // start on word 1's bit 0
+  EXPECT_EQ(bits_first_cyclic(words, 2, 65), 63);  // wrap across both words
+  bits_clear(words, 63);
+  bits_clear(words, 64);
+  EXPECT_EQ(bits_first_cyclic(words, 2, 63), -1);
 }
 
 TEST(BitRequestMatrix, CollapsesLevelsAndTracksLiveMasks) {

@@ -214,5 +214,68 @@ TEST(CreditsDeath, RestoreWhilePendingCountsInFlightReturns) {
   EXPECT_DEATH(credits.restore(0, 1), "exceed the per-VC credit budget");
 }
 
+TEST(CreditsDeath, ReleaseTimeOrderEnforced) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  CreditManager credits(1, 2, 3);
+  credits.consume(0);
+  credits.consume(0);
+  credits.release(0, 10);
+  EXPECT_DEATH(credits.release(0, 5),
+               "credit releases must be issued in time order");
+}
+
+TEST(Credits, ReclaimParksAvailableCredits) {
+  // The CICQ base regime: park all but one credit per crosspoint at
+  // construction, hand them back (restore) when a burst is detected.
+  CreditManager credits(2, 4, 1);
+  credits.reclaim(0, 3);
+  EXPECT_EQ(credits.credits(0), 1u);
+  EXPECT_EQ(credits.credits(1), 4u);
+  credits.check_invariants();
+  credits.restore(0, 3);
+  EXPECT_EQ(credits.credits(0), 4u);
+  credits.check_invariants();
+}
+
+TEST(Credits, ReclaimRestoreRoundTripWithInFlightReturns) {
+  // Burst deactivation happens only when every credit is home; this pins
+  // the interaction the stabilization protocol relies on: a restore while
+  // a return is still in flight must respect the full budget, and a
+  // reclaim can only take credits that are actually available.
+  CreditManager credits(1, 3, 4);
+  credits.reclaim(0, 2);  // base regime: one credit exposed
+  credits.consume(0);
+  credits.release(0, 1);  // in flight until cycle 5
+  EXPECT_EQ(credits.credits(0), 0u);
+  EXPECT_EQ(credits.pending_for(0), 1u);
+  credits.restore(0, 2);  // burst: unlock the parked depth
+  EXPECT_EQ(credits.credits(0), 2u);
+  credits.check_invariants();
+  credits.tick(5);  // the in-flight return lands on top of the unlocked pool
+  EXPECT_EQ(credits.credits(0), 3u);
+  credits.check_invariants();
+  credits.reclaim(0, 2);  // burst drained: park the extra depth again
+  EXPECT_EQ(credits.credits(0), 1u);
+  credits.check_invariants();
+}
+
+TEST(CreditsDeath, RestoreOnTopOfInFlightReturnCannotMint) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  CreditManager credits(1, 3, 4);
+  credits.reclaim(0, 2);
+  credits.consume(0);
+  credits.release(0, 1);
+  // 0 held + 1 pending + 3 restored would exceed the 3-credit budget.
+  EXPECT_DEATH(credits.restore(0, 3), "exceed the per-VC credit budget");
+}
+
+TEST(CreditsDeath, ReclaimOfUnavailableCreditsAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  CreditManager credits(1, 2, 1);
+  credits.consume(0);
+  EXPECT_DEATH(credits.reclaim(0, 2),
+               "credits that are not currently available");
+}
+
 }  // namespace
 }  // namespace mmr

@@ -62,7 +62,20 @@ TEST(SiabpPriority, SaturatesInsteadOfOverflowing) {
 TEST(IabpPriority, RatioOfDelayToIat) {
   // age 100, IAT 50 -> ratio 2.0 -> scaled by 2^16.
   EXPECT_EQ(iabp_priority(50.0, 100), 2u * 65536u);
-  EXPECT_EQ(iabp_priority(100.0, 0), 0u);
+}
+
+TEST(IabpPriority, AgeZeroFloorsAtOneLikeSiabp) {
+  // Regression: iabp_priority used to return ceil(0 * 65536) = 0 for age-0
+  // flits, tying freshly injected QoS traffic with priority-0 best-effort
+  // in mixed comparisons.  Both biasing schemes now start above zero: SIABP
+  // at its reservation (slots_per_round >= 1), IABP at the floor of 1.
+  EXPECT_EQ(iabp_priority(100.0, 0), 1u);
+  EXPECT_EQ(iabp_priority(1e6, 0), 1u);
+  EXPECT_EQ(siabp_priority(5, 0), 5u);
+  EXPECT_EQ(siabp_priority(1, 0), 1u);
+  // The floor never reorders positive ages (ceil already yields >= 1).
+  EXPECT_EQ(iabp_priority(50.0, 100), 2u * 65536u);
+  EXPECT_GE(iabp_priority(1000.0, 1), 1u);
 }
 
 TEST(IabpPriority, SubUnitRatiosStayOrdered) {

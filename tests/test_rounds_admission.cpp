@@ -20,6 +20,23 @@ TEST(RoundAccounting, SlotsRoundUpAndFloorAtOne) {
   EXPECT_EQ(rounds.slots_for_bandwidth(2.4e9), 1024u);
 }
 
+TEST(RoundAccounting, SlotsNeverExceedTheRound) {
+  // Regression: slots_for_bandwidth used to return ceil(fraction * round)
+  // with no upper clamp, so an over-the-link request produced more slots
+  // than a round holds and flowed into admission as a plausible-looking
+  // reservation.  The round is the ceiling; the explicit oversubscribed()
+  // check is how the admission boundary distinguishes full from over-full.
+  const RoundAccounting rounds(1024, paper_time_base());
+  EXPECT_EQ(rounds.slots_for_bandwidth(2.4e9), 1024u);
+  EXPECT_EQ(rounds.slots_for_bandwidth(2 * 2.4e9), 1024u);
+  EXPECT_EQ(rounds.slots_for_bandwidth(100 * 2.4e9), 1024u);
+  EXPECT_FALSE(rounds.oversubscribed(2.4e9));
+  EXPECT_FALSE(rounds.oversubscribed(55e6));
+  EXPECT_FALSE(rounds.oversubscribed(0.0));
+  EXPECT_TRUE(rounds.oversubscribed(2.4e9 * 1.001));
+  EXPECT_TRUE(rounds.oversubscribed(2 * 2.4e9));
+}
+
 TEST(RoundAccounting, BandwidthForSlotsInvertsWithinRounding) {
   const RoundAccounting rounds(1024, paper_time_base());
   for (double bps : {1e6, 10e6, 55e6, 100e6}) {
@@ -97,6 +114,24 @@ TEST_F(AdmissionTest, CbrRejectedWhenRoundFull) {
   // A small connection still fits in the remaining 16 slots.
   ConnectionDescriptor small = cbr(0, 0, 1.54e6);
   EXPECT_TRUE(cac.try_admit(small));
+}
+
+TEST_F(AdmissionTest, OversubscribedRequestRejectedOutright) {
+  // Regression: an over-the-link mean used to convert to a clamped (or,
+  // before the clamp, oversized) slot count that fit an empty budget, so a
+  // physically impossible reservation was admitted as full-rate.  The
+  // admission boundary now rejects any mean beyond the link itself.
+  AdmissionController cac = make();
+  ConnectionDescriptor over = cbr(0, 1, 2 * 2.4e9);
+  over.slots_per_round = 0xdead;
+  EXPECT_FALSE(cac.try_admit(over));
+  EXPECT_EQ(over.slots_per_round, 0xdeadu);  // descriptor untouched
+  EXPECT_EQ(cac.input_mean_slots(0), 0u);
+  EXPECT_EQ(cac.outstanding_reservations(), 0u);
+  // The full link itself is still admittable: exactly one round of slots.
+  ConnectionDescriptor full = cbr(0, 1, 2.4e9);
+  EXPECT_TRUE(cac.try_admit(full));
+  EXPECT_EQ(full.slots_per_round, 1024u);
 }
 
 TEST_F(AdmissionTest, OutputLinkBudgetAlsoEnforced) {
